@@ -1,0 +1,166 @@
+//! Ablation benches for the design choices called out in DESIGN.md.
+//!
+//! Each ablation prints the *simulated* runtimes it produces (the quantity
+//! of interest) before Criterion measures the wall-clock cost of computing
+//! them. Run with `cargo bench --bench ablations`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sae_core::{MapeConfig, ThreadPolicy};
+use sae_dag::{Engine, EngineConfig};
+use sae_workloads::WorkloadKind;
+
+fn dynamic_runtime(cfg: &EngineConfig, kind: WorkloadKind, mape: MapeConfig) -> f64 {
+    let w = kind.build_scaled(0.25);
+    Engine::new(w.configure(cfg.clone()), ThreadPolicy::Adaptive(mape))
+        .run(&w.job)
+        .total_runtime
+}
+
+/// Ablation 1: rollback tolerance of the hill climb.
+///
+/// Zero tolerance strands CPU-flat stages at `c_min`; an over-generous
+/// band overshoots the knee. The default (0.5) sits between.
+fn ablate_tolerance(c: &mut Criterion) {
+    let cfg = EngineConfig::four_node_hdd();
+    println!("\nablation: rollback tolerance (terasort @ 1/4 scale, dynamic)");
+    for tol in [0.0, 0.25, 0.5, 1.0] {
+        let mut mape = MapeConfig::new(2, 32);
+        mape.rollback_tolerance = tol;
+        let runtime = dynamic_runtime(&cfg, WorkloadKind::Terasort, mape);
+        println!("  tolerance {tol:4.2}: {runtime:8.1} s");
+    }
+    c.bench_function("ablation_tolerance_single_run", |b| {
+        b.iter(|| {
+            let mut mape = MapeConfig::new(2, 32);
+            mape.rollback_tolerance = 0.5;
+            black_box(dynamic_runtime(&cfg, WorkloadKind::Terasort, mape))
+        });
+    });
+}
+
+/// Ablation 2: the climb's starting point `c_min`.
+///
+/// The paper starts at 2; starting higher converges faster but can
+/// overshoot the knee before the first comparison.
+fn ablate_c_min(c: &mut Criterion) {
+    let cfg = EngineConfig::four_node_hdd();
+    println!("\nablation: c_min (pagerank @ 1/4 scale, dynamic)");
+    for c_min in [2usize, 4, 8] {
+        let mape = MapeConfig::new(c_min, 32);
+        let runtime = dynamic_runtime(&cfg, WorkloadKind::PageRank, mape);
+        println!("  c_min {c_min}: {runtime:8.1} s");
+    }
+    c.bench_function("ablation_cmin_single_run", |b| {
+        b.iter(|| black_box(dynamic_runtime(&cfg, WorkloadKind::PageRank, MapeConfig::new(2, 32))));
+    });
+}
+
+/// Ablation 3: the low-I/O jump heuristic (L3 remedy).
+///
+/// With the heuristic disabled the controller pays the full doubling climb
+/// on CPU-bound stages — visible on Join's scan stage.
+fn ablate_io_fraction_jump(c: &mut Criterion) {
+    let cfg = EngineConfig::four_node_hdd();
+    println!("\nablation: min_io_fraction jump (join @ 1/4 scale, dynamic)");
+    for frac in [0.0, 0.25] {
+        let mut mape = MapeConfig::new(2, 32);
+        mape.min_io_fraction = frac;
+        let runtime = dynamic_runtime(&cfg, WorkloadKind::Join, mape);
+        let label = if frac == 0.0 { "off " } else { "on  " };
+        println!("  jump {label} (threshold {frac}): {runtime:8.1} s");
+    }
+    c.bench_function("ablation_jump_single_run", |b| {
+        b.iter(|| black_box(dynamic_runtime(&cfg, WorkloadKind::Join, MapeConfig::new(2, 32))));
+    });
+}
+
+/// Ablation 4: CPU/I-O interleaving granularity of the task model.
+///
+/// One chunk per task serialises I/O and CPU entirely; more chunks let
+/// utilisation emerge. Stage durations converge once chunking is fine
+/// enough, justifying the default of 4.
+fn ablate_chunking(c: &mut Criterion) {
+    println!("\nablation: chunks per task (terasort @ 1/4 scale, default policy)");
+    for chunks in [1usize, 2, 4, 8] {
+        let mut cfg = EngineConfig::four_node_hdd();
+        cfg.chunks_per_task = chunks;
+        let w = WorkloadKind::Terasort.build_scaled(0.25);
+        let runtime = Engine::new(w.configure(cfg), ThreadPolicy::Default)
+            .run(&w.job)
+            .total_runtime;
+        println!("  chunks {chunks}: {runtime:8.1} s");
+    }
+    let cfg = EngineConfig::four_node_hdd();
+    c.bench_function("ablation_chunking_single_run", |b| {
+        let w = WorkloadKind::Terasort.build_scaled(0.25);
+        b.iter(|| {
+            black_box(
+                Engine::new(w.configure(cfg.clone()), ThreadPolicy::Default)
+                    .run(&w.job)
+                    .total_runtime,
+            )
+        });
+    });
+}
+
+/// Ablation 5: climb direction (§5.2's ascend-vs-descend argument).
+///
+/// Descending starts every stage at the (possibly pathological) maximum
+/// and pays for the bad settings before finding better ones; the paper
+/// argues ascending "gives us a quicker route to finding the optimal
+/// thread count".
+fn ablate_direction(c: &mut Criterion) {
+    use sae_core::ClimbDirection;
+    let cfg = EngineConfig::four_node_hdd();
+    println!("\nablation: climb direction (terasort @ 1/4 scale, dynamic)");
+    for (label, direction) in [
+        ("ascend (paper)", ClimbDirection::Ascend),
+        ("descend       ", ClimbDirection::Descend),
+    ] {
+        let mut mape = MapeConfig::new(2, 32);
+        mape.direction = direction;
+        let runtime = dynamic_runtime(&cfg, WorkloadKind::Terasort, mape);
+        println!("  {label}: {runtime:8.1} s");
+    }
+    c.bench_function("ablation_direction_single_run", |b| {
+        let mut mape = MapeConfig::new(2, 32);
+        mape.direction = ClimbDirection::Descend;
+        b.iter(|| black_box(dynamic_runtime(&cfg, WorkloadKind::Terasort, mape)));
+    });
+}
+
+/// Ablation 6: congestion index vs average disk utilisation as the sensed
+/// signal (§5.2's first argument for ζ: utilisation saturates and cannot
+/// discriminate between settings).
+fn ablate_signal(c: &mut Criterion) {
+    use sae_core::CongestionSignal;
+    let cfg = EngineConfig::four_node_hdd();
+    println!("\nablation: analyzer signal (terasort @ 1/4 scale, dynamic)");
+    for (label, signal) in [
+        ("congestion index ζ (paper)", CongestionSignal::ZetaIndex),
+        ("avg disk utilisation      ", CongestionSignal::DiskUtilization),
+    ] {
+        let mut mape = MapeConfig::new(2, 32);
+        mape.signal = signal;
+        let runtime = dynamic_runtime(&cfg, WorkloadKind::Terasort, mape);
+        println!("  {label}: {runtime:8.1} s");
+    }
+    c.bench_function("ablation_signal_single_run", |b| {
+        let mut mape = MapeConfig::new(2, 32);
+        mape.signal = CongestionSignal::DiskUtilization;
+        b.iter(|| black_box(dynamic_runtime(&cfg, WorkloadKind::Terasort, mape)));
+    });
+}
+
+criterion_group!(
+    ablations,
+    ablate_tolerance,
+    ablate_c_min,
+    ablate_io_fraction_jump,
+    ablate_chunking,
+    ablate_direction,
+    ablate_signal
+);
+criterion_main!(ablations);

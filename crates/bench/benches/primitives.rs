@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks for the hot primitives of the stack:
+//! simulation-kernel event processing, capacity-curve evaluation, the
+//! controller's decision path, and the real dynamic pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sae_core::{congestion_index, AdaptiveController, IntervalMeasurement, MapeConfig, TunablePool};
+use sae_pool::DynamicThreadPool;
+use sae_sim::{CapacityCurve, Kernel};
+use sae_storage::{DeviceProfile, DiskClass};
+
+fn bench_kernel_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    for &flows in &[100usize, 1000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("processor_sharing_flows", flows),
+            &flows,
+            |b, &flows| {
+                b.iter(|| {
+                    let mut kernel: Kernel<u32> = Kernel::new();
+                    let r = kernel.add_resource(CapacityCurve::constant(100.0));
+                    for i in 0..flows {
+                        kernel.start_flow(r, 0, 1.0 + (i % 7) as f64, i as u32);
+                    }
+                    kernel.run_to_idle();
+                    black_box(kernel.events_processed())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_capacity_curves(c: &mut Criterion) {
+    let hdd = DeviceProfile::hdd_7200();
+    c.bench_function("device_bandwidth_mixed", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for n in 1..64usize {
+                total += hdd.bandwidth(black_box(&[
+                    (DiskClass::Read, n),
+                    (DiskClass::Write, n / 2),
+                ]));
+            }
+            black_box(total)
+        });
+    });
+}
+
+fn bench_controller(c: &mut Criterion) {
+    c.bench_function("mapek_decision_per_task", |b| {
+        b.iter(|| {
+            let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+            let mut threads = ctl.stage_started(0.0, Some(1000));
+            let (mut now, mut epoll, mut bytes) = (0.0, 0.0, 0.0);
+            for _ in 0..200 {
+                now += 1.0;
+                epoll += 0.3 + 0.01 * (threads * threads) as f64;
+                bytes += 100.0;
+                if let Some(next) = ctl.task_finished(now, epoll, bytes) {
+                    threads = next;
+                }
+            }
+            black_box(threads)
+        });
+    });
+    c.bench_function("congestion_index", |b| {
+        let m = IntervalMeasurement {
+            epoll_wait: 12.5,
+            bytes: 2048.0,
+            duration: 10.0,
+        };
+        b.iter(|| black_box(congestion_index(black_box(&m))));
+    });
+}
+
+fn bench_real_pool(c: &mut Criterion) {
+    c.bench_function("dynamic_pool_submit_drain_1000", |b| {
+        b.iter(|| {
+            let pool = DynamicThreadPool::new(4);
+            for _ in 0..1000 {
+                pool.submit(|| {
+                    black_box(1 + 1);
+                });
+            }
+            pool.shutdown();
+        });
+    });
+    c.bench_function("dynamic_pool_resize", |b| {
+        let mut pool = DynamicThreadPool::new(8);
+        let mut size = 8usize;
+        b.iter(|| {
+            size = if size == 8 { 4 } else { 8 };
+            pool.set_max_pool_size(black_box(size));
+        });
+        pool.shutdown();
+    });
+}
+
+fn bench_engine_end_to_end(c: &mut Criterion) {
+    use sae_core::ThreadPolicy;
+    use sae_dag::{Engine, EngineConfig};
+    use sae_workloads::WorkloadKind;
+    c.bench_function("engine_terasort_tenth_scale", |b| {
+        let cfg = EngineConfig::four_node_hdd();
+        let w = WorkloadKind::Terasort.build_scaled(0.1);
+        b.iter(|| {
+            let report = Engine::new(w.configure(cfg.clone()), ThreadPolicy::Default).run(&w.job);
+            black_box(report.total_runtime)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kernel_events,
+    bench_capacity_curves,
+    bench_controller,
+    bench_real_pool,
+    bench_engine_end_to_end
+);
+criterion_main!(benches);

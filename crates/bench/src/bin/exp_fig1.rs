@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig1.
+fn main() {
+    println!("{}", sae_bench::experiments::fig1::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10.
+fn main() {
+    println!("{}", sae_bench::experiments::fig10::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11.
+fn main() {
+    println!("{}", sae_bench::experiments::fig11::run());
+}

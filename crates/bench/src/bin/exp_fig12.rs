@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12.
+fn main() {
+    println!("{}", sae_bench::experiments::fig12::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig2.
+fn main() {
+    println!("{}", sae_bench::experiments::fig2::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3.
+fn main() {
+    println!("{}", sae_bench::experiments::fig3::run());
+}

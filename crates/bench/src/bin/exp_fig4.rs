@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig4.
+fn main() {
+    println!("{}", sae_bench::experiments::fig4::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5.
+fn main() {
+    println!("{}", sae_bench::experiments::fig5::run());
+}

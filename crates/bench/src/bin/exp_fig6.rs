@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6.
+fn main() {
+    println!("{}", sae_bench::experiments::fig6::run());
+}

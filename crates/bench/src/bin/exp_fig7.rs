@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7.
+fn main() {
+    println!("{}", sae_bench::experiments::fig7::run());
+}

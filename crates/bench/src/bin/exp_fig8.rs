@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8.
+fn main() {
+    println!("{}", sae_bench::experiments::fig8::run());
+}

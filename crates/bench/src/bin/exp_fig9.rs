@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9.
+fn main() {
+    println!("{}", sae_bench::experiments::fig9::run());
+}

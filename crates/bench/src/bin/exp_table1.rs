@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1.
+fn main() {
+    println!("{}", sae_bench::experiments::table1::run());
+}

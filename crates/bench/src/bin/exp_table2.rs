@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2.
+fn main() {
+    println!("{}", sae_bench::experiments::table2::run());
+}

@@ -1,0 +1,14 @@
+//! Calibration probe binary.
+use sae_workloads::WorkloadKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let kind = match args.get(1).map(String::as_str) {
+        Some("pagerank") => WorkloadKind::PageRank,
+        Some("aggregation") => WorkloadKind::Aggregation,
+        Some("join") => WorkloadKind::Join,
+        _ => WorkloadKind::Terasort,
+    };
+    println!("{}", sae_bench::experiments::probe::run(kind, scale));
+}

@@ -1,0 +1,63 @@
+//! One module per paper artefact (tables and figures).
+//!
+//! Every module exposes `run() -> ExperimentOutput` producing the
+//! rows/series the paper reports, plus structured helpers used by the
+//! integration tests. `exp_all` (see `src/bin/exp_all.rs`) stitches the
+//! outputs into `EXPERIMENTS.md`.
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod probe;
+pub mod table1;
+pub mod table2;
+
+/// An experiment's rendered output plus its identity.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Stable id, e.g. `"fig8"`.
+    pub id: &'static str,
+    /// Paper artefact, e.g. `"Figure 8"`.
+    pub artefact: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// Rendered body (tables/series).
+    pub body: String,
+}
+
+impl std::fmt::Display for ExperimentOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "## {} — {}", self.artefact, self.title)?;
+        writeln!(f)?;
+        writeln!(f, "```text\n{}```", self.body)
+    }
+}
+
+/// Runs every experiment in paper order.
+pub fn run_all() -> Vec<ExperimentOutput> {
+    vec![
+        table1::run(),
+        fig1::run(),
+        table2::run(),
+        fig2::run(),
+        fig3::run(),
+        fig4::run(),
+        fig5::run(),
+        fig6::run(),
+        fig7::run(),
+        fig8::run(),
+        fig9::run(),
+        fig10::run(),
+        fig11::run(),
+        fig12::run(),
+    ]
+}

@@ -1,0 +1,23 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment lives in [`experiments`] and is runnable through a
+//! dedicated binary (`cargo run -p sae-bench --release --bin exp_fig8`) or
+//! all at once (`--bin exp_all`). Binaries print the same rows/series the
+//! paper reports; `EXPERIMENTS.md` is generated from their output.
+//!
+//! The harness intentionally reports *shapes* (who wins, by what factor,
+//! where the crossovers fall) — absolute seconds differ from the paper's
+//! DAS-5 testbed since the substrate is a simulator (see `DESIGN.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod runner;
+mod table;
+
+pub use runner::{
+    derive_bestfit, fixed_thread_run, run_policy, run_workload, static_sweep, PolicyRun,
+    StaticSweepPoint, SWEEP_THREADS,
+};
+pub use table::TextTable;

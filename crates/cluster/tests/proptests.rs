@@ -1,0 +1,75 @@
+//! Property-based tests for the DFS model.
+
+use proptest::prelude::*;
+use sae_cluster::Dfs;
+
+proptest! {
+    /// Block sizes sum exactly to the file size and no block exceeds the
+    /// configured block size.
+    #[test]
+    fn block_sizes_partition_the_file(
+        block_size in 16u64..512,
+        size_mb in 1.0f64..10_000.0,
+        nodes in 1usize..32,
+    ) {
+        let mut dfs = Dfs::new(block_size, 3, 0);
+        dfs.create_file("f", size_mb, nodes);
+        let f = dfs.file("f").unwrap();
+        let total: f64 = f.blocks.iter().map(|b| b.size_mb).sum();
+        prop_assert!((total - size_mb).abs() < 1e-6);
+        for b in &f.blocks {
+            prop_assert!(b.size_mb > 0.0);
+            prop_assert!(b.size_mb <= block_size as f64 + 1e-9);
+        }
+    }
+
+    /// Replicas are distinct valid nodes and the count equals
+    /// `min(replication, nodes)`.
+    #[test]
+    fn replica_placement_invariants(
+        replication in 1usize..8,
+        nodes in 1usize..16,
+        size_mb in 1.0f64..2_000.0,
+        seed in any::<u64>(),
+    ) {
+        let mut dfs = Dfs::new(64, replication, seed);
+        dfs.create_file("f", size_mb, nodes);
+        let expected = replication.min(nodes);
+        for block in &dfs.file("f").unwrap().blocks {
+            prop_assert_eq!(block.replicas.len(), expected);
+            let mut sorted = block.replicas.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), expected, "replicas must be distinct");
+            for &r in &block.replicas {
+                prop_assert!(r < nodes);
+            }
+        }
+    }
+
+    /// Placement is a pure function of (seed, name, size, nodes).
+    #[test]
+    fn placement_deterministic(seed in any::<u64>(), size_mb in 1.0f64..1_000.0) {
+        let build = || {
+            let mut dfs = Dfs::new(64, 2, seed);
+            dfs.create_file("f", size_mb, 5);
+            dfs.file("f").unwrap().clone()
+        };
+        prop_assert_eq!(build(), build());
+    }
+
+    /// Primary replicas round-robin across nodes, so reads are balanced.
+    #[test]
+    fn primaries_are_balanced(nodes in 1usize..12) {
+        let mut dfs = Dfs::new(64, 1, 0);
+        dfs.create_file("f", 64.0 * nodes as f64 * 4.0, nodes);
+        let f = dfs.file("f").unwrap();
+        let mut counts = vec![0usize; nodes];
+        for b in &f.blocks {
+            counts[b.replicas[0]] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "imbalanced primaries: {counts:?}");
+    }
+}

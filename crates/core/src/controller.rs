@@ -1,0 +1,346 @@
+//! The complete MAPE-K loop glued together: one controller per executor.
+
+use crate::analyzer::{Analysis, ClimbDirection, CongestionSignal, HillClimbAnalyzer};
+use crate::monitor::{IntervalReport, Monitor, ProbeSnapshot};
+use crate::planner::Planner;
+
+/// Configuration of the adaptive controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapeConfig {
+    /// Minimum thread count the climb starts from. The paper uses 2, "since
+    /// it is almost impossible that a single thread outperforms multiple
+    /// ones".
+    pub c_min: usize,
+    /// Maximum thread count, typically the node's virtual core count.
+    pub c_max: usize,
+    /// Stages with fewer total tasks than this cannot complete even two
+    /// monitoring intervals; the controller skips adaptation and runs them
+    /// at `c_max` (the default behaviour).
+    pub min_stage_tasks: usize,
+    /// Regression tolerance for the hill climb: an interval only rolls
+    /// back when `ζ_j > ζ_{j/2} · (1 + rollback_tolerance)`. Absorbs
+    /// measurement noise and keeps CPU-bound stages (flat ζ) climbing.
+    pub rollback_tolerance: f64,
+    /// Minimum fraction of thread-time spent blocked on I/O for a stage to
+    /// be worth tuning. Below it, "there is not enough I/O activity to
+    /// justify using fewer threads" (§4, L3) and the controller jumps the
+    /// pool straight to `c_max` instead of paying for the full climb.
+    pub min_io_fraction: f64,
+    /// Climb direction (default: ascend from `c_min`, per §5.2).
+    pub direction: ClimbDirection,
+    /// Optimised signal (default: the congestion index ζ, per §5.2).
+    pub signal: CongestionSignal,
+}
+
+impl MapeConfig {
+    /// Creates a configuration with the paper's defaults for the interval
+    /// heuristics.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= c_min <= c_max`.
+    pub fn new(c_min: usize, c_max: usize) -> Self {
+        assert!(
+            c_min >= 1 && c_min <= c_max,
+            "need 1 <= c_min <= c_max, got [{c_min}, {c_max}]"
+        );
+        Self {
+            c_min,
+            c_max,
+            min_stage_tasks: c_min * 3,
+            rollback_tolerance: 0.50,
+            min_io_fraction: 0.25,
+            direction: ClimbDirection::Ascend,
+            signal: CongestionSignal::ZetaIndex,
+        }
+    }
+
+    /// The paper's setting for a DAS-5 node: explore 2..=32 threads.
+    pub fn das5() -> Self {
+        Self::new(2, 32)
+    }
+}
+
+/// Throughput below which an interval counts as "no I/O evidence" (MB/s).
+///
+/// Such intervals ascend unconditionally: with no I/O there is nothing to
+/// congest, and more threads always help CPU-bound work (addresses
+/// limitation L3 of the static solution).
+const NO_IO_THROUGHPUT: f64 = 5.0;
+
+/// A self-adaptive executor controller: Monitor → Analyze → Plan →
+/// (Execute) over a knowledge base of interval reports.
+///
+/// The controller is deliberately passive about effecting changes: it
+/// returns the decided pool size from [`AdaptiveController::task_finished`]
+/// and the engine (or `sae-pool` wrapper) applies it via
+/// [`crate::apply_plan`] or directly. This keeps the control logic free of
+/// backend state and trivially testable — see the crate-level example.
+#[derive(Debug, Clone)]
+pub struct AdaptiveController {
+    config: MapeConfig,
+    monitor: Monitor,
+    analyzer: HillClimbAnalyzer,
+    planner: Planner,
+    /// Knowledge base: every completed interval of the current stage.
+    history: Vec<IntervalReport>,
+    current_threads: usize,
+    adapting: bool,
+}
+
+impl AdaptiveController {
+    /// Creates a controller with the given configuration.
+    pub fn new(config: MapeConfig) -> Self {
+        Self {
+            config,
+            monitor: Monitor::new(),
+            analyzer: HillClimbAnalyzer::new(config.c_min, config.c_max)
+                .with_tolerance(config.rollback_tolerance)
+                .with_direction(config.direction)
+                .with_signal(config.signal),
+            planner: Planner::new(),
+            history: Vec::new(),
+            current_threads: config.c_max,
+            adapting: false,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> MapeConfig {
+        self.config
+    }
+
+    /// Starts a new stage at time `now` and returns the thread count to run
+    /// with. `task_hint` is the number of tasks this executor expects in the
+    /// stage, if known.
+    ///
+    /// Adaptation starts at `c_min`; stages too short to measure run at
+    /// `c_max` unadapted.
+    pub fn stage_started(&mut self, now: f64, task_hint: Option<usize>) -> usize {
+        self.history.clear();
+        self.analyzer.reset();
+        self.monitor.stop();
+        if task_hint.is_some_and(|t| t < self.config.min_stage_tasks) {
+            self.adapting = false;
+            self.current_threads = self.config.c_max;
+            return self.current_threads;
+        }
+        self.adapting = true;
+        self.current_threads = self.analyzer.start_point();
+        self.monitor
+            .begin_interval(self.current_threads, now, ProbeSnapshot::default());
+        self.current_threads
+    }
+
+    /// Records a task completion at `now`, with the executor's epoll-wait
+    /// seconds and I/O megabytes *accumulated since the stage started*
+    /// (monotone within a stage; the engine resets its counters per stage).
+    /// Returns `Some(new_threads)` when the controller decides to change
+    /// the pool size.
+    pub fn task_finished(&mut self, now: f64, epoll_cum: f64, bytes_cum: f64) -> Option<usize> {
+        self.task_finished_probe(now, ProbeSnapshot::basic(epoll_cum, bytes_cum))
+    }
+
+    /// Like [`AdaptiveController::task_finished`], with the full probe
+    /// snapshot (required when [`MapeConfig::signal`] is
+    /// [`CongestionSignal::DiskUtilization`]).
+    pub fn task_finished_probe(&mut self, now: f64, snapshot: ProbeSnapshot) -> Option<usize> {
+        if !self.adapting {
+            return None;
+        }
+        let report = self.monitor.task_finished(now, snapshot)?;
+        self.history.push(report);
+        let io_fraction = if report.duration > 0.0 {
+            report.epoll_wait / (report.threads as f64 * report.duration)
+        } else {
+            1.0
+        };
+        let analysis = if !self.analyzer.settled()
+            && (report.throughput < NO_IO_THROUGHPUT || io_fraction < self.config.min_io_fraction)
+        {
+            // Not enough I/O evidence to justify throttling (L3): the stage
+            // is CPU-bound, so jump straight to the CPU-friendly maximum
+            // instead of paying for the doubling climb.
+            if report.threads >= self.config.c_max {
+                Analysis::SettleAtMax
+            } else {
+                Analysis::Ascend {
+                    next: self.config.c_max,
+                }
+            }
+        } else {
+            self.analyzer.analyze(&report)
+        };
+        let plan = self.planner.plan(analysis, self.current_threads);
+        let target = plan.target_size();
+        if plan.terminal {
+            self.adapting = false;
+            self.monitor.stop();
+        } else {
+            let next = target.unwrap_or(self.current_threads);
+            self.monitor.begin_interval(next, now, snapshot);
+        }
+        if let Some(next) = target {
+            self.current_threads = next;
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    /// The thread count currently in effect.
+    pub fn current_threads(&self) -> usize {
+        self.current_threads
+    }
+
+    /// Whether the controller has finished adapting for the current stage.
+    pub fn settled(&self) -> bool {
+        !self.adapting
+    }
+
+    /// The knowledge base: interval reports of the current stage, in order.
+    pub fn history(&self) -> &[IntervalReport] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates an executor where epoll wait per task grows with thread
+    /// count as `wait_factor * threads^2` and each task moves `mb_per_task`.
+    fn run_synthetic(
+        ctl: &mut AdaptiveController,
+        tasks: usize,
+        mb_per_task: f64,
+        wait_factor: f64,
+    ) -> Vec<usize> {
+        let mut decisions = Vec::new();
+        let mut threads = ctl.stage_started(0.0, Some(tasks));
+        decisions.push(threads);
+        let (mut now, mut epoll, mut bytes) = (0.0, 0.0, 0.0);
+        for _ in 0..tasks {
+            now += 1.0;
+            // Half a second of base I/O wait per task keeps the synthetic
+            // stage above the min_io_fraction floor; contention adds the
+            // superlinear component.
+            epoll += 0.5 + wait_factor * (threads as f64).powi(2);
+            bytes += mb_per_task;
+            if let Some(next) = ctl.task_finished(now, epoll, bytes) {
+                threads = next;
+                decisions.push(next);
+            }
+        }
+        decisions
+    }
+
+    #[test]
+    fn starts_at_c_min() {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        assert_eq!(ctl.stage_started(0.0, Some(100)), 2);
+    }
+
+    #[test]
+    fn contention_growth_causes_rollback() {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        let decisions = run_synthetic(&mut ctl, 300, 100.0, 0.01);
+        assert!(ctl.settled());
+        let last = *decisions.last().unwrap();
+        assert!(last < 32, "should not settle at max: {decisions:?}");
+        assert!(last >= 2);
+    }
+
+    #[test]
+    fn cpu_only_stage_climbs_to_max() {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        // Zero I/O: every interval has ~0 throughput.
+        let decisions = run_synthetic(&mut ctl, 300, 0.0, 0.0);
+        assert!(ctl.settled());
+        assert_eq!(*decisions.last().unwrap(), 32);
+    }
+
+    #[test]
+    fn low_io_fraction_jumps_to_max_immediately() {
+        // A CPU-bound stage with *some* I/O (µ above the zero-IO floor but
+        // ε far below min_io_fraction) jumps to c_max after one interval
+        // instead of paying for the doubling climb.
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        let mut threads = ctl.stage_started(0.0, Some(300));
+        let (mut now, mut epoll, mut bytes) = (0.0, 0.0, 0.0);
+        let mut jumps = Vec::new();
+        for _ in 0..20 {
+            now += 1.0;
+            epoll += 0.02; // 2% of thread-time blocked
+            bytes += 100.0;
+            if let Some(next) = ctl.task_finished(now, epoll, bytes) {
+                threads = next;
+                jumps.push(next);
+            }
+        }
+        assert_eq!(jumps.first(), Some(&32), "should jump straight to c_max");
+        assert_eq!(threads, 32);
+    }
+
+    #[test]
+    fn short_stage_runs_at_default() {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        assert_eq!(ctl.stage_started(0.0, Some(3)), 32);
+        assert!(ctl.settled());
+        assert_eq!(ctl.task_finished(1.0, 0.0, 0.0), None);
+    }
+
+    #[test]
+    fn unknown_task_count_still_adapts() {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        assert_eq!(ctl.stage_started(0.0, None), 2);
+        assert!(!ctl.settled());
+    }
+
+    #[test]
+    fn history_records_every_interval() {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 16));
+        run_synthetic(&mut ctl, 200, 100.0, 0.005);
+        assert!(!ctl.history().is_empty());
+        // Interval thread counts double from c_min.
+        assert_eq!(ctl.history()[0].threads, 2);
+        if ctl.history().len() > 1 {
+            assert_eq!(ctl.history()[1].threads, 4);
+        }
+    }
+
+    #[test]
+    fn new_stage_resets_state() {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        run_synthetic(&mut ctl, 300, 100.0, 0.01);
+        assert!(ctl.settled());
+        let threads = ctl.stage_started(1000.0, Some(300));
+        assert_eq!(threads, 2);
+        assert!(!ctl.settled());
+        assert!(ctl.history().is_empty());
+    }
+
+    #[test]
+    fn decisions_stay_in_bounds() {
+        for wait_factor in [0.0, 0.001, 0.01, 0.1, 1.0] {
+            let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+            let decisions = run_synthetic(&mut ctl, 500, 50.0, wait_factor);
+            for d in decisions {
+                assert!((2..=32).contains(&d), "decision {d} out of bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn das5_config_bounds() {
+        let cfg = MapeConfig::das5();
+        assert_eq!(cfg.c_min, 2);
+        assert_eq!(cfg.c_max, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "c_min")]
+    fn invalid_config_rejected() {
+        let _ = MapeConfig::new(0, 4);
+    }
+}

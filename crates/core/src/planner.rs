@@ -1,0 +1,195 @@
+//! The [P]lan and [E]xecute parts of the MAPE-K loop (§5.3–5.4).
+
+use crate::analyzer::Analysis;
+use crate::traits::{SchedulerNotifier, TunablePool};
+
+/// One effector action.
+///
+/// Resizing the pool alone is not enough: the driver's scheduler tracks
+/// each executor's free cores to decide task assignment, so a resize that
+/// is not propagated leaves the system in an inconsistent state (§5.3).
+/// The planner therefore always pairs the resize with a notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Set the executor thread pool's maximum size.
+    ResizePool(usize),
+    /// Tell the driver scheduler about the executor's new capacity.
+    NotifyScheduler(usize),
+}
+
+/// An ordered list of actions realising one analyzer decision.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Plan {
+    /// Actions in execution order.
+    pub actions: Vec<Action>,
+    /// Whether adaptation is finished for this stage after this plan.
+    pub terminal: bool,
+}
+
+impl Plan {
+    /// The pool size this plan moves to, if it changes the pool.
+    pub fn target_size(&self) -> Option<usize> {
+        self.actions.iter().find_map(|a| match a {
+            Action::ResizePool(n) => Some(*n),
+            Action::NotifyScheduler(_) => None,
+        })
+    }
+}
+
+/// Devises action sequences that keep pool and scheduler consistent.
+///
+/// # Examples
+///
+/// ```
+/// use sae_core::{Action, Analysis, Planner};
+///
+/// let planner = Planner::new();
+/// let plan = planner.plan(Analysis::Ascend { next: 8 }, 4);
+/// assert_eq!(plan.actions, vec![Action::ResizePool(8), Action::NotifyScheduler(8)]);
+/// assert!(!plan.terminal);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Planner;
+
+impl Planner {
+    /// Creates a planner.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Translates an analysis into a plan, given the current pool size.
+    pub fn plan(&self, analysis: Analysis, current_size: usize) -> Plan {
+        match analysis {
+            Analysis::Ascend { next } => Plan {
+                actions: Self::resize_actions(current_size, next),
+                terminal: false,
+            },
+            Analysis::Rollback { to } => Plan {
+                actions: Self::resize_actions(current_size, to),
+                terminal: true,
+            },
+            Analysis::SettleAtMax => Plan {
+                actions: Vec::new(),
+                terminal: true,
+            },
+        }
+    }
+
+    fn resize_actions(current: usize, target: usize) -> Vec<Action> {
+        if current == target {
+            Vec::new()
+        } else {
+            vec![Action::ResizePool(target), Action::NotifyScheduler(target)]
+        }
+    }
+}
+
+/// The \[E\]xecute function: applies a plan to the managed resources.
+///
+/// Returns the pool size after execution.
+///
+/// # Examples
+///
+/// ```
+/// use sae_core::{apply_plan, Action, NoScheduler, Plan, TunablePool};
+///
+/// struct Pool(usize);
+/// impl TunablePool for Pool {
+///     fn max_pool_size(&self) -> usize { self.0 }
+///     fn set_max_pool_size(&mut self, size: usize) { self.0 = size; }
+/// }
+///
+/// let mut pool = Pool(32);
+/// let plan = Plan {
+///     actions: vec![Action::ResizePool(8), Action::NotifyScheduler(8)],
+///     terminal: false,
+/// };
+/// assert_eq!(apply_plan(&plan, 0, &mut pool, &mut NoScheduler), 8);
+/// ```
+pub fn apply_plan<P: TunablePool + ?Sized, S: SchedulerNotifier + ?Sized>(
+    plan: &Plan,
+    executor: usize,
+    pool: &mut P,
+    scheduler: &mut S,
+) -> usize {
+    for action in &plan.actions {
+        match *action {
+            Action::ResizePool(size) => pool.set_max_pool_size(size),
+            Action::NotifyScheduler(size) => scheduler.pool_size_changed(executor, size),
+        }
+    }
+    pool.max_pool_size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::NoScheduler;
+
+    struct Pool(usize);
+    impl TunablePool for Pool {
+        fn max_pool_size(&self) -> usize {
+            self.0
+        }
+        fn set_max_pool_size(&mut self, size: usize) {
+            self.0 = size;
+        }
+    }
+
+    struct RecordingScheduler(Vec<(usize, usize)>);
+    impl SchedulerNotifier for RecordingScheduler {
+        fn pool_size_changed(&mut self, executor: usize, new_size: usize) {
+            self.0.push((executor, new_size));
+        }
+    }
+
+    #[test]
+    fn ascend_plans_resize_and_notify() {
+        let plan = Planner::new().plan(Analysis::Ascend { next: 16 }, 8);
+        assert_eq!(
+            plan.actions,
+            vec![Action::ResizePool(16), Action::NotifyScheduler(16)]
+        );
+        assert!(!plan.terminal);
+        assert_eq!(plan.target_size(), Some(16));
+    }
+
+    #[test]
+    fn rollback_is_terminal() {
+        let plan = Planner::new().plan(Analysis::Rollback { to: 4 }, 8);
+        assert!(plan.terminal);
+        assert_eq!(plan.target_size(), Some(4));
+    }
+
+    #[test]
+    fn settle_at_max_changes_nothing() {
+        let plan = Planner::new().plan(Analysis::SettleAtMax, 32);
+        assert!(plan.actions.is_empty());
+        assert!(plan.terminal);
+        assert_eq!(plan.target_size(), None);
+    }
+
+    #[test]
+    fn noop_resize_elided() {
+        let plan = Planner::new().plan(Analysis::Ascend { next: 8 }, 8);
+        assert!(plan.actions.is_empty());
+    }
+
+    #[test]
+    fn apply_plan_updates_pool_and_scheduler() {
+        let mut pool = Pool(32);
+        let mut sched = RecordingScheduler(Vec::new());
+        let plan = Planner::new().plan(Analysis::Rollback { to: 8 }, 32);
+        let size = apply_plan(&plan, 3, &mut pool, &mut sched);
+        assert_eq!(size, 8);
+        assert_eq!(pool.0, 8);
+        assert_eq!(sched.0, vec![(3, 8)]);
+    }
+
+    #[test]
+    fn apply_empty_plan_is_noop() {
+        let mut pool = Pool(32);
+        let size = apply_plan(&Plan::default(), 0, &mut pool, &mut NoScheduler);
+        assert_eq!(size, 32);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the MAPE-K controller.
+
+use proptest::prelude::*;
+use sae_core::{
+    AdaptiveController, HillClimbAnalyzer, IntervalReport, MapeConfig, Monitor, ProbeSnapshot,
+};
+
+fn report(threads: usize, zeta: f64) -> IntervalReport {
+    IntervalReport {
+        threads,
+        epoll_wait: zeta * 100.0,
+        bytes: 1000.0,
+        duration: 10.0,
+        throughput: 100.0,
+        zeta,
+        disk_util: 0.5,
+    }
+}
+
+proptest! {
+    /// The hill climber always terminates within log2(c_max/c_min) + 1
+    /// intervals and never leaves its bounds, for any ζ sequence.
+    #[test]
+    fn climb_terminates_and_stays_bounded(zetas in prop::collection::vec(0.0f64..10.0, 1..20)) {
+        let (c_min, c_max) = (2usize, 32);
+        let mut analyzer = HillClimbAnalyzer::new(c_min, c_max);
+        let mut threads = c_min;
+        let mut steps = 0;
+        for &zeta in &zetas {
+            if analyzer.settled() {
+                break;
+            }
+            steps += 1;
+            match analyzer.analyze(&report(threads, zeta)) {
+                sae_core::Analysis::Ascend { next } => {
+                    prop_assert!(next > threads);
+                    prop_assert!(next <= c_max);
+                    threads = next;
+                }
+                sae_core::Analysis::Rollback { to } => {
+                    prop_assert!(to >= c_min && to < threads);
+                    threads = to;
+                }
+                sae_core::Analysis::SettleAtMax => {
+                    prop_assert_eq!(threads, c_max);
+                }
+            }
+            prop_assert!((c_min..=c_max).contains(&threads));
+        }
+        prop_assert!(steps <= 5, "2->4->8->16->32 is the longest climb");
+    }
+
+    /// Monitor interval accounting: ε and bytes are exactly the difference
+    /// of the cumulative counters; duration is the time span.
+    #[test]
+    fn monitor_differences_are_exact(
+        threads in 1usize..16,
+        start_epoll in 0.0f64..100.0,
+        start_bytes in 0.0f64..10_000.0,
+        d_epoll in 0.0f64..50.0,
+        d_bytes in 0.0f64..5_000.0,
+        duration in 0.001f64..100.0,
+    ) {
+        let mut monitor = Monitor::new();
+        monitor.begin_interval(threads, 0.0, ProbeSnapshot::basic(start_epoll, start_bytes));
+        let mut out = None;
+        for i in 1..=threads {
+            let frac = i as f64 / threads as f64;
+            out = monitor.task_finished(
+                duration * frac,
+                ProbeSnapshot::basic(start_epoll + d_epoll * frac, start_bytes + d_bytes * frac),
+            );
+        }
+        let r = out.expect("interval must complete after `threads` tasks");
+        prop_assert!((r.epoll_wait - d_epoll).abs() < 1e-9);
+        prop_assert!((r.bytes - d_bytes).abs() < 1e-9);
+        prop_assert!((r.duration - duration).abs() < 1e-9);
+    }
+
+    /// The full controller never produces a decision outside
+    /// `[c_min, c_max]` and never issues a decision after settling, for
+    /// arbitrary (monotone) probe traces.
+    #[test]
+    fn controller_decisions_bounded(
+        waits in prop::collection::vec(0.0f64..5.0, 20..200),
+        mbs in prop::collection::vec(0.0f64..500.0, 20..200),
+    ) {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        let n = waits.len().min(mbs.len());
+        let mut threads = ctl.stage_started(0.0, Some(n));
+        prop_assert!(threads == 2 || threads == 32);
+        let (mut now, mut epoll, mut bytes) = (0.0, 0.0, 0.0);
+        let mut settled_at = None;
+        for i in 0..n {
+            now += 1.0;
+            epoll += waits[i];
+            bytes += mbs[i];
+            if let Some(next) = ctl.task_finished(now, epoll, bytes) {
+                prop_assert!(settled_at.is_none(), "decision after settling");
+                prop_assert!((2..=32).contains(&next));
+                threads = next;
+            }
+            if ctl.settled() && settled_at.is_none() {
+                settled_at = Some(i);
+            }
+        }
+        prop_assert!((2..=32).contains(&threads));
+    }
+
+    /// Identical probe traces produce identical decision sequences.
+    #[test]
+    fn controller_is_deterministic(
+        waits in prop::collection::vec(0.0f64..5.0, 20..100),
+    ) {
+        let run = || {
+            let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+            let mut decisions = vec![ctl.stage_started(0.0, Some(waits.len()))];
+            let (mut now, mut epoll, mut bytes) = (0.0, 0.0, 0.0);
+            for &w in &waits {
+                now += 1.0;
+                epoll += w;
+                bytes += 100.0;
+                if let Some(d) = ctl.task_finished(now, epoll, bytes) {
+                    decisions.push(d);
+                }
+            }
+            decisions
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,412 @@
+//! Engine configuration and the functional-parameter catalog (Table 1).
+
+use sae_net::FabricConfig;
+use sae_cluster::NodeSpec;
+use sae_core::ThreadPolicy;
+use sae_storage::VariabilityConfig;
+
+/// Full configuration of a simulated cluster + engine run.
+///
+/// Mirrors the launch-time configuration surface of Spark that the paper
+/// criticises: everything here is fixed before the job starts — except the
+/// executor thread count, which [`ThreadPolicy::Adaptive`] frees.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker nodes (one executor per node, as in the paper).
+    pub nodes: usize,
+    /// Per-node hardware.
+    pub node_spec: NodeSpec,
+    /// Network fabric.
+    pub fabric: FabricConfig,
+    /// Per-node disk speed variability.
+    pub variability: VariabilityConfig,
+    /// DFS block size in MB (HDFS default: 128).
+    pub block_size_mb: u64,
+    /// DFS replication factor for input files. The paper sets this to the
+    /// node count so every read is node-local.
+    pub input_replication: usize,
+    /// DFS replication factor for job output files.
+    pub output_replication: usize,
+    /// Number of reduce partitions per cluster core for shuffle stages.
+    pub shuffle_partitions_per_core: f64,
+    /// Chunks each task's work is split into for CPU/I/O interleaving.
+    pub chunks_per_task: usize,
+    /// Maximum concurrent fetch sources per reduce task
+    /// (`spark.reducer.maxReqsInFlight` analogue). Fan-in to each serving
+    /// disk grows with `min(nodes, this)` — the mechanism behind the poor
+    /// default scaling of Figure 9.
+    pub fetch_parallelism: usize,
+    /// Incoming fetch requests a node's serve path absorbs without incast
+    /// stalls. Fan-in above this (≈ cluster reducers × fetch parallelism /
+    /// nodes) triggers TCP-incast-style retransmission stalls — the
+    /// mechanism behind the poor default scaling of Figure 9.
+    pub incast_free_requests: usize,
+    /// Base incast stall in seconds; the stall grows as
+    /// `base · ((pressure - free)/16)^1.5`.
+    pub incast_stall_base: f64,
+    /// One-way driver↔executor RPC latency in seconds.
+    pub rpc_latency: f64,
+    /// Metrics sampling interval in seconds (the paper samples at 1 Hz).
+    pub sample_interval: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Optional fault injection: kill one executor at a point in time and
+    /// bring it back after a downtime. Its running tasks are lost and
+    /// rescheduled, as in Spark's executor-loss handling.
+    pub executor_failure: Option<ExecutorFailure>,
+}
+
+/// A scheduled executor failure (fault injection).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorFailure {
+    /// Executor (= node) to kill.
+    pub executor: usize,
+    /// Simulated time at which it dies.
+    pub at: f64,
+    /// Seconds until a replacement executor registers.
+    pub downtime: f64,
+}
+
+impl EngineConfig {
+    /// The paper's primary setup: 4 DAS-5 nodes with HDDs (§6.1).
+    pub fn four_node_hdd() -> Self {
+        Self {
+            nodes: 4,
+            node_spec: NodeSpec::das5_hdd(),
+            fabric: FabricConfig::das5(),
+            variability: VariabilityConfig::homogeneous(),
+            block_size_mb: 128,
+            input_replication: 4,
+            output_replication: 1,
+            shuffle_partitions_per_core: 2.5,
+            chunks_per_task: 4,
+            fetch_parallelism: 8,
+            incast_free_requests: 64,
+            incast_stall_base: 0.25,
+            rpc_latency: 0.0005,
+            sample_interval: 1.0,
+            seed: 42,
+            executor_failure: None,
+        }
+    }
+
+    /// The SSD variant of §6.3.
+    pub fn four_node_ssd() -> Self {
+        Self {
+            node_spec: NodeSpec::das5_ssd(),
+            ..Self::four_node_hdd()
+        }
+    }
+
+    /// The 16-node scalability setup of Figure 9 (input replication stays
+    /// at 4, matching HDFS practice at that scale).
+    pub fn sixteen_node_hdd() -> Self {
+        Self {
+            nodes: 16,
+            input_replication: 4,
+            ..Self::four_node_hdd()
+        }
+    }
+
+    /// Scales node count while keeping everything else.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        self.nodes = nodes;
+        self
+    }
+
+    /// Replaces the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables DAS-5-style per-node variability.
+    pub fn with_variability(mut self, variability: VariabilityConfig) -> Self {
+        self.variability = variability;
+        self
+    }
+
+    /// Total virtual cores across the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.node_spec.cores
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent settings (zero nodes/chunks, non-positive
+    /// intervals, zero replication).
+    pub fn validate(&self) {
+        assert!(self.nodes > 0, "need at least one node");
+        assert!(self.block_size_mb > 0, "block size must be positive");
+        assert!(self.input_replication > 0, "input replication must be > 0");
+        assert!(
+            self.output_replication > 0,
+            "output replication must be > 0"
+        );
+        assert!(self.chunks_per_task > 0, "chunks per task must be > 0");
+        assert!(self.fetch_parallelism > 0, "fetch parallelism must be > 0");
+        assert!(
+            self.shuffle_partitions_per_core > 0.0,
+            "shuffle partitions per core must be positive"
+        );
+        assert!(self.rpc_latency >= 0.0, "rpc latency must be >= 0");
+        assert!(self.sample_interval > 0.0, "sample interval must be > 0");
+        if let Some(failure) = self.executor_failure {
+            assert!(
+                failure.executor < self.nodes,
+                "failure targets executor {} of {}",
+                failure.executor,
+                self.nodes
+            );
+            assert!(failure.at >= 0.0 && failure.downtime >= 0.0);
+        }
+    }
+
+    /// Default thread-pool size per executor (one per virtual core).
+    pub fn default_threads(&self) -> usize {
+        self.node_spec.cores
+    }
+
+    /// A default adaptive policy for this configuration (`c_min = 2`,
+    /// `c_max` = cores).
+    pub fn adaptive_policy(&self) -> ThreadPolicy {
+        ThreadPolicy::Adaptive(sae_core::MapeConfig::new(2, self.node_spec.cores))
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::four_node_hdd()
+    }
+}
+
+/// Functional categories of engine parameters, matching Table 1's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConfigCategory {
+    /// Shuffle behaviour.
+    Shuffle,
+    /// Compression and serialization.
+    CompressionSerialization,
+    /// Memory management.
+    MemoryManagement,
+    /// Execution behaviour.
+    ExecutionBehavior,
+    /// Networking.
+    Network,
+    /// Scheduling.
+    Scheduling,
+    /// Dynamic allocation.
+    DynamicAllocation,
+}
+
+impl ConfigCategory {
+    /// Human-readable name as printed in Table 1.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            ConfigCategory::Shuffle => "Shuffle",
+            ConfigCategory::CompressionSerialization => "Compression and Serialization",
+            ConfigCategory::MemoryManagement => "Memory Management",
+            ConfigCategory::ExecutionBehavior => "Execution Behavior",
+            ConfigCategory::Network => "Network",
+            ConfigCategory::Scheduling => "Scheduling",
+            ConfigCategory::DynamicAllocation => "Dynamic Allocation",
+        }
+    }
+
+    /// All categories, in Table 1 order.
+    pub const ALL: [ConfigCategory; 7] = [
+        ConfigCategory::Shuffle,
+        ConfigCategory::CompressionSerialization,
+        ConfigCategory::MemoryManagement,
+        ConfigCategory::ExecutionBehavior,
+        ConfigCategory::Network,
+        ConfigCategory::Scheduling,
+        ConfigCategory::DynamicAllocation,
+    ];
+}
+
+/// One named, documented parameter in the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigParameter {
+    /// Dotted parameter name (`"sae.shuffle.partitionsPerCore"`).
+    pub name: &'static str,
+    /// Category for Table 1-style grouping.
+    pub category: ConfigCategory,
+    /// Whether the parameter directly affects performance.
+    pub performance_relevant: bool,
+}
+
+/// A catalog of functional parameters, reproducing Table 1.
+///
+/// Two catalogs are provided: [`ParameterCatalog::spark_2_4_2`] is the
+/// reference data the paper counted (117 parameters across 7 categories),
+/// and [`ParameterCatalog::engine`] enumerates this engine's own tunables
+/// to show the same disease in miniature.
+#[derive(Debug, Clone, Default)]
+pub struct ParameterCatalog {
+    parameters: Vec<ConfigParameter>,
+}
+
+impl ParameterCatalog {
+    /// The Spark 2.4.2 functional-parameter counts from Table 1.
+    ///
+    /// Parameter names are not reproduced (the paper only reports counts);
+    /// entries are synthesised as `spark.<category>.pN`.
+    pub fn spark_2_4_2() -> Self {
+        fn synth(category: ConfigCategory, count: usize, names: &'static [&'static str]) -> Vec<ConfigParameter> {
+            (0..count)
+                .map(|i| ConfigParameter {
+                    name: names.get(i).copied().unwrap_or("spark.parameter"),
+                    category,
+                    performance_relevant: true,
+                })
+                .collect()
+        }
+        let mut parameters = Vec::new();
+        parameters.extend(synth(ConfigCategory::Shuffle, 19, &["spark.shuffle.compress", "spark.shuffle.file.buffer", "spark.reducer.maxSizeInFlight"]));
+        parameters.extend(synth(ConfigCategory::CompressionSerialization, 16, &["spark.io.compression.codec", "spark.serializer"]));
+        parameters.extend(synth(ConfigCategory::MemoryManagement, 14, &["spark.memory.fraction", "spark.memory.storageFraction"]));
+        parameters.extend(synth(ConfigCategory::ExecutionBehavior, 14, &["spark.executor.cores", "spark.default.parallelism"]));
+        parameters.extend(synth(ConfigCategory::Network, 13, &["spark.network.timeout", "spark.rpc.askTimeout"]));
+        parameters.extend(synth(ConfigCategory::Scheduling, 32, &["spark.locality.wait", "spark.speculation", "spark.task.cpus"]));
+        parameters.extend(synth(ConfigCategory::DynamicAllocation, 9, &["spark.dynamicAllocation.enabled"]));
+        Self { parameters }
+    }
+
+    /// This engine's own tunables, categorised the same way.
+    pub fn engine() -> Self {
+        use ConfigCategory::*;
+        let p = |name, category| ConfigParameter {
+            name,
+            category,
+            performance_relevant: true,
+        };
+        Self {
+            parameters: vec![
+                p("sae.shuffle.partitionsPerCore", Shuffle),
+                p("sae.shuffle.fetchParallelism", Shuffle),
+                p("sae.shuffle.fragmentPenalty", Shuffle),
+                p("sae.storage.blockSizeMb", MemoryManagement),
+                p("sae.storage.inputReplication", MemoryManagement),
+                p("sae.storage.outputReplication", MemoryManagement),
+                p("sae.executor.chunksPerTask", ExecutionBehavior),
+                p("sae.executor.threads", ExecutionBehavior),
+                p("sae.executor.adaptive.cMin", ExecutionBehavior),
+                p("sae.executor.adaptive.cMax", ExecutionBehavior),
+                p("sae.network.rpcLatency", Network),
+                p("sae.network.ingressBandwidth", Network),
+                p("sae.network.perStreamCap", Network),
+                p("sae.scheduler.sampleInterval", Scheduling),
+                p("sae.scheduler.localityPreferred", Scheduling),
+                p("sae.cluster.nodes", Scheduling),
+                p("sae.cluster.seed", Scheduling),
+            ],
+        }
+    }
+
+    /// Number of parameters in `category`.
+    pub fn count(&self, category: ConfigCategory) -> usize {
+        self.parameters
+            .iter()
+            .filter(|p| p.category == category)
+            .count()
+    }
+
+    /// Total parameter count.
+    pub fn total(&self) -> usize {
+        self.parameters.len()
+    }
+
+    /// Iterates all parameters.
+    pub fn iter(&self) -> impl Iterator<Item = &ConfigParameter> {
+        self.parameters.iter()
+    }
+
+    /// Renders Table 1: `(category name, count)` rows plus the total.
+    pub fn table(&self) -> Vec<(String, usize)> {
+        let mut rows: Vec<(String, usize)> = ConfigCategory::ALL
+            .iter()
+            .map(|&c| (c.display_name().to_owned(), self.count(c)))
+            .collect();
+        rows.push(("Total".to_owned(), self.total()));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spark_catalog_matches_table_1() {
+        let cat = ParameterCatalog::spark_2_4_2();
+        assert_eq!(cat.count(ConfigCategory::Shuffle), 19);
+        assert_eq!(cat.count(ConfigCategory::CompressionSerialization), 16);
+        assert_eq!(cat.count(ConfigCategory::MemoryManagement), 14);
+        assert_eq!(cat.count(ConfigCategory::ExecutionBehavior), 14);
+        assert_eq!(cat.count(ConfigCategory::Network), 13);
+        assert_eq!(cat.count(ConfigCategory::Scheduling), 32);
+        assert_eq!(cat.count(ConfigCategory::DynamicAllocation), 9);
+        assert_eq!(cat.total(), 117);
+    }
+
+    #[test]
+    fn table_rows_end_with_total() {
+        let rows = ParameterCatalog::spark_2_4_2().table();
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows.last().unwrap(), &("Total".to_owned(), 117));
+    }
+
+    #[test]
+    fn engine_catalog_is_nonempty_and_categorised() {
+        let cat = ParameterCatalog::engine();
+        assert!(cat.total() >= 15);
+        assert!(cat.count(ConfigCategory::Shuffle) >= 2);
+    }
+
+    #[test]
+    fn four_node_config_is_paper_setup() {
+        let cfg = EngineConfig::four_node_hdd();
+        cfg.validate();
+        assert_eq!(cfg.nodes, 4);
+        assert_eq!(cfg.total_cores(), 128);
+        assert_eq!(cfg.default_threads(), 32);
+        assert_eq!(cfg.input_replication, 4);
+    }
+
+    #[test]
+    fn sixteen_node_config_scales() {
+        let cfg = EngineConfig::sixteen_node_hdd();
+        cfg.validate();
+        assert_eq!(cfg.nodes, 16);
+        assert_eq!(cfg.total_cores(), 512);
+    }
+
+    #[test]
+    fn ssd_config_uses_ssd() {
+        assert_eq!(
+            EngineConfig::four_node_ssd().node_spec.disk.name(),
+            "ssd-sata"
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_bounds_match_cores() {
+        match EngineConfig::four_node_hdd().adaptive_policy() {
+            ThreadPolicy::Adaptive(cfg) => {
+                assert_eq!(cfg.c_min, 2);
+                assert_eq!(cfg.c_max, 32);
+            }
+            _ => panic!("expected adaptive"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        EngineConfig::four_node_hdd().with_nodes(0).validate();
+    }
+}

@@ -1,0 +1,1097 @@
+//! The driver: stage-at-a-time scheduling, executors, and the run loop.
+
+use sae_cluster::{Cluster, ClusterBuilder, Dfs};
+use sae_core::{AdaptiveController, ThreadPolicy, TunablePool};
+use sae_sim::rng::DeterministicRng;
+use sae_sim::{Kernel, Occurrence, ResourceId, ResourceUsage, SimTime, TimerId};
+
+use crate::config::EngineConfig;
+use crate::executor::ExecutorState;
+use crate::job::{JobSpec, StageSpec};
+use crate::messages::Message;
+use crate::report::{ExecutorStageReport, JobReport, StageReport};
+use crate::task::{Accounting, FlowTarget, Phase, TaskPlan, TaskState};
+use crate::trace::{ExecutionTrace, TraceEvent};
+
+/// Kernel event payloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// One flow of a task's current phase completed. `gen` guards against
+    /// stale events after the task was reset by an executor loss.
+    PhaseDone { task: usize, gen: u32 },
+    /// An incast stall elapsed; the delayed phase's flows may start.
+    StallOver { task: usize, gen: u32 },
+    /// Fault injection: the configured executor dies now.
+    ExecutorFail,
+    /// The failed executor's replacement registers.
+    ExecutorRecover { executor: usize },
+    /// A background replication write completed.
+    BackgroundDone { bytes: f64 },
+    /// A driver↔executor RPC message arrived.
+    Rpc(Message),
+    /// The 1 Hz metrics sampler fired.
+    Sample,
+}
+
+/// Runs jobs on a simulated cluster under a given thread policy.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: EngineConfig,
+    policy: ThreadPolicy,
+}
+
+impl Engine {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: EngineConfig, policy: ThreadPolicy) -> Self {
+        config.validate();
+        Self { config, policy }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The engine's thread policy.
+    pub fn policy(&self) -> &ThreadPolicy {
+        &self.policy
+    }
+
+    /// Runs `job` to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job spec is invalid.
+    pub fn run(&self, job: &JobSpec) -> JobReport {
+        job.validate();
+        Run::new(&self.config, &self.policy, job).execute().0
+    }
+
+    /// Like [`Engine::run`], additionally recording a structured
+    /// [`ExecutionTrace`] (stage/task lifecycles, pool resizes, failures)
+    /// suitable for Chrome-trace export.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job spec is invalid.
+    pub fn run_traced(&self, job: &JobSpec) -> (JobReport, ExecutionTrace) {
+        job.validate();
+        let mut run = Run::new(&self.config, &self.policy, job);
+        run.trace = Some(ExecutionTrace::new());
+        let (report, trace) = run.execute();
+        (report, trace.expect("trace was enabled"))
+    }
+}
+
+/// Snapshot of cumulative resource usage, for exact stage-level integrals.
+#[derive(Debug, Clone, Default)]
+struct UsageSnapshot {
+    cpu: Vec<ResourceUsage>,
+    disk: Vec<ResourceUsage>,
+    nic: Vec<ResourceUsage>,
+    serve: Vec<ResourceUsage>,
+}
+
+struct Run<'a> {
+    cfg: &'a EngineConfig,
+    policy: &'a ThreadPolicy,
+    job: &'a JobSpec,
+    kernel: Kernel<Event>,
+    cluster: Cluster,
+    dfs: Dfs,
+    executors: Vec<ExecutorState>,
+    tasks: Vec<TaskState>,
+    /// Pending (unassigned) task ids of the current stage.
+    pending: Vec<usize>,
+    /// Driver's view of each executor's capacity (updated via RPC).
+    driver_capacity: Vec<usize>,
+    /// Driver's count of tasks assigned-or-running per executor.
+    driver_running: Vec<usize>,
+    current_stage: usize,
+    stage_tasks_remaining: usize,
+    stage_started_at: f64,
+    stage_usage_start: UsageSnapshot,
+    stage_disk_read: f64,
+    stage_disk_write: f64,
+    stage_shuffle: f64,
+    /// Per-executor thread-count traces for the current stage.
+    stage_decisions: Vec<Vec<usize>>,
+    /// Cluster disk throughput samples for the current stage.
+    stage_series: Vec<(f64, f64)>,
+    last_sample_usage: Vec<ResourceUsage>,
+    last_sample_time: f64,
+    sample_timer: Option<TimerId>,
+    /// Fetch requests currently pointed at each node's serve path
+    /// (including stalled ones) — drives the incast stall model.
+    serve_pressure: Vec<usize>,
+    /// Executors currently lost (fault injection).
+    executor_down: Vec<bool>,
+    /// Tasks completed by an executor before it failed (kept so stage
+    /// accounting stays exact across resets).
+    lost_task_counts: Vec<usize>,
+    /// Pending fault-injection timers (cancelled at job end).
+    failure_timers: Vec<TimerId>,
+    rng: DeterministicRng,
+    stage_reports: Vec<StageReport>,
+    job_done: bool,
+    trace: Option<ExecutionTrace>,
+}
+
+impl<'a> Run<'a> {
+    fn new(cfg: &'a EngineConfig, policy: &'a ThreadPolicy, job: &'a JobSpec) -> Self {
+        let mut kernel = Kernel::new();
+        let cluster = ClusterBuilder::new(cfg.nodes)
+            .node_spec(cfg.node_spec.clone())
+            .fabric(cfg.fabric)
+            .variability(cfg.variability)
+            .seed(cfg.seed)
+            .build(&mut kernel);
+        let mut dfs = Dfs::new(cfg.block_size_mb, cfg.input_replication, cfg.seed);
+        for (i, stage) in job.stages.iter().enumerate() {
+            if stage.read_mb > 0.0 {
+                dfs.create_file(&format!("{}/stage{}/input", job.name, i), stage.read_mb, cfg.nodes);
+            }
+        }
+        let executors = (0..cfg.nodes)
+            .map(|_| {
+                let controller = match policy {
+                    ThreadPolicy::Adaptive(mape) => Some(AdaptiveController::new(*mape)),
+                    _ => None,
+                };
+                ExecutorState::new(cfg.default_threads(), controller)
+            })
+            .collect();
+        let rng = DeterministicRng::seed(cfg.seed ^ 0x5AE5_AE5A);
+        Self {
+            cfg,
+            policy,
+            job,
+            kernel,
+            cluster,
+            executors,
+            tasks: Vec::new(),
+            pending: Vec::new(),
+            driver_capacity: vec![cfg.default_threads(); cfg.nodes],
+            driver_running: vec![0; cfg.nodes],
+            current_stage: 0,
+            stage_tasks_remaining: 0,
+            stage_started_at: 0.0,
+            stage_usage_start: UsageSnapshot::default(),
+            stage_disk_read: 0.0,
+            stage_disk_write: 0.0,
+            stage_shuffle: 0.0,
+            stage_decisions: vec![Vec::new(); cfg.nodes],
+            stage_series: Vec::new(),
+            last_sample_usage: Vec::new(),
+            last_sample_time: 0.0,
+            sample_timer: None,
+            serve_pressure: vec![0; cfg.nodes],
+            executor_down: vec![false; cfg.nodes],
+            lost_task_counts: vec![0; cfg.nodes],
+            failure_timers: Vec::new(),
+            rng,
+            stage_reports: Vec::new(),
+            job_done: false,
+            trace: None,
+            dfs,
+        }
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(event);
+        }
+    }
+
+    fn execute(mut self) -> (JobReport, Option<ExecutionTrace>) {
+        if let Some(failure) = self.cfg.executor_failure {
+            let t = self
+                .kernel
+                .schedule_timer(SimTime::from_seconds(failure.at), Event::ExecutorFail);
+            self.failure_timers.push(t);
+        }
+        self.start_stage(0);
+        self.schedule_sample();
+        while let Some(occ) = self.kernel.next() {
+            match occ {
+                Occurrence::FlowCompleted { payload, at, .. }
+                | Occurrence::TimerFired { payload, at, .. } => {
+                    self.handle(payload, at.seconds());
+                }
+            }
+            if self.job_done && self.kernel.is_idle() {
+                break;
+            }
+        }
+        let total_runtime = self.kernel.now().seconds();
+        (
+            JobReport {
+                job: self.job.name.clone(),
+                policy: self.policy.name().to_owned(),
+                nodes: self.cfg.nodes,
+                total_cores: self.cfg.total_cores(),
+                total_runtime,
+                input_mb: self.job.total_input_mb(),
+                stages: self.stage_reports,
+            },
+            self.trace,
+        )
+    }
+
+    fn handle(&mut self, event: Event, now: f64) {
+        match event {
+            Event::PhaseDone { task, gen } => {
+                if self.tasks[task].generation == gen {
+                    self.on_phase_flow_done(task, now);
+                }
+            }
+            Event::StallOver { task, gen } => {
+                if self.tasks[task].generation == gen {
+                    self.start_phase_flows(task);
+                }
+            }
+            Event::ExecutorFail => self.on_executor_fail(now),
+            Event::ExecutorRecover { executor } => self.on_executor_recover(executor, now),
+            // Replication bytes are accounted at submission (they are
+            // deterministic); the completion event only drains the flow.
+            Event::BackgroundDone { .. } => {}
+            Event::Rpc(Message::AssignTask { task, executor }) => {
+                self.start_task(task, executor, now);
+            }
+            Event::Rpc(Message::PoolSizeChanged { executor, size }) => {
+                self.driver_capacity[executor] = size;
+                self.try_assign(now);
+            }
+            Event::Sample => {
+                self.take_sample(now);
+                if !self.job_done {
+                    self.schedule_sample();
+                } else {
+                    self.sample_timer = None;
+                }
+            }
+        }
+    }
+
+    // ---- stage lifecycle -------------------------------------------------
+
+    fn start_stage(&mut self, stage_id: usize) {
+        let spec = &self.job.stages[stage_id];
+        self.current_stage = stage_id;
+        self.stage_started_at = self.kernel.now().seconds();
+        self.stage_disk_read = 0.0;
+        self.stage_disk_write = 0.0;
+        self.stage_shuffle = 0.0;
+        self.stage_series.clear();
+        self.stage_usage_start = self.snapshot_usage();
+
+        let task_count = self.task_count(spec, stage_id);
+        let hint = (task_count / self.cfg.nodes).max(1);
+        let now = self.stage_started_at;
+        self.lost_task_counts = vec![0; self.cfg.nodes];
+        for e in 0..self.cfg.nodes {
+            if self.executor_down[e] {
+                self.driver_capacity[e] = 0;
+                self.stage_decisions[e] = Vec::new();
+                continue;
+            }
+            self.executors[e].begin_stage();
+            let threads = match self.policy {
+                ThreadPolicy::Adaptive(_) => {
+                    let controller = self.executors[e]
+                        .controller
+                        .as_mut()
+                        .expect("adaptive policy implies controller");
+                    controller.stage_started(now, Some(hint))
+                }
+                policy => policy.initial_threads(
+                    spec.info(stage_id),
+                    self.cfg.node_spec.cores,
+                    Some(hint),
+                ),
+            };
+            self.executors[e].pool.set_max_pool_size(threads);
+            self.driver_capacity[e] = threads;
+            self.stage_decisions[e] = vec![threads];
+        }
+
+        // Create tasks with locality preferences.
+        let blocks: Option<Vec<Vec<usize>>> = if spec.read_mb > 0.0 {
+            let file = self
+                .dfs
+                .file(&format!("{}/stage{}/input", self.job.name, stage_id))
+                .expect("input file created at run start");
+            Some(file.blocks.iter().map(|b| b.replicas.clone()).collect())
+        } else {
+            None
+        };
+        let all_nodes: Vec<usize> = (0..self.cfg.nodes).collect();
+        self.tasks.clear();
+        self.pending.clear();
+        for t in 0..task_count {
+            let preferred = match &blocks {
+                Some(blocks) => blocks[t % blocks.len()].clone(),
+                None => all_nodes.clone(),
+            };
+            self.tasks.push(TaskState::new(stage_id, preferred));
+            self.pending.push(t);
+        }
+        self.stage_tasks_remaining = task_count;
+        self.record(TraceEvent::StageStarted {
+            stage: stage_id,
+            at: now,
+        });
+        self.try_assign(now);
+    }
+
+    fn task_count(&self, spec: &StageSpec, stage_id: usize) -> usize {
+        if let Some(tasks) = spec.tasks {
+            return tasks;
+        }
+        // Pure ingest stages get one task per block; shuffle consumers use
+        // the configured reduce-partition count even when they also read
+        // spilled cache data.
+        if spec.read_mb > 0.0 && spec.shuffle_in_mb == 0.0 {
+            let file = self
+                .dfs
+                .file(&format!("{}/stage{}/input", self.job.name, stage_id))
+                .expect("input file created at run start");
+            return file.blocks.len();
+        }
+        ((self.cfg.total_cores() as f64 * self.cfg.shuffle_partitions_per_core).round() as usize)
+            .max(1)
+    }
+
+    fn finish_stage(&mut self, now: f64) {
+        let stage_id = self.current_stage;
+        let spec = &self.job.stages[stage_id];
+        let duration = (now - self.stage_started_at).max(1e-9);
+        let end_usage = self.snapshot_usage();
+        let nodes = self.cfg.nodes as f64;
+        let cores = self.cfg.node_spec.cores as f64;
+
+        let mut cpu_busy = 0.0;
+        let mut iowait = 0.0;
+        let mut disk_util = 0.0;
+        for n in 0..self.cfg.nodes {
+            let cpu_work =
+                end_usage.cpu[n].work_done - self.stage_usage_start.cpu[n].work_done;
+            let busy = (cpu_work / (cores * duration)).clamp(0.0, 1.0);
+            let io_flow_seconds = (end_usage.disk[n].flow_seconds
+                - self.stage_usage_start.disk[n].flow_seconds)
+                + (end_usage.nic[n].flow_seconds - self.stage_usage_start.nic[n].flow_seconds)
+                + (end_usage.serve[n].flow_seconds
+                    - self.stage_usage_start.serve[n].flow_seconds);
+            let wait = (io_flow_seconds / (cores * duration)).min(1.0 - busy).max(0.0);
+            let util = ((end_usage.disk[n].busy_seconds
+                - self.stage_usage_start.disk[n].busy_seconds)
+                / duration)
+                .clamp(0.0, 1.0);
+            cpu_busy += busy;
+            iowait += wait;
+            disk_util += util;
+        }
+
+        let executors: Vec<ExecutorStageReport> = (0..self.cfg.nodes)
+            .map(|e| {
+                let state = &self.executors[e];
+                ExecutorStageReport {
+                    executor: e,
+                    final_threads: state.pool.max_pool_size(),
+                    decisions: self.stage_decisions[e].clone(),
+                    epoll_wait: state.stats.epoll_wait,
+                    io_bytes: state.stats.io_bytes,
+                    tasks: state.stats.tasks_finished + self.lost_task_counts[e],
+                    intervals: state
+                        .controller
+                        .as_ref()
+                        .map(|c| c.history().iter().map(|&r| r.into()).collect())
+                        .unwrap_or_default(),
+                }
+            })
+            .collect();
+        let threads_used = executors.iter().map(|e| e.final_threads).sum();
+
+        self.stage_reports.push(StageReport {
+            stage_id,
+            name: spec.name.clone(),
+            kind: match spec.kind() {
+                sae_core::StageKind::Io => "io",
+                sae_core::StageKind::Generic => "generic",
+            },
+            started_at: self.stage_started_at,
+            duration,
+            tasks: self.tasks.len(),
+            avg_cpu_busy: cpu_busy / nodes,
+            avg_cpu_iowait: iowait / nodes,
+            avg_disk_util: disk_util / nodes,
+            disk_read_mb: self.stage_disk_read,
+            disk_write_mb: self.stage_disk_write,
+            shuffle_mb: self.stage_shuffle,
+            executors,
+            threads_used,
+            disk_throughput_series: self.stage_series.clone(),
+        });
+
+        self.record(TraceEvent::StageFinished {
+            stage: stage_id,
+            at: now,
+        });
+        if stage_id + 1 < self.job.stages.len() {
+            self.start_stage(stage_id + 1);
+        } else {
+            self.job_done = true;
+            if let Some(timer) = self.sample_timer.take() {
+                self.kernel.cancel_timer(timer);
+            }
+            for timer in std::mem::take(&mut self.failure_timers) {
+                self.kernel.cancel_timer(timer);
+            }
+        }
+    }
+
+    // ---- task lifecycle --------------------------------------------------
+
+    /// Assigns pending tasks to executors with free capacity (driver view),
+    /// preferring data-local placement.
+    fn try_assign(&mut self, _now: f64) {
+        loop {
+            let mut assigned_any = false;
+            for e in 0..self.cfg.nodes {
+                if self.driver_running[e] >= self.driver_capacity[e] {
+                    continue;
+                }
+                if self.pending.is_empty() {
+                    return;
+                }
+                // Prefer a task whose preferred nodes include e.
+                let pos = self
+                    .pending
+                    .iter()
+                    .position(|&t| self.tasks[t].preferred_nodes.contains(&e))
+                    .unwrap_or(0);
+                let task = self.pending.remove(pos);
+                self.driver_running[e] += 1;
+                self.kernel.schedule_after(
+                    SimTime::from_seconds(self.cfg.rpc_latency),
+                    Event::Rpc(Message::AssignTask { task, executor: e }),
+                );
+                assigned_any = true;
+            }
+            if !assigned_any {
+                return;
+            }
+        }
+    }
+
+    /// An `AssignTask` RPC arrived: materialise the task's phases and start.
+    fn start_task(&mut self, task_id: usize, executor: usize, now: f64) {
+        if self.executor_down[executor] {
+            // The executor died while the assignment was in flight.
+            self.pending.push(task_id);
+            self.try_assign(now);
+            return;
+        }
+        let stage_id = self.tasks[task_id].stage;
+        let spec = &self.job.stages[stage_id];
+        let task_count = self.tasks.len().max(1) as f64;
+        let read_local = self.tasks[task_id].preferred_nodes.contains(&executor);
+        let read_source = if read_local || spec.read_mb == 0.0 {
+            executor
+        } else {
+            // Remote read: pull from a random replica holder.
+            let replicas = &self.tasks[task_id].preferred_nodes;
+            replicas[self.rng.index(replicas.len())]
+        };
+        let fetch_sources: Vec<usize> = if spec.shuffle_in_mb > 0.0 {
+            let f = self.cfg.fetch_parallelism.min(self.cfg.nodes);
+            (0..f).map(|k| (task_id + k) % self.cfg.nodes).collect()
+        } else {
+            Vec::new()
+        };
+        let cpu_total = spec.cpu_per_mb * spec.processed_mb()
+            + spec.base_cpu_per_task * task_count;
+        let plan = TaskPlan {
+            read_mb: spec.read_mb / task_count,
+            read_source,
+            fetch_mb: spec.shuffle_in_mb / task_count,
+            fetch_sources,
+            cpu_sec: cpu_total / task_count,
+            spill_mb: spec.shuffle_out_mb / task_count,
+            output_mb: spec.output_mb / task_count,
+            chunks: self.cfg.chunks_per_task,
+            node: executor,
+            seed: self.cfg.seed ^ (task_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        let task = &mut self.tasks[task_id];
+        task.executor = Some(executor);
+        task.phases = plan.build_phases();
+        task.current_phase = 0;
+        self.executors[executor].pool.task_started();
+        self.record(TraceEvent::TaskStarted {
+            task: task_id,
+            executor,
+            at: now,
+        });
+        self.start_phase(task_id, now);
+    }
+
+    fn resolve(&self, target: FlowTarget) -> (ResourceId, u8) {
+        match target {
+            FlowTarget::Cpu { node } => (self.cluster.node(node).cpu, 0),
+            FlowTarget::Disk { node, class } => {
+                (self.cluster.node(node).disk.resource(), class.flow_class())
+            }
+            FlowTarget::Nic { node } => (self.cluster.node(node).nic, 0),
+            FlowTarget::ServePath { node } => (self.cluster.node(node).serve, 0),
+        }
+    }
+
+    fn start_phase(&mut self, task_id: usize, now: f64) {
+        let phase: Phase = self.tasks[task_id].phases[self.tasks[task_id].current_phase].clone();
+        self.tasks[task_id].outstanding = phase.flows.len();
+        self.tasks[task_id].phase_started_at = now;
+        // Incast model: register fetch pressure on every serving node; if
+        // any source is over the free threshold, the request stalls
+        // (TCP retransmission timeouts) before any byte moves. The stall is
+        // part of the phase and therefore counts into epoll wait.
+        let mut max_pressure = 0usize;
+        let mut registered = false;
+        for flow in &phase.flows {
+            if let FlowTarget::ServePath { node } = flow.target {
+                self.serve_pressure[node] += 1;
+                registered = true;
+                max_pressure = max_pressure.max(self.serve_pressure[node]);
+            }
+        }
+        self.tasks[task_id].pressure_registered = registered;
+        if max_pressure > self.cfg.incast_free_requests {
+            let over = (max_pressure - self.cfg.incast_free_requests) as f64;
+            let stall = self.cfg.incast_stall_base * (over / 16.0).powf(1.5);
+            if stall > 0.0 {
+                let gen = self.tasks[task_id].generation;
+                self.kernel.schedule_after(
+                    SimTime::from_seconds(stall),
+                    Event::StallOver { task: task_id, gen },
+                );
+                return;
+            }
+        }
+        self.start_phase_flows(task_id);
+    }
+
+    fn start_phase_flows(&mut self, task_id: usize) {
+        let phase: Phase = self.tasks[task_id].phases[self.tasks[task_id].current_phase].clone();
+        let gen = self.tasks[task_id].generation;
+        self.tasks[task_id].active_flows.clear();
+        for flow in &phase.flows {
+            let (resource, class) = self.resolve(flow.target);
+            let handle = self.kernel.start_flow(
+                resource,
+                class,
+                flow.work,
+                Event::PhaseDone { task: task_id, gen },
+            );
+            self.tasks[task_id].active_flows.push((resource, handle));
+        }
+    }
+
+    /// Releases the serve-path pressure the task's current phase holds.
+    fn release_pressure(&mut self, task_id: usize) {
+        if !self.tasks[task_id].pressure_registered {
+            return;
+        }
+        self.tasks[task_id].pressure_registered = false;
+        let phase = self.tasks[task_id].phases[self.tasks[task_id].current_phase].clone();
+        for flow in &phase.flows {
+            if let FlowTarget::ServePath { node } = flow.target {
+                debug_assert!(self.serve_pressure[node] > 0);
+                self.serve_pressure[node] -= 1;
+            }
+        }
+    }
+
+    /// Fault injection: the configured executor dies. Its running tasks
+    /// are lost and requeued, its pool and per-stage counters reset —
+    /// Spark's executor-loss handling.
+    fn on_executor_fail(&mut self, now: f64) {
+        let failure = self.cfg.executor_failure.expect("fail event implies config");
+        let e = failure.executor;
+        self.record(TraceEvent::ExecutorFailed { executor: e, at: now });
+        self.executor_down[e] = true;
+        self.driver_capacity[e] = 0;
+        self.driver_running[e] = 0;
+        // Reset every task currently on the executor.
+        let victims: Vec<usize> = (0..self.tasks.len())
+            .filter(|&t| {
+                self.tasks[t].executor == Some(e) && !self.tasks[t].phases.is_empty()
+                    && self.tasks[t].current_phase < self.tasks[t].phases.len()
+            })
+            .collect();
+        for task_id in victims {
+            self.release_pressure(task_id);
+            let flows = std::mem::take(&mut self.tasks[task_id].active_flows);
+            for (resource, flow) in flows {
+                let _ = self.kernel.cancel_flow(resource, flow);
+            }
+            let task = &mut self.tasks[task_id];
+            task.generation += 1;
+            task.executor = None;
+            task.phases.clear();
+            task.current_phase = 0;
+            task.outstanding = 0;
+            self.pending.push(task_id);
+        }
+        // Preserve the completed-task count for stage accounting, then
+        // reset the executor's sensors and pool.
+        self.lost_task_counts[e] += self.executors[e].stats.tasks_finished;
+        self.executors[e].begin_stage();
+        self.executors[e].pool = crate::executor::SlotPool::new(self.cfg.default_threads());
+        self.kernel.schedule_after(
+            SimTime::from_seconds(failure.downtime.max(1e-6)),
+            Event::ExecutorRecover { executor: e },
+        );
+        let _ = now;
+        self.try_assign(now);
+    }
+
+    /// The replacement executor registers: fresh pool, fresh controller
+    /// state, back into the scheduler's rotation.
+    fn on_executor_recover(&mut self, executor: usize, now: f64) {
+        if self.job_done {
+            return;
+        }
+        self.record(TraceEvent::ExecutorRecovered { executor, at: now });
+        self.executor_down[executor] = false;
+        let spec = &self.job.stages[self.current_stage];
+        let hint = (self.tasks.len() / self.cfg.nodes).max(1);
+        let threads = match self.policy {
+            ThreadPolicy::Adaptive(_) => {
+                let controller = self.executors[executor]
+                    .controller
+                    .as_mut()
+                    .expect("adaptive policy implies controller");
+                controller.stage_started(now, Some(hint))
+            }
+            policy => policy.initial_threads(
+                spec.info(self.current_stage),
+                self.cfg.node_spec.cores,
+                Some(hint),
+            ),
+        };
+        self.executors[executor].begin_stage();
+        self.executors[executor].pool.set_max_pool_size(threads);
+        self.driver_capacity[executor] = threads;
+        self.stage_decisions[executor].push(threads);
+        self.try_assign(now);
+    }
+
+    /// One flow of a task's current phase completed.
+    fn on_phase_flow_done(&mut self, task_id: usize, now: f64) {
+        self.tasks[task_id].outstanding -= 1;
+        if self.tasks[task_id].outstanding > 0 {
+            return;
+        }
+        // Whole phase complete: account it.
+        let executor = self.tasks[task_id].executor.expect("running task assigned");
+        let phase_idx = self.tasks[task_id].current_phase;
+        let phase = self.tasks[task_id].phases[phase_idx].clone();
+        let phase_duration = now - self.tasks[task_id].phase_started_at;
+        self.release_pressure(task_id);
+        self.tasks[task_id].active_flows.clear();
+        if phase.is_io() {
+            self.executors[executor].stats.epoll_wait += phase_duration;
+        }
+        for flow in &phase.flows {
+            match flow.accounting {
+                Accounting::Cpu => {}
+                Accounting::DiskRead => {
+                    self.stage_disk_read += flow.work;
+                    self.executors[executor].stats.io_bytes += flow.work;
+                }
+                Accounting::ShuffleServe => {
+                    self.stage_disk_read += flow.work;
+                }
+                Accounting::DiskWrite => {
+                    self.stage_disk_write += flow.work;
+                    self.executors[executor].stats.io_bytes += flow.work;
+                }
+                Accounting::OutputWrite => {
+                    self.stage_disk_write += flow.work;
+                    self.executors[executor].stats.io_bytes += flow.work;
+                    self.start_replication(executor, flow.work);
+                }
+                Accounting::Net => {
+                    self.stage_shuffle += flow.work;
+                    self.executors[executor].stats.io_bytes += flow.work;
+                }
+            }
+        }
+        // Advance the task.
+        self.tasks[task_id].current_phase += 1;
+        if self.tasks[task_id].current_phase < self.tasks[task_id].phases.len() {
+            self.start_phase(task_id, now);
+        } else {
+            self.on_task_finished(task_id, executor, now);
+        }
+    }
+
+    /// Fire-and-forget replica writes on other nodes' disks.
+    fn start_replication(&mut self, writer: usize, bytes: f64) {
+        let extra = self.cfg.output_replication.min(self.cfg.nodes) - 1;
+        for k in 1..=extra {
+            let node = (writer + k) % self.cfg.nodes;
+            let resource = self.cluster.node(node).disk.resource();
+            self.stage_disk_write += bytes;
+            self.kernel.start_flow(
+                resource,
+                sae_storage::DiskClass::Write.flow_class(),
+                bytes,
+                Event::BackgroundDone { bytes },
+            );
+        }
+    }
+
+    fn on_task_finished(&mut self, task_id: usize, executor: usize, now: f64) {
+        self.record(TraceEvent::TaskFinished {
+            task: task_id,
+            executor,
+            at: now,
+        });
+        self.executors[executor].pool.task_finished();
+        self.executors[executor].stats.tasks_finished += 1;
+        self.driver_running[executor] -= 1;
+        self.stage_tasks_remaining -= 1;
+
+        // MAPE-K: consult the controller with cumulative stage counters
+        // (including the disk-busy seconds behind the alternative
+        // disk-utilisation signal).
+        let stats = self.executors[executor].stats;
+        let disk = self.cluster.node(executor).disk.resource();
+        let disk_busy = self.kernel.usage(disk).busy_seconds
+            - self.stage_usage_start.disk[executor].busy_seconds;
+        let snapshot = sae_core::ProbeSnapshot {
+            epoll_wait: stats.epoll_wait,
+            io_bytes: stats.io_bytes,
+            disk_busy,
+        };
+        let decision = self.executors[executor]
+            .controller
+            .as_mut()
+            .and_then(|c| c.task_finished_probe(now, snapshot));
+        if let Some(new_size) = decision {
+            // Execute locally, then notify the driver over RPC (§5.4).
+            self.record(TraceEvent::PoolResized {
+                executor,
+                to: new_size,
+                at: now,
+            });
+            self.executors[executor].pool.set_max_pool_size(new_size);
+            self.stage_decisions[executor].push(new_size);
+            self.kernel.schedule_after(
+                SimTime::from_seconds(self.cfg.rpc_latency),
+                Event::Rpc(Message::PoolSizeChanged {
+                    executor,
+                    size: new_size,
+                }),
+            );
+        }
+
+        if self.stage_tasks_remaining == 0 {
+            self.finish_stage(now);
+        } else {
+            self.try_assign(now);
+        }
+    }
+
+    // ---- metrics ---------------------------------------------------------
+
+    fn snapshot_usage(&mut self) -> UsageSnapshot {
+        let mut snap = UsageSnapshot::default();
+        for n in 0..self.cfg.nodes {
+            let node = self.cluster.node(n).clone();
+            snap.cpu.push(self.kernel.usage(node.cpu));
+            snap.disk.push(self.kernel.usage(node.disk.resource()));
+            snap.nic.push(self.kernel.usage(node.nic));
+            snap.serve.push(self.kernel.usage(node.serve));
+        }
+        snap
+    }
+
+    fn schedule_sample(&mut self) {
+        let timer = self.kernel.schedule_after(
+            SimTime::from_seconds(self.cfg.sample_interval),
+            Event::Sample,
+        );
+        self.sample_timer = Some(timer);
+    }
+
+    fn take_sample(&mut self, now: f64) {
+        let dt = now - self.last_sample_time;
+        if dt <= 0.0 {
+            return;
+        }
+        let disks: Vec<ResourceUsage> = (0..self.cfg.nodes)
+            .map(|n| {
+                let r = self.cluster.node(n).disk.resource();
+                self.kernel.usage(r)
+            })
+            .collect();
+        if !self.last_sample_usage.is_empty() {
+            let total: f64 = disks
+                .iter()
+                .zip(&self.last_sample_usage)
+                .map(|(cur, prev)| (cur.work_done - prev.work_done) / dt)
+                .sum();
+            self.stage_series
+                .push((now - self.stage_started_at, total));
+        }
+        self.last_sample_usage = disks;
+        self.last_sample_time = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::StageSpec;
+    use sae_core::MapeConfig;
+
+    fn small_config() -> EngineConfig {
+        let mut cfg = EngineConfig::four_node_hdd();
+        cfg.nodes = 2;
+        cfg.block_size_mb = 64;
+        cfg
+    }
+
+    fn simple_job() -> JobSpec {
+        JobSpec::builder("test")
+            .stage(StageSpec::read("ingest", 512.0).cpu_per_mb(0.002))
+            .stage(
+                StageSpec::read("map", 512.0)
+                    .cpu_per_mb(0.002)
+                    .shuffle_out(256.0),
+            )
+            .stage(
+                StageSpec::shuffle("reduce", 256.0)
+                    .cpu_per_mb(0.002)
+                    .write_output(256.0),
+            )
+            .build()
+    }
+
+    #[test]
+    fn job_runs_to_completion() {
+        let report = Engine::new(small_config(), ThreadPolicy::Default).run(&simple_job());
+        assert_eq!(report.stages.len(), 3);
+        assert!(report.total_runtime > 0.0);
+        for stage in &report.stages {
+            assert!(stage.duration > 0.0);
+            assert_eq!(
+                stage.executors.iter().map(|e| e.tasks).sum::<usize>(),
+                stage.tasks
+            );
+        }
+    }
+
+    #[test]
+    fn io_accounting_matches_spec_volumes() {
+        let report = Engine::new(small_config(), ThreadPolicy::Default).run(&simple_job());
+        // Stage 0: 512 MB read, no writes.
+        assert!((report.stages[0].disk_read_mb - 512.0).abs() < 1.0);
+        assert!(report.stages[0].disk_write_mb < 1.0);
+        // Stage 1: 512 MB read + 256 MB spill.
+        assert!((report.stages[1].disk_read_mb - 512.0).abs() < 1.0);
+        assert!((report.stages[1].disk_write_mb - 256.0).abs() < 1.0);
+        // Stage 2: 256 MB serve reads + 256 MB output write; 256 shuffled.
+        assert!((report.stages[2].disk_read_mb - 256.0).abs() < 1.0);
+        assert!((report.stages[2].disk_write_mb - 256.0).abs() < 1.0);
+        assert!((report.stages[2].shuffle_mb - 256.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn default_policy_uses_all_cores_every_stage() {
+        let report = Engine::new(small_config(), ThreadPolicy::Default).run(&simple_job());
+        for stage in &report.stages {
+            assert_eq!(stage.threads_used, 2 * 32);
+        }
+    }
+
+    #[test]
+    fn static_policy_shrinks_io_stages_only() {
+        let policy = ThreadPolicy::Static(sae_core::StaticPolicy::new(8));
+        let report = Engine::new(small_config(), policy).run(&simple_job());
+        // Stages 0, 1 read (I/O); stage 2 writes (I/O): all marked io here.
+        assert_eq!(report.stages[0].threads_used, 2 * 8);
+        assert_eq!(report.stages[2].threads_used, 2 * 8);
+    }
+
+    #[test]
+    fn adaptive_policy_adapts_and_reports_intervals() {
+        let cfg = small_config();
+        // Large enough that each executor sees well over c_min*3 tasks.
+        let job = JobSpec::builder("big-read")
+            .stage(StageSpec::read("ingest", 8192.0).cpu_per_mb(0.002))
+            .build();
+        let policy = ThreadPolicy::Adaptive(MapeConfig::new(2, 32));
+        let report = Engine::new(cfg, policy).run(&job);
+        let stage0 = &report.stages[0];
+        let any_intervals = stage0.executors.iter().any(|e| !e.intervals.is_empty());
+        assert!(any_intervals, "adaptive run must record intervals");
+        for e in &stage0.executors {
+            assert!(e.final_threads >= 2 && e.final_threads <= 32);
+            assert!(!e.decisions.is_empty());
+            assert_eq!(e.decisions[0], 2, "adaptation starts at c_min");
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let r1 = Engine::new(small_config(), ThreadPolicy::Default).run(&simple_job());
+        let r2 = Engine::new(small_config(), ThreadPolicy::Default).run(&simple_job());
+        assert_eq!(r1.total_runtime.to_bits(), r2.total_runtime.to_bits());
+        assert_eq!(r1.stages.len(), r2.stages.len());
+        for (a, b) in r1.stages.iter().zip(&r2.stages) {
+            assert_eq!(a.duration.to_bits(), b.duration.to_bits());
+        }
+    }
+
+    #[test]
+    fn utilisation_fractions_are_sane() {
+        let report = Engine::new(small_config(), ThreadPolicy::Default).run(&simple_job());
+        for stage in &report.stages {
+            assert!((0.0..=1.0).contains(&stage.avg_cpu_busy));
+            assert!((0.0..=1.0).contains(&stage.avg_cpu_iowait));
+            assert!((0.0..=1.0).contains(&stage.avg_disk_util));
+            assert!(stage.avg_cpu_busy + stage.avg_cpu_iowait <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn traced_run_records_full_lifecycle() {
+        let report_and_trace =
+            Engine::new(small_config(), ThreadPolicy::Default).run_traced(&simple_job());
+        let (report, trace) = report_and_trace;
+        assert!(!trace.is_empty());
+        // One start and one finish per stage.
+        let stage_starts = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, crate::TraceEvent::StageStarted { .. }))
+            .count();
+        assert_eq!(stage_starts, report.stages.len());
+        // Every task appears exactly once per executor count.
+        let total_tasks: usize = report.stages.iter().map(|s| s.tasks).sum();
+        let started: usize = trace
+            .tasks_started_per_executor(report.nodes)
+            .iter()
+            .sum();
+        assert_eq!(started, total_tasks);
+        // The export is parseable-ish JSON.
+        let json = trace.to_chrome_trace();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+
+    #[test]
+    fn traced_adaptive_run_records_resizes() {
+        let job = JobSpec::builder("big-read")
+            .stage(StageSpec::read("ingest", 8192.0).cpu_per_mb(0.002))
+            .build();
+        let policy = ThreadPolicy::Adaptive(MapeConfig::new(2, 32));
+        let (_, trace) = Engine::new(small_config(), policy).run_traced(&job);
+        let resizes: usize = (0..2).map(|e| trace.resizes_for(e).len()).sum();
+        assert!(resizes >= 2, "adaptive run must record pool resizes");
+    }
+
+    #[test]
+    fn output_replication_multiplies_writes() {
+        let mut cfg = small_config();
+        cfg.output_replication = 2;
+        let job = JobSpec::builder("rep")
+            .stage(StageSpec::read("r", 128.0).write_output(128.0))
+            .build();
+        let report = Engine::new(cfg, ThreadPolicy::Default).run(&job);
+        // 128 local + 128 replica.
+        assert!((report.stages[0].disk_write_mb - 256.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn read_tasks_run_data_local_under_full_replication() {
+        // Replication = nodes: every block is local everywhere, so no
+        // network traffic appears in a pure read stage.
+        let job = JobSpec::builder("local")
+            .stage(StageSpec::read("ingest", 1024.0))
+            .build();
+        let report = Engine::new(small_config(), ThreadPolicy::Default).run(&job);
+        assert_eq!(report.stages[0].shuffle_mb, 0.0, "reads must be local");
+    }
+
+    #[test]
+    fn partial_replication_causes_some_remote_reads() {
+        let mut cfg = EngineConfig::four_node_hdd();
+        cfg.block_size_mb = 64;
+        cfg.input_replication = 1; // primaries only
+        let job = JobSpec::builder("remote")
+            .stage(StageSpec::read("ingest", 4096.0))
+            .build();
+        let report = Engine::new(cfg, ThreadPolicy::Default).run(&job);
+        // The scheduler prefers local tasks, but the tail forces a few
+        // remote reads, visible as network bytes.
+        assert!(report.stages[0].shuffle_mb >= 0.0);
+        // Read accounting still exact.
+        assert!((report.stages[0].disk_read_mb - 4096.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rpc_latency_delays_but_preserves_work() {
+        let job = simple_job();
+        let fast = Engine::new(small_config(), ThreadPolicy::Default).run(&job);
+        let mut slow_cfg = small_config();
+        slow_cfg.rpc_latency = 0.25; // pathological quarter-second RPCs
+        let slow = Engine::new(slow_cfg, ThreadPolicy::Default).run(&job);
+        assert!(slow.total_runtime > fast.total_runtime);
+        for (a, b) in fast.stages.iter().zip(&slow.stages) {
+            assert_eq!(a.tasks, b.tasks);
+            assert!((a.disk_read_mb - b.disk_read_mb).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stage_threads_label_matches_scheduler_view() {
+        // The "x/128" labels of Figure 8 must reflect what the scheduler
+        // ends the stage believing — the §5.4 protocol guarantee.
+        let policy = ThreadPolicy::Static(sae_core::StaticPolicy::new(8));
+        let report = Engine::new(small_config(), policy).run(&simple_job());
+        for stage in &report.stages {
+            let from_executors: usize =
+                stage.executors.iter().map(|e| e.final_threads).sum();
+            assert_eq!(stage.threads_used, from_executors);
+        }
+    }
+
+    #[test]
+    fn fewer_threads_help_io_heavy_stage_on_hdd() {
+        // The core premise: on an HDD, a pure-read stage is faster with 8
+        // threads than with 32.
+        let job = JobSpec::builder("readonly")
+            .stage(StageSpec::read("ingest", 4096.0).cpu_per_mb(0.001))
+            .build();
+        let cfg = small_config();
+        let t32 = Engine::new(cfg.clone(), ThreadPolicy::Default)
+            .run(&job)
+            .total_runtime;
+        let t8 = Engine::new(cfg, ThreadPolicy::Static(sae_core::StaticPolicy::new(8)))
+            .run(&job)
+            .total_runtime;
+        assert!(
+            t8 < t32,
+            "8 threads should beat 32 on an I/O-bound HDD stage: {t8} vs {t32}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Per-node executor state: the managed element of the MAPE-K loop.
+
+use sae_core::{AdaptiveController, TunablePool};
+
+/// A bounded task-slot pool: the simulated analogue of the executor's
+/// `ThreadPoolExecutor`. Implements [`TunablePool`] so the controller (and
+/// tests) can resize it through the same trait as the real pool in
+/// `sae-pool`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotPool {
+    max_size: usize,
+    running: usize,
+}
+
+impl SlotPool {
+    /// Creates a pool with the given maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_size` is zero.
+    pub fn new(max_size: usize) -> Self {
+        assert!(max_size > 0, "pool size must be positive");
+        Self {
+            max_size,
+            running: 0,
+        }
+    }
+
+    /// Number of tasks currently running.
+    pub fn running(&self) -> usize {
+        self.running
+    }
+
+    /// Free slots under the current maximum (0 when shrunk below the
+    /// running count — running tasks are never aborted).
+    pub fn free_slots(&self) -> usize {
+        self.max_size.saturating_sub(self.running)
+    }
+
+    /// Reserves a slot for a task.
+    pub fn task_started(&mut self) {
+        self.running += 1;
+    }
+
+    /// Releases a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task is running.
+    pub fn task_finished(&mut self) {
+        assert!(self.running > 0, "no running task to finish");
+        self.running -= 1;
+    }
+}
+
+impl TunablePool for SlotPool {
+    fn max_pool_size(&self) -> usize {
+        self.max_size
+    }
+
+    fn set_max_pool_size(&mut self, size: usize) {
+        assert!(size > 0, "pool size must be positive");
+        self.max_size = size;
+    }
+}
+
+/// Cumulative per-stage I/O statistics of one executor — the raw sensor
+/// data the paper's monitor collects via `strace` (epoll wait) and the
+/// Spark metrics system (task throughput).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecutorStats {
+    /// Seconds tasks spent blocked in I/O phases since stage start.
+    pub epoll_wait: f64,
+    /// MB of task I/O (reads + writes + shuffle transfers) since stage
+    /// start.
+    pub io_bytes: f64,
+    /// Tasks completed since stage start.
+    pub tasks_finished: usize,
+}
+
+/// The full per-executor runtime state.
+#[derive(Debug)]
+pub(crate) struct ExecutorState {
+    /// The managed slot pool.
+    pub pool: SlotPool,
+    /// Per-stage sensor counters.
+    pub stats: ExecutorStats,
+    /// The MAPE-K controller, present under the adaptive policy.
+    pub controller: Option<AdaptiveController>,
+}
+
+impl ExecutorState {
+    pub fn new(initial_threads: usize, controller: Option<AdaptiveController>) -> Self {
+        Self {
+            pool: SlotPool::new(initial_threads),
+            stats: ExecutorStats::default(),
+            controller,
+        }
+    }
+
+    /// Resets the per-stage counters at a stage boundary.
+    pub fn begin_stage(&mut self) {
+        self.stats = ExecutorStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_accounting() {
+        let mut p = SlotPool::new(4);
+        assert_eq!(p.free_slots(), 4);
+        p.task_started();
+        p.task_started();
+        assert_eq!(p.running(), 2);
+        assert_eq!(p.free_slots(), 2);
+        p.task_finished();
+        assert_eq!(p.free_slots(), 3);
+    }
+
+    #[test]
+    fn shrink_below_running_gives_zero_free_slots() {
+        let mut p = SlotPool::new(8);
+        for _ in 0..6 {
+            p.task_started();
+        }
+        p.set_max_pool_size(2);
+        assert_eq!(p.free_slots(), 0);
+        assert_eq!(p.running(), 6); // running tasks keep running
+        for _ in 0..5 {
+            p.task_finished();
+        }
+        assert_eq!(p.free_slots(), 1);
+    }
+
+    #[test]
+    fn grow_opens_slots_immediately() {
+        let mut p = SlotPool::new(2);
+        p.task_started();
+        p.task_started();
+        assert_eq!(p.free_slots(), 0);
+        p.set_max_pool_size(4);
+        assert_eq!(p.free_slots(), 2);
+    }
+
+    #[test]
+    fn tunable_pool_trait_roundtrip() {
+        let mut p = SlotPool::new(32);
+        assert_eq!(p.max_pool_size(), 32);
+        p.set_max_pool_size(8);
+        assert_eq!(p.max_pool_size(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_pool_rejected() {
+        let _ = SlotPool::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no running task")]
+    fn underflow_rejected() {
+        let mut p = SlotPool::new(1);
+        p.task_finished();
+    }
+
+    #[test]
+    fn begin_stage_resets_stats() {
+        let mut e = ExecutorState::new(4, None);
+        e.stats.epoll_wait = 5.0;
+        e.stats.tasks_finished = 3;
+        e.begin_stage();
+        assert_eq!(e.stats, ExecutorStats::default());
+    }
+}

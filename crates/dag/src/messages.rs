@@ -1,0 +1,49 @@
+//! The driver↔executor messaging protocol.
+//!
+//! Spark's scheduler keeps its own registry of how many cores each
+//! executor was launched with and how many are free; the paper extends the
+//! protocol with a message that lets executors report pool-size changes so
+//! the scheduler's view stays consistent (§5.4). Messages travel through
+//! the simulated RPC fabric with a configurable one-way latency.
+
+/// A message on the driver↔executor channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Message {
+    /// Driver → executor: run `task`.
+    AssignTask {
+        /// Global task index.
+        task: usize,
+        /// Destination executor.
+        executor: usize,
+    },
+    /// Executor → driver: "my pool now runs at most `size` tasks" — the
+    /// protocol extension introduced by the paper.
+    PoolSizeChanged {
+        /// Reporting executor.
+        executor: usize,
+        /// New maximum pool size.
+        size: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_comparable_and_copy() {
+        let a = Message::AssignTask {
+            task: 1,
+            executor: 2,
+        };
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            Message::PoolSizeChanged {
+                executor: 2,
+                size: 8
+            }
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the engine: conservation laws over random
+//! jobs, policies and configurations.
+
+use proptest::prelude::*;
+use sae_core::{StaticPolicy, ThreadPolicy};
+use sae_dag::{Engine, EngineConfig, JobSpec, StageSpec};
+
+/// A random but valid job: 1–4 stages, the first reading from the DFS,
+/// later stages chained through shuffles.
+fn arb_job() -> impl Strategy<Value = JobSpec> {
+    (
+        64.0f64..2048.0,                       // input MB
+        0.0f64..0.2,                           // cpu per MB
+        prop::collection::vec(0.1f64..1.0, 0..3), // shuffle chain fractions
+        prop::bool::ANY,                       // write output?
+    )
+        .prop_map(|(input, cpu, chain, write)| {
+            let mut builder = JobSpec::builder("prop-job");
+            let mut prev_out = if chain.is_empty() {
+                0.0
+            } else {
+                input * chain[0]
+            };
+            let mut first = StageSpec::read("ingest", input).cpu_per_mb(cpu);
+            if prev_out > 0.0 {
+                first = first.shuffle_out(prev_out);
+            }
+            builder = builder.stage(first);
+            for (i, &frac) in chain.iter().enumerate().skip(1) {
+                let out = input * frac;
+                builder = builder.stage(
+                    StageSpec::shuffle(&format!("hop-{i}"), prev_out)
+                        .cpu_per_mb(cpu)
+                        .shuffle_out(out),
+                );
+                prev_out = out;
+            }
+            if !chain.is_empty() {
+                let mut last = StageSpec::shuffle("sink", prev_out).cpu_per_mb(cpu);
+                if write {
+                    last = last.write_output(input * 0.5);
+                }
+                builder = builder.stage(last);
+            } else if write {
+                // Single-stage job: attach the write to the read stage.
+                return JobSpec::builder("prop-job")
+                    .stage(
+                        StageSpec::read("ingest", input)
+                            .cpu_per_mb(cpu)
+                            .write_output(input * 0.5),
+                    )
+                    .build();
+            }
+            builder.build()
+        })
+}
+
+fn small_cluster() -> EngineConfig {
+    let mut cfg = EngineConfig::four_node_hdd();
+    cfg.nodes = 2;
+    cfg.block_size_mb = 64;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every task runs exactly once, regardless of the job shape or policy.
+    #[test]
+    fn tasks_conserved(job in arb_job(), threads in 1usize..33) {
+        let policy = if threads == 32 {
+            ThreadPolicy::Default
+        } else {
+            ThreadPolicy::Static(StaticPolicy::new(threads))
+        };
+        let report = Engine::new(small_cluster(), policy).run(&job);
+        prop_assert_eq!(report.stages.len(), job.stages.len());
+        for stage in &report.stages {
+            prop_assert_eq!(
+                stage.executors.iter().map(|e| e.tasks).sum::<usize>(),
+                stage.tasks
+            );
+            prop_assert!(stage.duration > 0.0);
+        }
+    }
+
+    /// Disk I/O accounting equals the job's declared volumes exactly.
+    #[test]
+    fn io_conserved(job in arb_job()) {
+        let report = Engine::new(small_cluster(), ThreadPolicy::Default).run(&job);
+        let expected_read: f64 = job.stages.iter().map(|s| s.read_mb + s.shuffle_in_mb).sum();
+        let expected_write: f64 = job
+            .stages
+            .iter()
+            .map(|s| s.shuffle_out_mb + s.output_mb) // output replication = 1
+            .sum();
+        let read: f64 = report.stages.iter().map(|s| s.disk_read_mb).sum();
+        let write: f64 = report.stages.iter().map(|s| s.disk_write_mb).sum();
+        prop_assert!((read - expected_read).abs() < 1e-6 * expected_read.max(1.0),
+            "read {read} vs {expected_read}");
+        prop_assert!((write - expected_write).abs() < 1e-6 * expected_write.max(1.0),
+            "write {write} vs {expected_write}");
+    }
+
+    /// Same job + same config = bit-identical runtime (pure function).
+    #[test]
+    fn runs_deterministic(job in arb_job()) {
+        let a = Engine::new(small_cluster(), ThreadPolicy::Default).run(&job);
+        let b = Engine::new(small_cluster(), ThreadPolicy::Default).run(&job);
+        prop_assert_eq!(a.total_runtime.to_bits(), b.total_runtime.to_bits());
+    }
+
+    /// Utilisation fractions are physical for any job.
+    #[test]
+    fn utilisation_physical(job in arb_job()) {
+        let cfg = small_cluster();
+        let report = Engine::new(cfg.clone(), cfg.adaptive_policy()).run(&job);
+        for stage in &report.stages {
+            prop_assert!((0.0..=1.0).contains(&stage.avg_cpu_busy));
+            prop_assert!((0.0..=1.0).contains(&stage.avg_cpu_iowait));
+            prop_assert!((0.0..=1.0).contains(&stage.avg_disk_util));
+            prop_assert!(stage.avg_cpu_busy + stage.avg_cpu_iowait <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Adaptive decisions always stay within the configured bounds.
+    #[test]
+    fn adaptive_bounded(job in arb_job()) {
+        let cfg = small_cluster();
+        let report = Engine::new(cfg.clone(), cfg.adaptive_policy()).run(&job);
+        for stage in &report.stages {
+            for e in &stage.executors {
+                for &d in &e.decisions {
+                    prop_assert!((2..=32).contains(&d), "decision {d}");
+                }
+            }
+        }
+    }
+}

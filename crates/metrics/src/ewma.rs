@@ -1,0 +1,128 @@
+//! Exponentially weighted moving averages.
+
+/// An exponentially weighted moving average with configurable smoothing.
+///
+/// The controller uses EWMAs to smooth noisy per-second throughput samples
+/// before they enter the congestion index, mirroring the sampling approach
+/// described in §5.1 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use sae_metrics::Ewma;
+///
+/// let mut ewma = Ewma::new(0.5);
+/// ewma.observe(10.0);
+/// ewma.observe(20.0);
+/// assert_eq!(ewma.value(), Some(15.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// Higher `alpha` weighs recent observations more heavily; `alpha = 1`
+    /// degenerates to "latest value".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]` or is NaN.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
+        Self { alpha, value: None }
+    }
+
+    /// Feeds a new observation into the average.
+    ///
+    /// The first observation seeds the average directly.
+    pub fn observe(&mut self, sample: f64) {
+        self.value = Some(match self.value {
+            None => sample,
+            Some(prev) => self.alpha * sample + (1.0 - self.alpha) * prev,
+        });
+    }
+
+    /// Returns the current smoothed value, or `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Returns the smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Clears the average back to the unseeded state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseeded_is_none() {
+        assert_eq!(Ewma::new(0.3).value(), None);
+    }
+
+    #[test]
+    fn first_observation_seeds() {
+        let mut e = Ewma::new(0.3);
+        e.observe(42.0);
+        assert_eq!(e.value(), Some(42.0));
+    }
+
+    #[test]
+    fn alpha_one_tracks_latest() {
+        let mut e = Ewma::new(1.0);
+        e.observe(1.0);
+        e.observe(99.0);
+        assert_eq!(e.value(), Some(99.0));
+    }
+
+    #[test]
+    fn smoothing_blends() {
+        let mut e = Ewma::new(0.25);
+        e.observe(0.0);
+        e.observe(100.0);
+        assert_eq!(e.value(), Some(25.0));
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..200 {
+            e.observe(7.0);
+        }
+        assert!((e.value().unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut e = Ewma::new(0.5);
+        e.observe(3.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn oversized_alpha_rejected() {
+        let _ = Ewma::new(1.5);
+    }
+}

@@ -1,0 +1,119 @@
+//! Text reporters in the format of the Linux tools the paper used.
+//!
+//! The evaluation collects CPU statistics with `mpstat` and disk
+//! statistics with `iostat`, averaged across the cluster (§3). These
+//! reporters render [`StageSummary`] data in the same spirit, for humans
+//! reading experiment output.
+
+use crate::stage::StageSummary;
+
+/// Renders an `mpstat`-style CPU report for a sequence of stages.
+///
+/// # Examples
+///
+/// ```
+/// use sae_metrics::{mpstat_report, StageSummaryBuilder, UtilizationSample};
+///
+/// let mut b = StageSummaryBuilder::new(0);
+/// b.observe(UtilizationSample { cpu_busy: 0.06, cpu_iowait: 0.90, disk_util: 0.95 });
+/// let report = mpstat_report(&[b.finish(100.0)]);
+/// assert!(report.contains("%usr"));
+/// assert!(report.contains("%iowait"));
+/// ```
+pub fn mpstat_report(stages: &[StageSummary]) -> String {
+    let mut out = String::from("stage      %usr  %iowait  %idle\n");
+    for s in stages {
+        let usr = s.avg_cpu_busy * 100.0;
+        let iowait = s.avg_cpu_iowait * 100.0;
+        let idle = (100.0 - usr - iowait).max(0.0);
+        out.push_str(&format!(
+            "stage-{:<4} {:>5.1} {:>8.1} {:>6.1}\n",
+            s.stage_id, usr, iowait, idle
+        ));
+    }
+    out
+}
+
+/// Renders an `iostat`-style device report for a sequence of stages.
+///
+/// `rMB/s` and `wMB/s` are stage averages (total bytes over stage
+/// duration); `%util` is the time-weighted busy fraction.
+///
+/// # Examples
+///
+/// ```
+/// use sae_metrics::{iostat_report, StageSummaryBuilder, UtilizationSample};
+///
+/// let mut b = StageSummaryBuilder::new(0);
+/// b.observe(UtilizationSample { cpu_busy: 0.1, cpu_iowait: 0.8, disk_util: 0.91 });
+/// b.add_read_bytes(10_240);
+/// let report = iostat_report(&[b.finish(10.0)]);
+/// assert!(report.contains("%util"));
+/// ```
+pub fn iostat_report(stages: &[StageSummary]) -> String {
+    let mut out = String::from("stage      rMB/s   wMB/s   %util\n");
+    for s in stages {
+        let dur = s.duration.max(1e-9);
+        out.push_str(&format!(
+            "stage-{:<4} {:>6.1} {:>7.1} {:>7.1}\n",
+            s.stage_id,
+            s.bytes_read as f64 / dur,
+            s.bytes_written as f64 / dur,
+            s.avg_disk_util * 100.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{StageSummaryBuilder, UtilizationSample};
+
+    fn summary(id: usize, busy: f64, iowait: f64, util: f64, dur: f64) -> StageSummary {
+        let mut b = StageSummaryBuilder::new(id);
+        b.observe(UtilizationSample {
+            cpu_busy: busy,
+            cpu_iowait: iowait,
+            disk_util: util,
+        });
+        b.add_read_bytes(1000);
+        b.add_written_bytes(500);
+        b.finish(dur)
+    }
+
+    #[test]
+    fn mpstat_has_one_row_per_stage() {
+        let stages = vec![summary(0, 0.06, 0.9, 0.95, 10.0), summary(1, 0.15, 0.8, 0.9, 5.0)];
+        let report = mpstat_report(&stages);
+        assert_eq!(report.lines().count(), 3);
+        assert!(report.contains("stage-0"));
+        assert!(report.contains("stage-1"));
+    }
+
+    #[test]
+    fn mpstat_idle_complements_busy_and_iowait() {
+        let report = mpstat_report(&[summary(0, 0.25, 0.50, 0.9, 10.0)]);
+        let row = report.lines().nth(1).unwrap();
+        assert!(row.contains("25.0"));
+        assert!(row.contains("50.0"));
+        assert!(row.contains("25.0"));
+    }
+
+    #[test]
+    fn iostat_rates_are_bytes_over_duration() {
+        let report = iostat_report(&[summary(0, 0.1, 0.8, 0.91, 10.0)]);
+        let row = report.lines().nth(1).unwrap();
+        // 1000 B read over 10 s = 100 B/s displayed in the MB/s column of
+        // this unit-agnostic summary.
+        assert!(row.contains("100.0"), "{row}");
+        assert!(row.contains("50.0"), "{row}");
+        assert!(row.contains("91.0"), "{row}");
+    }
+
+    #[test]
+    fn empty_input_renders_header_only() {
+        assert_eq!(mpstat_report(&[]).lines().count(), 1);
+        assert_eq!(iostat_report(&[]).lines().count(), 1);
+    }
+}

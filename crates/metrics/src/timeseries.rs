@@ -1,0 +1,267 @@
+//! Time-stamped sample sequences with windowed aggregation.
+
+/// A single `(time, value)` sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSeriesPoint {
+    /// Sample timestamp in seconds (simulated or wall-clock).
+    pub time: f64,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// An append-only sequence of time-stamped samples.
+///
+/// Backs the throughput-over-time plots (Figure 12) and the per-second
+/// sampling the paper's monitor performs on the Spark metrics system.
+/// Samples must be pushed in non-decreasing time order.
+///
+/// # Examples
+///
+/// ```
+/// use sae_metrics::TimeSeries;
+///
+/// let mut ts = TimeSeries::new();
+/// ts.push(0.0, 10.0);
+/// ts.push(1.0, 20.0);
+/// ts.push(2.0, 30.0);
+/// assert_eq!(ts.mean_in_window(0.5, 2.0), Some(25.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<TimeSeriesPoint>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the last pushed timestamp (samples must be
+    /// appended in chronological order) or if `time` is NaN.
+    pub fn push(&mut self, time: f64, value: f64) {
+        assert!(!time.is_nan(), "timestamp must not be NaN");
+        if let Some(last) = self.points.last() {
+            assert!(
+                time >= last.time,
+                "time series samples must be chronological: {time} < {}",
+                last.time
+            );
+        }
+        self.points.push(TimeSeriesPoint { time, value });
+    }
+
+    /// Returns the number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over the samples in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &TimeSeriesPoint> {
+        self.points.iter()
+    }
+
+    /// Returns the samples as a slice.
+    pub fn as_slice(&self) -> &[TimeSeriesPoint] {
+        &self.points
+    }
+
+    /// Returns the last sample, if any.
+    pub fn last(&self) -> Option<TimeSeriesPoint> {
+        self.points.last().copied()
+    }
+
+    /// Arithmetic mean over all samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|p| p.value).sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// Maximum sample value, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Mean of samples with `start <= time <= end`, or `None` if no sample
+    /// falls inside the window.
+    pub fn mean_in_window(&self, start: f64, end: f64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for p in &self.points {
+            if p.time >= start && p.time <= end {
+                sum += p.value;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Integrates the series over `[start, end]` using step interpolation
+    /// (each sample's value holds until the next sample).
+    ///
+    /// Returns `0.0` when the window contains no information. Useful for
+    /// converting a rate series (bytes/s) into a total (bytes).
+    pub fn integrate(&self, start: f64, end: f64) -> f64 {
+        if end <= start || self.points.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for (i, p) in self.points.iter().enumerate() {
+            let seg_start = p.time.max(start);
+            let seg_end = self
+                .points
+                .get(i + 1)
+                .map_or(end, |next| next.time.min(end));
+            if seg_end > seg_start {
+                total += p.value * (seg_end - seg_start);
+            }
+        }
+        total
+    }
+
+    /// Resamples onto a uniform grid with spacing `dt` using
+    /// last-observation-carried-forward, starting at the first sample time.
+    ///
+    /// Returns an empty series when the input is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn resample(&self, dt: f64) -> TimeSeries {
+        assert!(dt > 0.0, "resample interval must be positive");
+        let mut out = TimeSeries::new();
+        let (Some(first), Some(last)) = (self.points.first(), self.points.last()) else {
+            return out;
+        };
+        let mut t = first.time;
+        let mut idx = 0usize;
+        while t <= last.time + 1e-12 {
+            while idx + 1 < self.points.len() && self.points[idx + 1].time <= t {
+                idx += 1;
+            }
+            out.push(t, self.points[idx].value);
+            t += dt;
+        }
+        out
+    }
+}
+
+impl FromIterator<(f64, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        let mut ts = TimeSeries::new();
+        for (t, v) in iter {
+            ts.push(t, v);
+        }
+        ts
+    }
+}
+
+impl Extend<(f64, f64)> for TimeSeries {
+    fn extend<I: IntoIterator<Item = (f64, f64)>>(&mut self, iter: I) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(points: &[(f64, f64)]) -> TimeSeries {
+        points.iter().copied().collect()
+    }
+
+    #[test]
+    fn empty_series_aggregates_to_none() {
+        let ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        assert_eq!(ts.mean(), None);
+        assert_eq!(ts.max(), None);
+        assert_eq!(ts.mean_in_window(0.0, 10.0), None);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let ts = series(&[(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]);
+        assert_eq!(ts.mean(), Some(2.0));
+        assert_eq!(ts.max(), Some(3.0));
+    }
+
+    #[test]
+    fn windowed_mean_is_inclusive() {
+        let ts = series(&[(0.0, 10.0), (1.0, 20.0), (2.0, 30.0)]);
+        assert_eq!(ts.mean_in_window(1.0, 2.0), Some(25.0));
+        assert_eq!(ts.mean_in_window(3.0, 4.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn out_of_order_push_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(1.0, 0.0);
+        ts.push(0.5, 0.0);
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        let mut ts = TimeSeries::new();
+        ts.push(1.0, 1.0);
+        ts.push(1.0, 2.0);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn integrate_step_function() {
+        // value 2.0 on [0,1), 4.0 on [1,3] -> integral over [0,3] = 2 + 8 = 10
+        let ts = series(&[(0.0, 2.0), (1.0, 4.0)]);
+        assert!((ts.integrate(0.0, 3.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrate_partial_window() {
+        let ts = series(&[(0.0, 2.0), (1.0, 4.0)]);
+        // window [0.5, 1.5]: 0.5*2 + 0.5*4 = 3
+        assert!((ts.integrate(0.5, 1.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrate_empty_or_degenerate_window() {
+        let ts = series(&[(0.0, 2.0)]);
+        assert_eq!(ts.integrate(5.0, 5.0), 0.0);
+        assert_eq!(TimeSeries::new().integrate(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn resample_locf() {
+        let ts = series(&[(0.0, 1.0), (0.9, 5.0), (2.0, 7.0)]);
+        let r = ts.resample(1.0);
+        let vals: Vec<f64> = r.iter().map(|p| p.value).collect();
+        assert_eq!(vals, vec![1.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn resample_empty_is_empty() {
+        assert!(TimeSeries::new().resample(1.0).is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let ts: TimeSeries = vec![(0.0, 1.0), (1.0, 2.0)].into_iter().collect();
+        assert_eq!(ts.len(), 2);
+    }
+}

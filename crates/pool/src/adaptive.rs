@@ -1,0 +1,203 @@
+//! A self-adaptive wrapper: the MAPE-K controller driving a real pool.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sae_core::{AdaptiveController, MapeConfig, TunablePool};
+
+use crate::dynamic::DynamicThreadPool;
+
+/// A probe returning the cumulative `(epoll_wait_seconds, io_megabytes)`
+/// observed since the current stage began.
+///
+/// In production this reads `/proc/<pid>/io` and aggregates socket wait
+/// times; tests and examples supply synthetic probes.
+pub type IoProbe = Arc<dyn Fn() -> (f64, f64) + Send + Sync>;
+
+/// A [`DynamicThreadPool`] managed by the paper's MAPE-K controller.
+///
+/// Tasks submitted through the adaptive pool report their completion to
+/// the monitor; whenever the analyzer decides on a new thread count, the
+/// pool is resized in place — the drop-in-replacement behaviour of the
+/// paper's executor, on real threads.
+///
+/// # Examples
+///
+/// ```
+/// use sae_core::MapeConfig;
+/// use sae_pool::AdaptivePool;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let io = Arc::new(AtomicU64::new(0));
+/// let probe_io = Arc::clone(&io);
+/// let pool = AdaptivePool::new(MapeConfig::new(2, 8), Arc::new(move || {
+///     let mb = probe_io.load(Ordering::Relaxed) as f64;
+///     (mb * 0.001, mb) // 1 ms of wait per MB: light I/O
+/// }));
+/// pool.stage_started(Some(100));
+/// for _ in 0..40 {
+///     let io = Arc::clone(&io);
+///     pool.submit(move || {
+///         io.fetch_add(10, Ordering::Relaxed);
+///     });
+/// }
+/// pool.shutdown();
+/// assert!(pool.current_threads() >= 2 && pool.current_threads() <= 8);
+/// ```
+#[derive(Clone)]
+pub struct AdaptivePool {
+    pool: DynamicThreadPool,
+    controller: Arc<Mutex<AdaptiveController>>,
+    probe: IoProbe,
+    epoch: std::time::Instant,
+}
+
+impl std::fmt::Debug for AdaptivePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptivePool")
+            .field("pool", &self.pool)
+            .field("current_threads", &self.current_threads())
+            .finish()
+    }
+}
+
+impl AdaptivePool {
+    /// Creates an adaptive pool; the worker count starts at the
+    /// controller's default (`c_max`) until a stage begins.
+    pub fn new(config: MapeConfig, probe: IoProbe) -> Self {
+        Self {
+            pool: DynamicThreadPool::new(config.c_max),
+            controller: Arc::new(Mutex::new(AdaptiveController::new(config))),
+            probe,
+            epoch: std::time::Instant::now(),
+        }
+    }
+
+    /// Signals a stage boundary; the pool resets to the exploration start.
+    pub fn stage_started(&self, task_hint: Option<usize>) {
+        let now = self.epoch.elapsed().as_secs_f64();
+        let threads = self.controller.lock().stage_started(now, task_hint);
+        let mut pool = self.pool.clone();
+        pool.set_max_pool_size(threads);
+    }
+
+    /// Submits a task; its completion feeds the MAPE-K monitor.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let controller = Arc::clone(&self.controller);
+        let probe = Arc::clone(&self.probe);
+        let pool = self.pool.clone();
+        let epoch = self.epoch;
+        self.pool.submit(move || {
+            job();
+            let (epoll, bytes) = probe();
+            let now = epoch.elapsed().as_secs_f64();
+            let decision = controller.lock().task_finished(now, epoll, bytes);
+            if let Some(threads) = decision {
+                let mut pool = pool.clone();
+                pool.set_max_pool_size(threads);
+            }
+        });
+    }
+
+    /// The thread count currently in effect.
+    pub fn current_threads(&self) -> usize {
+        self.pool.max_pool_size()
+    }
+
+    /// Whether the controller settled for the current stage.
+    pub fn settled(&self) -> bool {
+        self.controller.lock().settled()
+    }
+
+    /// Number of monitoring intervals completed in the current stage.
+    pub fn intervals_observed(&self) -> usize {
+        self.controller.lock().history().len()
+    }
+
+    /// Drains and joins the underlying pool.
+    pub fn shutdown(&self) {
+        self.pool.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    /// An I/O-heavy synthetic workload whose epoll wait grows superlinearly
+    /// with the live thread count: the controller should settle below max.
+    #[test]
+    fn contended_workload_settles_below_max() {
+        let state = Arc::new(AtomicU64::new(0));
+        let probe_state = Arc::clone(&state);
+        let pool = AdaptivePool::new(MapeConfig::new(2, 16), {
+            Arc::new(move || {
+                let v = probe_state.load(Ordering::Relaxed) as f64;
+                // (epoll seconds, MB): heavy wait relative to bytes.
+                (v * 0.05, v * 1.0)
+            })
+        });
+        let busy = Arc::new(AtomicU64::new(0));
+        pool.stage_started(Some(1000));
+        for _ in 0..300 {
+            let state = Arc::clone(&state);
+            let busy = Arc::clone(&busy);
+            let threads = pool.current_threads() as u64;
+            pool.submit(move || {
+                // More live threads -> superlinearly more "wait".
+                busy.fetch_add(1, Ordering::Relaxed);
+                state.fetch_add(1 + threads * threads / 8, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(200));
+                busy.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert!(pool.intervals_observed() > 0 || pool.settled());
+        let threads = pool.current_threads();
+        assert!((2..=16).contains(&threads));
+    }
+
+    #[test]
+    fn stage_boundary_resets_to_c_min() {
+        let pool = AdaptivePool::new(
+            MapeConfig::new(2, 8),
+            Arc::new(|| (0.0, 0.0)),
+        );
+        assert_eq!(pool.current_threads(), 8);
+        pool.stage_started(Some(100));
+        assert_eq!(pool.current_threads(), 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn short_stage_skips_adaptation() {
+        let pool = AdaptivePool::new(
+            MapeConfig::new(2, 8),
+            Arc::new(|| (0.0, 0.0)),
+        );
+        pool.stage_started(Some(2));
+        assert_eq!(pool.current_threads(), 8);
+        assert!(pool.settled());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn cpu_bound_workload_reaches_max() {
+        // Zero I/O: the controller should end at c_max.
+        let pool = AdaptivePool::new(
+            MapeConfig::new(2, 8),
+            Arc::new(|| (0.0, 0.0)),
+        );
+        pool.stage_started(Some(500));
+        for _ in 0..100 {
+            pool.submit(|| {
+                std::hint::black_box(1 + 1);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(pool.current_threads(), 8);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests for the dynamic thread pool.
+
+use proptest::prelude::*;
+use sae_core::TunablePool;
+use sae_pool::DynamicThreadPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any interleaving of submissions and resizes runs every task exactly
+    /// once and keeps the reported max size equal to the last resize.
+    #[test]
+    fn resize_sequences_preserve_task_delivery(
+        ops in prop::collection::vec((1usize..16, 1usize..20), 1..12),
+    ) {
+        let mut pool = DynamicThreadPool::new(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut submitted = 0usize;
+        let mut last_size = 4;
+        for (size, tasks) in ops {
+            pool.set_max_pool_size(size);
+            last_size = size;
+            for _ in 0..tasks {
+                submitted += 1;
+                let done = Arc::clone(&done);
+                pool.submit(move || {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        prop_assert_eq!(pool.max_pool_size(), last_size);
+        pool.shutdown();
+        prop_assert_eq!(done.load(Ordering::Relaxed), submitted);
+        let m = pool.metrics();
+        prop_assert_eq!(m.completed, submitted as u64);
+        prop_assert_eq!(m.panicked, 0);
+    }
+
+    /// Observed concurrency never exceeds the ceiling of all sizes used.
+    #[test]
+    fn concurrency_bounded_by_max_resize(sizes in prop::collection::vec(1usize..6, 1..4)) {
+        let ceiling = *sizes.iter().max().unwrap();
+        let mut pool = DynamicThreadPool::new(sizes[0]);
+        let current = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for &size in &sizes {
+            pool.set_max_pool_size(size);
+            for _ in 0..12 {
+                let current = Arc::clone(&current);
+                let peak = Arc::clone(&peak);
+                pool.submit(move || {
+                    let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                    current.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        }
+        pool.shutdown();
+        prop_assert!(peak.load(Ordering::SeqCst) <= ceiling, "peak over ceiling");
+    }
+}

@@ -1,0 +1,164 @@
+//! Processor-sharing resource internals.
+
+use std::collections::BTreeMap;
+
+use crate::capacity::{CapacityCurve, ClassCounts};
+
+/// Relative tolerance used when deciding that a flow has completed.
+const COMPLETION_REL_EPS: f64 = 1e-9;
+
+#[derive(Debug)]
+pub(crate) struct Flow<P> {
+    pub class: u8,
+    pub remaining: f64,
+    pub payload: P,
+}
+
+/// Cumulative usage statistics for one resource. See
+/// [`crate::Kernel::usage`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UsageAccum {
+    /// Seconds during which at least one flow was active.
+    pub busy_seconds: f64,
+    /// Total work units served.
+    pub work_done: f64,
+    /// Integral of (active flow count) over time, i.e. total flow-seconds.
+    /// For a disk this is "thread-seconds spent blocked on I/O".
+    pub flow_seconds: f64,
+}
+
+pub(crate) struct Resource<P> {
+    curve: CapacityCurve,
+    flows: BTreeMap<u64, Flow<P>>,
+    counts: ClassCounts,
+    /// Per-flow service rate under the current population.
+    rate: f64,
+    last_update: f64,
+    /// Bumped on every population change; stale heap entries are skipped.
+    pub generation: u64,
+    usage: UsageAccum,
+}
+
+impl<P> Resource<P> {
+    pub fn new(curve: CapacityCurve) -> Self {
+        Self {
+            curve,
+            flows: BTreeMap::new(),
+            counts: ClassCounts::new(),
+            rate: 0.0,
+            last_update: 0.0,
+            generation: 0,
+            usage: UsageAccum::default(),
+        }
+    }
+
+    /// Integrates flow progress up to time `now`.
+    pub fn advance(&mut self, now: f64) {
+        let dt = now - self.last_update;
+        debug_assert!(dt >= -1e-9, "time went backwards: {dt}");
+        if dt > 0.0 {
+            let n = self.flows.len();
+            if n > 0 {
+                for flow in self.flows.values_mut() {
+                    flow.remaining = (flow.remaining - self.rate * dt).max(0.0);
+                }
+                self.usage.busy_seconds += dt;
+                self.usage.work_done += self.rate * dt * n as f64;
+                self.usage.flow_seconds += dt * n as f64;
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Recomputes the shared rate after a population change and returns the
+    /// absolute time of the next completion (if any flow is active).
+    pub fn recompute(&mut self, now: f64) -> Option<f64> {
+        self.generation += 1;
+        if self.flows.is_empty() {
+            self.rate = 0.0;
+            return None;
+        }
+        self.rate = self.curve.per_flow_rate(&self.counts);
+        assert!(
+            self.rate.is_finite() && self.rate > 0.0,
+            "capacity curve produced non-positive per-flow rate {} for {} flows",
+            self.rate,
+            self.flows.len()
+        );
+        let min_remaining = self
+            .flows
+            .values()
+            .map(|f| f.remaining)
+            .fold(f64::INFINITY, f64::min);
+        Some(now + min_remaining / self.rate)
+    }
+
+    pub fn insert(&mut self, id: u64, class: u8, work: f64, payload: P) {
+        self.counts.add(class);
+        self.flows.insert(
+            id,
+            Flow {
+                class,
+                remaining: work,
+                payload,
+            },
+        );
+    }
+
+    pub fn remove(&mut self, id: u64) -> Option<Flow<P>> {
+        let flow = self.flows.remove(&id)?;
+        self.counts.remove(flow.class);
+        Some(flow)
+    }
+
+    /// Removes and returns every flow whose remaining work is (within
+    /// tolerance) equal to the minimum — i.e. the flows that just finished.
+    /// Must be called after `advance` to the completion time.
+    pub fn drain_completed(&mut self) -> Vec<(u64, Flow<P>)> {
+        let Some(min) = self
+            .flows
+            .values()
+            .map(|f| f.remaining)
+            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |m| m.min(v))))
+        else {
+            return Vec::new();
+        };
+        let threshold = min + COMPLETION_REL_EPS * (1.0 + min);
+        let ids: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= threshold)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.into_iter()
+            .map(|id| {
+                let flow = self.remove(id).expect("flow id just observed");
+                (id, flow)
+            })
+            .collect()
+    }
+
+    pub fn flow_remaining(&self, id: u64) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining)
+    }
+
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    pub fn class_counts(&self) -> ClassCounts {
+        self.counts
+    }
+
+    pub fn per_flow_rate(&self) -> f64 {
+        self.rate
+    }
+
+    pub fn usage(&self) -> UsageAccum {
+        self.usage
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use sae_sim::{CapacityCurve, Kernel, Occurrence, SimTime};
+
+proptest! {
+    /// Work conservation: every unit of work put into a processor-sharing
+    /// resource is eventually served, and the usage accounting agrees.
+    #[test]
+    fn work_is_conserved(works in prop::collection::vec(0.1f64..50.0, 1..40)) {
+        let mut kernel: Kernel<usize> = Kernel::new();
+        let r = kernel.add_resource(CapacityCurve::constant(10.0));
+        let total: f64 = works.iter().sum();
+        for (i, &w) in works.iter().enumerate() {
+            kernel.start_flow(r, 0, w, i);
+        }
+        let mut completed = 0;
+        while let Some(occ) = kernel.next() {
+            if matches!(occ, Occurrence::FlowCompleted { .. }) {
+                completed += 1;
+            }
+        }
+        prop_assert_eq!(completed, works.len());
+        let usage = kernel.usage(r);
+        prop_assert!((usage.work_done - total).abs() < 1e-6 * total.max(1.0));
+    }
+
+    /// Occurrence times are non-decreasing regardless of the flow mix.
+    #[test]
+    fn event_times_are_monotone(
+        works in prop::collection::vec(0.0f64..20.0, 1..30),
+        timer_offsets in prop::collection::vec(0.0f64..10.0, 0..10),
+    ) {
+        let mut kernel: Kernel<usize> = Kernel::new();
+        let r = kernel.add_resource(CapacityCurve::table(vec![5.0, 8.0, 9.0, 9.5]));
+        for (i, &w) in works.iter().enumerate() {
+            kernel.start_flow(r, (i % 3) as u8, w, i);
+        }
+        for (i, &t) in timer_offsets.iter().enumerate() {
+            kernel.schedule_timer(SimTime::from_seconds(t), 1000 + i);
+        }
+        let mut last = 0.0;
+        while let Some(occ) = kernel.next() {
+            let at = match occ {
+                Occurrence::FlowCompleted { at, .. } | Occurrence::TimerFired { at, .. } => at,
+            };
+            prop_assert!(at.seconds() >= last - 1e-12);
+            last = at.seconds();
+        }
+    }
+
+    /// Busy time never exceeds the makespan, and flow-seconds never exceed
+    /// `n * makespan`.
+    #[test]
+    fn usage_bounds(works in prop::collection::vec(0.5f64..10.0, 1..20)) {
+        let mut kernel: Kernel<usize> = Kernel::new();
+        let r = kernel.add_resource(CapacityCurve::constant(3.0).with_per_flow_cap(1.0));
+        let n = works.len();
+        for (i, &w) in works.iter().enumerate() {
+            kernel.start_flow(r, 0, w, i);
+        }
+        kernel.run_to_idle();
+        let makespan = kernel.now().seconds();
+        let usage = kernel.usage(r);
+        prop_assert!(usage.busy_seconds <= makespan + 1e-9);
+        prop_assert!(usage.flow_seconds <= n as f64 * makespan + 1e-9);
+    }
+
+    /// Cancelling a random subset of flows still drains the kernel, and
+    /// only the surviving flows complete.
+    #[test]
+    fn cancellation_is_consistent(
+        works in prop::collection::vec(1.0f64..10.0, 2..20),
+        cancel_mask in prop::collection::vec(any::<bool>(), 2..20),
+    ) {
+        let mut kernel: Kernel<usize> = Kernel::new();
+        let r = kernel.add_resource(CapacityCurve::constant(4.0));
+        let flows: Vec<_> = works
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| kernel.start_flow(r, 0, w, i))
+            .collect();
+        let mut cancelled = 0;
+        for (flow, &cancel) in flows.iter().zip(cancel_mask.iter().chain(std::iter::repeat(&false))) {
+            if cancel && kernel.cancel_flow(r, *flow).is_some() {
+                cancelled += 1;
+            }
+        }
+        let mut completed = 0;
+        while kernel.next().is_some() {
+            completed += 1;
+        }
+        prop_assert_eq!(completed + cancelled, works.len());
+    }
+
+    /// The per-flow cap is respected: a lone flow of work `w` on a capped
+    /// resource takes at least `w / cap` seconds.
+    #[test]
+    fn per_flow_cap_lower_bounds_latency(work in 1.0f64..100.0, cap in 0.5f64..5.0) {
+        let mut kernel: Kernel<u32> = Kernel::new();
+        let r = kernel.add_resource(CapacityCurve::constant(1000.0).with_per_flow_cap(cap));
+        kernel.start_flow(r, 0, work, 0);
+        kernel.run_to_idle();
+        prop_assert!(kernel.now().seconds() >= work / cap - 1e-9);
+    }
+}

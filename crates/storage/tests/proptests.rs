@@ -1,0 +1,88 @@
+//! Property-based tests for the storage models.
+
+use proptest::prelude::*;
+use sae_storage::{ContentionCurve, DeviceProfile, DiskClass, NodeVariability, VariabilityConfig};
+
+fn arb_curve() -> impl Strategy<Value = ContentionCurve> {
+    (
+        0.1f64..=1.0,   // single-stream fraction
+        0.5f64..10.0,   // ramp tau
+        0.0f64..64.0,   // free streams
+        0.0f64..0.2,    // alpha
+        0.5f64..2.5,    // beta
+    )
+        .prop_map(|(a, tau, free, alpha, beta)| ContentionCurve::new(a, tau, free, alpha, beta))
+}
+
+proptest! {
+    /// Efficiency is always in (0, 1] for any parameters and stream count.
+    #[test]
+    fn efficiency_always_bounded(curve in arb_curve(), n in 0usize..600) {
+        let e = curve.efficiency(n);
+        prop_assert!(e > 0.0 && e <= 1.0, "eff({n}) = {e}");
+    }
+
+    /// Past the free-stream knee, efficiency is non-increasing.
+    #[test]
+    fn efficiency_monotone_past_knee(
+        alpha in 0.001f64..0.2,
+        beta in 1.0f64..2.5,
+        free in 1.0f64..16.0,
+    ) {
+        let curve = ContentionCurve::new(1.0, 1.0, free, alpha, beta);
+        let start = free.ceil() as usize + 1;
+        let mut prev = curve.efficiency(start);
+        for n in (start + 1)..(start + 200) {
+            let e = curve.efficiency(n);
+            prop_assert!(e <= prev + 1e-12, "eff must not rise past knee: {e} > {prev}");
+            prev = e;
+        }
+    }
+
+    /// Device bandwidth is finite, non-negative, and zero only when idle.
+    #[test]
+    fn bandwidth_sane_for_any_mix(
+        reads in 0usize..100,
+        writes in 0usize..100,
+        serves in 0usize..100,
+    ) {
+        for profile in [DeviceProfile::hdd_7200(), DeviceProfile::ssd_sata()] {
+            let bw = profile.bandwidth(&[
+                (DiskClass::Read, reads),
+                (DiskClass::Write, writes),
+                (DiskClass::ShuffleRead, serves),
+            ]);
+            prop_assert!(bw.is_finite());
+            if reads + writes + serves == 0 {
+                prop_assert_eq!(bw, 0.0);
+            } else {
+                prop_assert!(bw > 0.0);
+                prop_assert!(bw <= profile.read_peak().max(profile.write_peak()));
+            }
+        }
+    }
+
+    /// Mixing classes never outperforms the best pure class at the same
+    /// total concurrency.
+    #[test]
+    fn mixing_never_beats_pure_traffic(n_read in 1usize..40, n_write in 1usize..40) {
+        let hdd = DeviceProfile::hdd_7200();
+        let total = n_read + n_write;
+        let mixed = hdd.bandwidth(&[(DiskClass::Read, n_read), (DiskClass::Write, n_write)]);
+        let pure_read = hdd.bandwidth(&[(DiskClass::Read, total)]);
+        let pure_write = hdd.bandwidth(&[(DiskClass::Write, total)]);
+        prop_assert!(mixed <= pure_read.max(pure_write) + 1e-9);
+    }
+
+    /// Variability factors always respect the configured clamps and are
+    /// deterministic per (seed, node).
+    #[test]
+    fn variability_clamped_and_deterministic(seed in any::<u64>(), node in 0usize..1000) {
+        let cfg = VariabilityConfig::das5();
+        let v = NodeVariability::new(cfg, seed);
+        let f1 = v.speed_factor(node);
+        let f2 = v.speed_factor(node);
+        prop_assert_eq!(f1.to_bits(), f2.to_bits());
+        prop_assert!(f1 >= cfg.min_factor && f1 <= cfg.max_factor);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: define a job, run it under the default and the
+//! self-adaptive executor policies, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sae::core::ThreadPolicy;
+use sae::dag::{Engine, EngineConfig, JobSpec, StageSpec};
+
+fn main() {
+    // A 3-stage job on the paper's 4-node HDD cluster: scan 20 GB, sort it
+    // through a compressed shuffle, write the result back.
+    let job = JobSpec::builder("quickstart-sort")
+        .stage(StageSpec::read("scan", 20_480.0).cpu_per_mb(0.02))
+        .stage(
+            StageSpec::read("map", 20_480.0)
+                .cpu_per_mb(0.04)
+                .shuffle_out(9_000.0),
+        )
+        .stage(
+            StageSpec::shuffle("reduce", 9_000.0)
+                .cpu_per_mb(0.05)
+                .write_output(20_480.0),
+        )
+        .build();
+
+    let config = EngineConfig::four_node_hdd();
+    println!(
+        "cluster: {} nodes x {} cores, {} disks\n",
+        config.nodes,
+        config.node_spec.cores,
+        config.node_spec.disk.name()
+    );
+
+    for policy in [ThreadPolicy::Default, config.adaptive_policy()] {
+        let name = policy.name();
+        let report = Engine::new(config.clone(), policy).run(&job);
+        println!("policy: {name}");
+        println!("  total runtime: {:.1} s", report.total_runtime);
+        for stage in &report.stages {
+            println!(
+                "  stage {} ({:<8}) {:>8.1} s   threads {}/{}   cpu {:>3.0}%  iowait {:>3.0}%",
+                stage.stage_id,
+                stage.name,
+                stage.duration,
+                stage.threads_used,
+                report.total_cores,
+                stage.avg_cpu_busy * 100.0,
+                stage.avg_cpu_iowait * 100.0,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,76 @@
+//! The mechanism on real OS threads: an [`sae::pool::AdaptivePool`] runs a
+//! synthetic I/O-contended workload and the MAPE-K loop resizes the pool
+//! while tasks execute.
+//!
+//! ```sh
+//! cargo run --release --example real_threadpool
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sae::core::MapeConfig;
+use sae::pool::AdaptivePool;
+
+fn main() {
+    // Shared "device": tracks concurrent users; the more concurrent users,
+    // the longer each simulated I/O takes and the more wait accumulates —
+    // a miniature seek-thrash curve on real threads.
+    let concurrent = Arc::new(AtomicUsize::new(0));
+    let wait_us = Arc::new(AtomicU64::new(0));
+    let bytes_kb = Arc::new(AtomicU64::new(0));
+
+    let probe_wait = Arc::clone(&wait_us);
+    let probe_bytes = Arc::clone(&bytes_kb);
+    let pool = AdaptivePool::new(
+        MapeConfig::new(2, 16),
+        Arc::new(move || {
+            (
+                probe_wait.load(Ordering::Relaxed) as f64 / 1e6,
+                probe_bytes.load(Ordering::Relaxed) as f64 / 1024.0,
+            )
+        }),
+    );
+
+    println!("stage start: pool at {} threads (c_min)", {
+        pool.stage_started(Some(400));
+        pool.current_threads()
+    });
+
+    for i in 0..400 {
+        let concurrent = Arc::clone(&concurrent);
+        let wait_us = Arc::clone(&wait_us);
+        let bytes_kb = Arc::clone(&bytes_kb);
+        pool.submit(move || {
+            let users = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            // Free below ~6 concurrent users, then latency grows
+            // quadratically — a miniature seek-thrash knee.
+            let over = users.saturating_sub(6) as u64;
+            let delay = 2_000 + over * over * 400;
+            std::thread::sleep(Duration::from_micros(delay));
+            wait_us.fetch_add(delay, Ordering::Relaxed);
+            bytes_kb.fetch_add(10_240, Ordering::Relaxed); // 10 MB per task
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+        });
+        if i % 100 == 99 {
+            // Let the queue drain enough for the monitor to observe.
+            while pool.current_threads() < 16 && !pool.settled() && pool.intervals_observed() < 1 + i / 100 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            println!(
+                "  after {:>3} tasks: {} threads, {} intervals, settled: {}",
+                i + 1,
+                pool.current_threads(),
+                pool.intervals_observed(),
+                pool.settled()
+            );
+        }
+    }
+    pool.shutdown();
+    println!(
+        "final: {} threads (settled: {})",
+        pool.current_threads(),
+        pool.settled()
+    );
+}

@@ -1,0 +1,56 @@
+//! How storage hardware changes the tuning landscape (§6.3, Figures
+//! 10–11): SSDs tolerate concurrency that thrashes HDDs, so the same
+//! workload wants very different thread counts — and the self-adaptive
+//! executors find both without reconfiguration.
+//!
+//! ```sh
+//! cargo run --release --example ssd_vs_hdd
+//! ```
+
+use sae::core::{StaticPolicy, ThreadPolicy};
+use sae::dag::{Engine, EngineConfig};
+use sae::workloads::WorkloadKind;
+
+fn sweep(label: &str, config: &EngineConfig) {
+    let workload = WorkloadKind::Terasort.build();
+    println!("{label} static sweep (Terasort):");
+    for threads in [32usize, 16, 8, 4, 2] {
+        let policy = if threads == config.node_spec.cores {
+            ThreadPolicy::Default
+        } else {
+            ThreadPolicy::Static(StaticPolicy::new(threads))
+        };
+        let report = Engine::new(config.clone(), policy).run(&workload.job);
+        let stages: Vec<String> = report
+            .stages
+            .iter()
+            .map(|s| format!("{:.0}", s.duration))
+            .collect();
+        println!(
+            "  {threads:>2} threads -> {:>7.1} s  (stages: {})",
+            report.total_runtime,
+            stages.join(" / ")
+        );
+    }
+    let dynamic = Engine::new(config.clone(), config.adaptive_policy()).run(&workload.job);
+    let threads: Vec<String> = dynamic
+        .stages
+        .iter()
+        .map(|s| format!("{}/{}", s.threads_used, dynamic.total_cores))
+        .collect();
+    println!(
+        "  dynamic    -> {:>7.1} s  (threads: {})\n",
+        dynamic.total_runtime,
+        threads.join(" / ")
+    );
+}
+
+fn main() {
+    sweep("HDD", &EngineConfig::four_node_hdd());
+    sweep("SSD", &EngineConfig::four_node_ssd());
+    println!(
+        "On HDDs the read stage wants ~8 threads; on SSDs the default 32\n\
+         is already right and the controller leaves it alone — the same\n\
+         binary adapts to both, with zero manual tuning."
+    );
+}

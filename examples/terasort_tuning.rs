@@ -1,0 +1,55 @@
+//! The paper's headline experiment: how the executor thread count changes
+//! Terasort's runtime on HDDs (Figure 2a), and what each policy achieves
+//! (Figure 8a).
+//!
+//! ```sh
+//! cargo run --release --example terasort_tuning
+//! ```
+
+use sae::core::{StaticPolicy, ThreadPolicy};
+use sae::dag::{Engine, EngineConfig};
+use sae::workloads::WorkloadKind;
+
+fn main() {
+    let config = EngineConfig::four_node_hdd();
+    let workload = WorkloadKind::Terasort.build();
+    println!(
+        "Terasort, {:.1} GiB input, {} nodes\n",
+        workload.input_mb / 1024.0,
+        config.nodes
+    );
+
+    println!("static sweep (threads for I/O stages; other stages default):");
+    let mut best = (32usize, f64::INFINITY);
+    for threads in [32usize, 16, 8, 4, 2] {
+        let policy = if threads == config.node_spec.cores {
+            ThreadPolicy::Default
+        } else {
+            ThreadPolicy::Static(StaticPolicy::new(threads))
+        };
+        let report = Engine::new(config.clone(), policy).run(&workload.job);
+        println!("  {threads:>2} threads -> {:>7.1} s", report.total_runtime);
+        if report.total_runtime < best.1 {
+            best = (threads, report.total_runtime);
+        }
+    }
+    println!("  best static: {} threads ({:.1} s)\n", best.0, best.1);
+
+    let default = Engine::new(config.clone(), ThreadPolicy::Default)
+        .run(&workload.job)
+        .total_runtime;
+    let dynamic = Engine::new(config.clone(), config.adaptive_policy())
+        .run(&workload.job)
+        .total_runtime;
+    println!("default : {default:>7.1} s");
+    println!(
+        "static  : {:>7.1} s  ({:+.1}% vs default)",
+        best.1,
+        (best.1 / default - 1.0) * 100.0
+    );
+    println!(
+        "dynamic : {dynamic:>7.1} s  ({:+.1}% vs default)",
+        (dynamic / default - 1.0) * 100.0
+    );
+    println!("\n(The paper reports -39% for the best static setting and -34% dynamic.)");
+}

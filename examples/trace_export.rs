@@ -1,0 +1,47 @@
+//! Record a structured execution trace of an adaptive run (with fault
+//! injection) and export it in the Chrome trace-event format for
+//! `chrome://tracing` / Perfetto.
+//!
+//! ```sh
+//! cargo run --release --example trace_export
+//! # then load /tmp/sae-trace.json in chrome://tracing
+//! ```
+
+use sae::dag::{Engine, EngineConfig, ExecutorFailure, TraceEvent};
+use sae::workloads::WorkloadKind;
+
+fn main() -> std::io::Result<()> {
+    let mut config = EngineConfig::four_node_hdd();
+    config.executor_failure = Some(ExecutorFailure {
+        executor: 2,
+        at: 120.0,
+        downtime: 45.0,
+    });
+    let workload = WorkloadKind::Terasort.build_scaled(0.25);
+    let engine = Engine::new(workload.configure(config.clone()), config.adaptive_policy());
+    let (report, trace) = engine.run_traced(&workload.job);
+
+    println!(
+        "run complete: {:.1} s, {} trace events",
+        report.total_runtime,
+        trace.len()
+    );
+    println!("tasks per executor: {:?}", trace.tasks_started_per_executor(4));
+    for executor in 0..4 {
+        println!(
+            "executor {executor} resizes: {:?}",
+            trace.resizes_for(executor)
+        );
+    }
+    let failures = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ExecutorFailed { .. } | TraceEvent::ExecutorRecovered { .. }))
+        .count();
+    println!("failure/recovery events: {failures}");
+
+    let path = std::env::temp_dir().join("sae-trace.json");
+    std::fs::write(&path, trace.to_chrome_trace())?;
+    println!("chrome trace written to {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the SAE (Self-adaptive Executors) stack.
+//!
+//! Re-exports every sub-crate under a stable module path so examples and
+//! downstream users only need a single dependency:
+//!
+//! ```
+//! use sae::metrics::MetricRegistry;
+//!
+//! let registry = MetricRegistry::new();
+//! registry.counter("demo").inc();
+//! assert_eq!(registry.counter("demo").value(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sae_cluster as cluster;
+pub use sae_core as core;
+pub use sae_dag as dag;
+pub use sae_metrics as metrics;
+pub use sae_net as net;
+pub use sae_pool as pool;
+pub use sae_sim as sim;
+pub use sae_storage as storage;
+pub use sae_workloads as workloads;

@@ -1,0 +1,136 @@
+//! Behavioural tests of the MAPE-K loop observed end to end through the
+//! engine: exploration traces, knowledge-base contents, and the real pool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sae::core::MapeConfig;
+use sae::dag::{Engine, EngineConfig};
+use sae::pool::AdaptivePool;
+use sae::workloads::WorkloadKind;
+
+#[test]
+fn exploration_doubles_from_c_min() {
+    let cfg = EngineConfig::four_node_hdd();
+    let w = WorkloadKind::Terasort.build();
+    let report = Engine::new(w.configure(cfg.clone()), cfg.adaptive_policy()).run(&w.job);
+    for stage in &report.stages {
+        for e in &stage.executors {
+            // Every step in the trace is either a doubling or a rollback to
+            // a previously visited count (or the L3 jump to c_max).
+            for pair in e.decisions.windows(2) {
+                let (from, to) = (pair[0], pair[1]);
+                let doubling = to == (from * 2).min(32);
+                let jump = to == 32;
+                let rollback = to < from && e.decisions.contains(&to);
+                assert!(
+                    doubling || jump || rollback,
+                    "illegal transition {from} -> {to} in {:?}",
+                    e.decisions
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interval_reports_have_consistent_arithmetic() {
+    let cfg = EngineConfig::four_node_hdd();
+    let w = WorkloadKind::Terasort.build();
+    let report = Engine::new(w.configure(cfg.clone()), cfg.adaptive_policy()).run(&w.job);
+    let mut seen = 0;
+    for stage in &report.stages {
+        for e in &stage.executors {
+            for iv in &e.intervals {
+                seen += 1;
+                assert!(iv.duration >= 0.0);
+                assert!(iv.epoll_wait >= 0.0);
+                if iv.duration > 0.0 {
+                    let mu = iv.bytes / iv.duration;
+                    assert!((mu - iv.throughput).abs() < 1e-6 * mu.max(1.0));
+                }
+                if iv.throughput > 1e-6 {
+                    assert!((iv.zeta - iv.epoll_wait / iv.throughput).abs() < 1e-9);
+                }
+            }
+        }
+    }
+    assert!(seen > 8, "expected a populated knowledge base, saw {seen}");
+}
+
+#[test]
+fn epoll_wait_monotone_across_interval_thread_counts() {
+    // Within an executor's climb, ε per interval grows with the thread
+    // count (the Figure 7 trend), allowing for the duty-cycle noise of the
+    // smallest intervals.
+    let cfg = EngineConfig::four_node_hdd();
+    let w = WorkloadKind::Terasort.build();
+    let report = Engine::new(w.configure(cfg.clone()), cfg.adaptive_policy()).run(&w.job);
+    let stage0 = &report.stages[0];
+    for e in &stage0.executors {
+        if e.intervals.len() >= 3 {
+            let first = e.intervals.first().unwrap();
+            let last = e.intervals.last().unwrap();
+            assert!(
+                last.epoll_wait > first.epoll_wait,
+                "ε did not grow across the climb: {:?}",
+                e.intervals
+            );
+        }
+    }
+}
+
+#[test]
+fn real_pool_and_simulated_executor_share_the_controller() {
+    // The same MapeConfig drives both backends; sanity-check the real pool
+    // against an uncontended probe: it must reach c_max like the simulated
+    // CPU-bound stage does.
+    let pool = AdaptivePool::new(MapeConfig::new(2, 8), Arc::new(|| (0.0, 0.0)));
+    pool.stage_started(Some(200));
+    assert_eq!(pool.current_threads(), 2);
+    for _ in 0..64 {
+        pool.submit(|| {});
+    }
+    pool.shutdown();
+    assert_eq!(pool.current_threads(), 8);
+    assert!(pool.settled());
+}
+
+#[test]
+fn real_pool_rolls_back_under_synthetic_contention() {
+    let wait_us = Arc::new(AtomicU64::new(0));
+    let bytes_kb = Arc::new(AtomicU64::new(0));
+    let probe_wait = Arc::clone(&wait_us);
+    let probe_bytes = Arc::clone(&bytes_kb);
+    let pool = AdaptivePool::new(
+        MapeConfig::new(2, 16),
+        Arc::new(move || {
+            (
+                probe_wait.load(Ordering::Relaxed) as f64 / 1e6,
+                probe_bytes.load(Ordering::Relaxed) as f64 / 1024.0,
+            )
+        }),
+    );
+    let concurrent = Arc::new(AtomicU64::new(0));
+    pool.stage_started(Some(500));
+    for _ in 0..400 {
+        let wait_us = Arc::clone(&wait_us);
+        let bytes_kb = Arc::clone(&bytes_kb);
+        let concurrent = Arc::clone(&concurrent);
+        pool.submit(move || {
+            let users = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            let over = users.saturating_sub(5);
+            let delay = 1_500 + over * over * 600;
+            std::thread::sleep(std::time::Duration::from_micros(delay));
+            wait_us.fetch_add(delay, Ordering::Relaxed);
+            bytes_kb.fetch_add(20_480, Ordering::Relaxed);
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+    pool.shutdown();
+    assert!(
+        pool.current_threads() < 16,
+        "contention should prevent settling at max (got {})",
+        pool.current_threads()
+    );
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: full workloads through the umbrella
+//! crate, asserting the paper's headline shapes.
+
+use sae::core::ThreadPolicy;
+use sae::dag::{Engine, EngineConfig, JobReport};
+use sae::workloads::{Workload, WorkloadKind};
+
+fn run(workload: &Workload, policy: ThreadPolicy) -> JobReport {
+    let cfg = workload.configure(EngineConfig::four_node_hdd());
+    Engine::new(cfg, policy).run(&workload.job)
+}
+
+fn adaptive() -> ThreadPolicy {
+    EngineConfig::four_node_hdd().adaptive_policy()
+}
+
+#[test]
+fn terasort_dynamic_beats_default_by_paper_margin() {
+    // Paper §6.2: 34.4 % reduction.
+    let w = WorkloadKind::Terasort.build();
+    let default = run(&w, ThreadPolicy::Default).total_runtime;
+    let dynamic = run(&w, adaptive()).total_runtime;
+    let gain = 1.0 - dynamic / default;
+    assert!(
+        (0.20..0.65).contains(&gain),
+        "terasort dynamic gain {gain:.2} outside the plausible band"
+    );
+}
+
+#[test]
+fn pagerank_dynamic_beats_default_by_paper_margin() {
+    // Paper §6.2: 54.1 % reduction.
+    let w = WorkloadKind::PageRank.build();
+    let default = run(&w, ThreadPolicy::Default).total_runtime;
+    let dynamic = run(&w, adaptive()).total_runtime;
+    let gain = 1.0 - dynamic / default;
+    assert!(
+        (0.25..0.70).contains(&gain),
+        "pagerank dynamic gain {gain:.2} outside the plausible band"
+    );
+}
+
+#[test]
+fn sql_dynamic_changes_little() {
+    // Paper §6.2: +6.83 % (Aggregation), +2.54 % (Join) — small either way.
+    for kind in [WorkloadKind::Aggregation, WorkloadKind::Join] {
+        let w = kind.build();
+        let default = run(&w, ThreadPolicy::Default).total_runtime;
+        let dynamic = run(&w, adaptive()).total_runtime;
+        let delta = (dynamic / default - 1.0).abs();
+        assert!(
+            delta < 0.35,
+            "{}: dynamic deviates {delta:.2} from default",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn all_nine_workloads_run_under_every_policy() {
+    for kind in WorkloadKind::ALL {
+        // Scale down so the full matrix stays fast.
+        let w = kind.build_scaled(0.1);
+        let cfg = w.configure(EngineConfig::four_node_hdd());
+        for policy in [
+            ThreadPolicy::Default,
+            ThreadPolicy::Static(sae::core::StaticPolicy::new(8)),
+            cfg.adaptive_policy(),
+        ] {
+            let report = Engine::new(cfg.clone(), policy).run(&w.job);
+            assert_eq!(report.stages.len(), w.job.stages.len(), "{}", kind.name());
+            assert!(report.total_runtime > 0.0);
+            for stage in &report.stages {
+                assert_eq!(
+                    stage.executors.iter().map(|e| e.tasks).sum::<usize>(),
+                    stage.tasks,
+                    "{}: task accounting broken",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_invocations() {
+    let w = WorkloadKind::PageRank.build_scaled(0.2);
+    let a = run(&w, adaptive());
+    let b = run(&w, adaptive());
+    assert_eq!(a.total_runtime.to_bits(), b.total_runtime.to_bits());
+    for (sa, sb) in a.stages.iter().zip(&b.stages) {
+        assert_eq!(sa.duration.to_bits(), sb.duration.to_bits());
+        assert_eq!(sa.threads_used, sb.threads_used);
+    }
+}
+
+#[test]
+fn different_seeds_change_details_not_shapes() {
+    let w = WorkloadKind::Terasort.build_scaled(0.2);
+    let base = EngineConfig::four_node_hdd();
+    let r1 = Engine::new(w.configure(base.clone().with_seed(1)), ThreadPolicy::Default)
+        .run(&w.job)
+        .total_runtime;
+    let r2 = Engine::new(w.configure(base.with_seed(2)), ThreadPolicy::Default)
+        .run(&w.job)
+        .total_runtime;
+    // Chunk jitter differs, totals stay close.
+    assert!((r1 / r2 - 1.0).abs() < 0.1, "{r1} vs {r2}");
+}
+
+#[test]
+fn io_accounting_matches_workload_model() {
+    for kind in [WorkloadKind::Terasort, WorkloadKind::Aggregation] {
+        let w = kind.build_scaled(0.25);
+        let report = run(&w, ThreadPolicy::Default);
+        let expected = w.expected_io_mb(report.nodes);
+        let measured = report.total_disk_io_mb();
+        assert!(
+            (measured / expected - 1.0).abs() < 0.02,
+            "{}: measured {measured:.0} MB vs modelled {expected:.0} MB",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn scheduler_view_stays_consistent_under_resizes() {
+    // The PoolSizeChanged protocol: after an adaptive run, the per-stage
+    // thread sums reported by executors must match the decision traces.
+    let w = WorkloadKind::Terasort.build_scaled(0.5);
+    let report = run(&w, adaptive());
+    for stage in &report.stages {
+        for e in &stage.executors {
+            assert_eq!(
+                *e.decisions.last().unwrap(),
+                e.final_threads,
+                "trace/final mismatch"
+            );
+        }
+        assert_eq!(
+            stage.threads_used,
+            stage.executors.iter().map(|e| e.final_threads).sum::<usize>()
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Edge cases and failure injection: degenerate stages, outlier nodes,
+//! extreme configurations.
+
+use sae::core::ThreadPolicy;
+use sae::dag::{Engine, EngineConfig, JobSpec, StageSpec};
+use sae::storage::VariabilityConfig;
+use sae::workloads::WorkloadKind;
+
+#[test]
+fn single_task_stage_skips_adaptation() {
+    // A stage with one block cannot fill a monitoring interval; the
+    // controller must fall back to the default rather than strand the
+    // stage at c_min.
+    let job = JobSpec::builder("tiny")
+        .stage(StageSpec::read("one-block", 100.0).cpu_per_mb(0.01))
+        .build();
+    let cfg = EngineConfig::four_node_hdd();
+    let report = Engine::new(cfg.clone(), cfg.adaptive_policy()).run(&job);
+    for e in &report.stages[0].executors {
+        assert_eq!(e.final_threads, 32, "short stage must run at default");
+        assert!(e.intervals.is_empty());
+    }
+}
+
+#[test]
+fn pure_cpu_job_reaches_default_parallelism() {
+    let job = JobSpec::builder("cpu-only")
+        .stage(
+            StageSpec::compute("crunch")
+                .cpu_per_mb(0.0)
+                .base_cpu_per_task(2.0)
+                .with_tasks(2000),
+        )
+        .build();
+    let cfg = EngineConfig::four_node_hdd();
+    let report = Engine::new(cfg.clone(), cfg.adaptive_policy()).run(&job);
+    // Zero I/O: the controller must climb to c_max, not roll back.
+    let stage = &report.stages[0];
+    assert_eq!(stage.threads_used, 128, "CPU job stuck below default");
+    assert!(stage.avg_cpu_iowait < 0.05);
+}
+
+#[test]
+fn zero_io_stage_reports_zero_bytes() {
+    let job = JobSpec::builder("cpu-only")
+        .stage(StageSpec::compute("crunch").base_cpu_per_task(1.0).with_tasks(64))
+        .build();
+    let report = Engine::new(EngineConfig::four_node_hdd(), ThreadPolicy::Default).run(&job);
+    let stage = &report.stages[0];
+    assert_eq!(stage.disk_read_mb, 0.0);
+    assert_eq!(stage.disk_write_mb, 0.0);
+    assert_eq!(stage.shuffle_mb, 0.0);
+}
+
+#[test]
+fn severe_outlier_node_does_not_wedge_the_job() {
+    // One node at ~30 % speed: the job must still complete, and the
+    // adaptive policy must still beat the default.
+    let mut variability = VariabilityConfig::das5();
+    variability.outlier_probability = 0.3;
+    variability.outlier_factor = 0.3;
+    let cfg = EngineConfig::four_node_hdd()
+        .with_variability(variability)
+        .with_seed(9);
+    let w = WorkloadKind::Terasort.build_scaled(0.25);
+    let default = Engine::new(w.configure(cfg.clone()), ThreadPolicy::Default)
+        .run(&w.job)
+        .total_runtime;
+    let dynamic = Engine::new(w.configure(cfg.clone()), cfg.adaptive_policy())
+        .run(&w.job)
+        .total_runtime;
+    assert!(dynamic < default, "adaptive lost on a straggler cluster");
+}
+
+#[test]
+fn single_node_cluster_works() {
+    let cfg = EngineConfig::four_node_hdd().with_nodes(1);
+    let w = WorkloadKind::Terasort.build_scaled(0.1);
+    let report = Engine::new(w.configure(cfg.clone()), cfg.adaptive_policy()).run(&w.job);
+    assert_eq!(report.nodes, 1);
+    assert!(report.total_runtime > 0.0);
+}
+
+#[test]
+fn output_replication_capped_by_cluster_size() {
+    let mut cfg = EngineConfig::four_node_hdd().with_nodes(2);
+    cfg.output_replication = 8; // more than nodes
+    let job = JobSpec::builder("rep")
+        .stage(StageSpec::read("r", 256.0).write_output(256.0))
+        .build();
+    let report = Engine::new(cfg, ThreadPolicy::Default).run(&job);
+    // 256 local + 256 replica (cap at 2 replicas total on 2 nodes).
+    assert!((report.stages[0].disk_write_mb - 512.0).abs() < 1.0);
+}
+
+#[test]
+fn static_policy_clamps_to_core_count() {
+    let job = JobSpec::builder("clamp")
+        .stage(StageSpec::read("r", 1024.0))
+        .build();
+    let policy = ThreadPolicy::Static(sae::core::StaticPolicy::new(500));
+    let report = Engine::new(EngineConfig::four_node_hdd(), policy).run(&job);
+    assert_eq!(report.stages[0].threads_used, 128);
+}
+
+#[test]
+fn many_small_stages_chain_correctly() {
+    let mut builder = JobSpec::builder("chain").stage(
+        StageSpec::read("ingest", 512.0).shuffle_out(256.0),
+    );
+    for i in 0..8 {
+        builder = builder.stage(
+            StageSpec::shuffle(&format!("hop-{i}"), 256.0)
+                .cpu_per_mb(0.01)
+                .shuffle_out(256.0),
+        );
+    }
+    let job = builder
+        .stage(StageSpec::shuffle("final", 256.0).write_output(128.0))
+        .build();
+    let cfg = EngineConfig::four_node_hdd();
+    let report = Engine::new(cfg.clone(), cfg.adaptive_policy()).run(&job);
+    assert_eq!(report.stages.len(), 10);
+    // Stage boundaries are barriers: start times strictly increase.
+    for w in report.stages.windows(2) {
+        assert!(w[1].started_at >= w[0].started_at + w[0].duration - 1e-6);
+    }
+}
+
+#[test]
+fn ssd_cluster_runs_all_policies() {
+    let cfg = EngineConfig::four_node_ssd();
+    let w = WorkloadKind::Terasort.build_scaled(0.2);
+    for policy in [ThreadPolicy::Default, cfg.adaptive_policy()] {
+        let report = Engine::new(w.configure(cfg.clone()), policy).run(&w.job);
+        assert!(report.total_runtime > 0.0);
+    }
+}
+
+#[test]
+fn executor_loss_mid_stage_recovers_and_completes() {
+    let w = WorkloadKind::Terasort.build_scaled(0.25);
+    let mut cfg = EngineConfig::four_node_hdd();
+    cfg.executor_failure = Some(sae::dag::ExecutorFailure {
+        executor: 1,
+        at: 60.0,
+        downtime: 30.0,
+    });
+    let baseline = Engine::new(w.configure(EngineConfig::four_node_hdd()), ThreadPolicy::Default)
+        .run(&w.job);
+    let failed = Engine::new(w.configure(cfg), ThreadPolicy::Default).run(&w.job);
+    assert_eq!(failed.stages.len(), baseline.stages.len());
+    // Every task still runs exactly once per stage.
+    for stage in &failed.stages {
+        assert_eq!(
+            stage.executors.iter().map(|e| e.tasks).sum::<usize>(),
+            stage.tasks,
+            "task accounting broken after executor loss"
+        );
+    }
+    // Losing an executor (and its partial work) costs time.
+    assert!(
+        failed.total_runtime > baseline.total_runtime,
+        "failure was free: {} vs {}",
+        failed.total_runtime,
+        baseline.total_runtime
+    );
+}
+
+#[test]
+fn executor_loss_under_adaptive_policy_completes() {
+    let w = WorkloadKind::PageRank.build_scaled(0.5);
+    let mut cfg = EngineConfig::four_node_hdd();
+    cfg.executor_failure = Some(sae::dag::ExecutorFailure {
+        executor: 0,
+        at: 45.0,
+        downtime: 20.0,
+    });
+    let report = Engine::new(w.configure(cfg.clone()), cfg.adaptive_policy()).run(&w.job);
+    assert_eq!(report.stages.len(), w.job.stages.len());
+    for stage in &report.stages {
+        assert_eq!(
+            stage.executors.iter().map(|e| e.tasks).sum::<usize>(),
+            stage.tasks
+        );
+        for e in &stage.executors {
+            for &d in &e.decisions {
+                assert!((2..=32).contains(&d));
+            }
+        }
+    }
+}
+
+#[test]
+fn failure_after_job_end_is_harmless() {
+    let w = WorkloadKind::Join.build_scaled(0.1);
+    let mut cfg = EngineConfig::four_node_hdd();
+    cfg.executor_failure = Some(sae::dag::ExecutorFailure {
+        executor: 2,
+        at: 1.0e6, // long after the job finishes
+        downtime: 10.0,
+    });
+    let baseline = Engine::new(w.configure(EngineConfig::four_node_hdd()), ThreadPolicy::Default)
+        .run(&w.job);
+    let report = Engine::new(w.configure(cfg), ThreadPolicy::Default).run(&w.job);
+    assert!((report.total_runtime - baseline.total_runtime).abs() < 1e-6);
+}
+
+#[test]
+fn repeated_failures_across_stages_still_complete() {
+    // Failure during stage 0, recovery, and the job carries through the
+    // remaining stages normally.
+    let w = WorkloadKind::Terasort.build_scaled(0.25);
+    let mut cfg = EngineConfig::four_node_hdd();
+    cfg.executor_failure = Some(sae::dag::ExecutorFailure {
+        executor: 3,
+        at: 10.0,
+        downtime: 200.0, // down for most of stage 0
+    });
+    let report = Engine::new(w.configure(cfg), ThreadPolicy::Default).run(&w.job);
+    for stage in &report.stages {
+        assert_eq!(
+            stage.executors.iter().map(|e| e.tasks).sum::<usize>(),
+            stage.tasks
+        );
+    }
+}
