@@ -53,7 +53,13 @@ fn ablate_c_min(c: &mut Criterion) {
         println!("  c_min {c_min}: {runtime:8.1} s");
     }
     c.bench_function("ablation_cmin_single_run", |b| {
-        b.iter(|| black_box(dynamic_runtime(&cfg, WorkloadKind::PageRank, MapeConfig::new(2, 32))));
+        b.iter(|| {
+            black_box(dynamic_runtime(
+                &cfg,
+                WorkloadKind::PageRank,
+                MapeConfig::new(2, 32),
+            ))
+        });
     });
 }
 
@@ -72,7 +78,13 @@ fn ablate_io_fraction_jump(c: &mut Criterion) {
         println!("  jump {label} (threshold {frac}): {runtime:8.1} s");
     }
     c.bench_function("ablation_jump_single_run", |b| {
-        b.iter(|| black_box(dynamic_runtime(&cfg, WorkloadKind::Join, MapeConfig::new(2, 32))));
+        b.iter(|| {
+            black_box(dynamic_runtime(
+                &cfg,
+                WorkloadKind::Join,
+                MapeConfig::new(2, 32),
+            ))
+        });
     });
 }
 
@@ -140,7 +152,10 @@ fn ablate_signal(c: &mut Criterion) {
     println!("\nablation: analyzer signal (terasort @ 1/4 scale, dynamic)");
     for (label, signal) in [
         ("congestion index ζ (paper)", CongestionSignal::ZetaIndex),
-        ("avg disk utilisation      ", CongestionSignal::DiskUtilization),
+        (
+            "avg disk utilisation      ",
+            CongestionSignal::DiskUtilization,
+        ),
     ] {
         let mut mape = MapeConfig::new(2, 32);
         mape.signal = signal;

@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use sae_core::{congestion_index, AdaptiveController, IntervalMeasurement, MapeConfig, TunablePool};
+use sae_core::{
+    congestion_index, AdaptiveController, IntervalMeasurement, MapeConfig, TunablePool,
+};
 use sae_pool::DynamicThreadPool;
 use sae_sim::{CapacityCurve, Kernel};
 use sae_storage::{DeviceProfile, DiskClass};

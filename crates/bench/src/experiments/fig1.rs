@@ -37,7 +37,13 @@ pub fn stage_utilisation(kind: WorkloadKind) -> Vec<(String, f64, f64, f64)> {
 /// Renders Figure 1, plus mpstat/iostat-style views for Terasort (the
 /// tools the paper collected this data with).
 pub fn run() -> ExperimentOutput {
-    let mut t = TextTable::new(vec!["app", "stage", "cpu %", "disk iowait %", "duration (s)"]);
+    let mut t = TextTable::new(vec![
+        "app",
+        "stage",
+        "cpu %",
+        "disk iowait %",
+        "duration (s)",
+    ]);
     for kind in APPS {
         for (name, cpu, iowait, dur) in stage_utilisation(kind) {
             t.row(vec![
@@ -69,13 +75,17 @@ pub fn run() -> ExperimentOutput {
             b.finish(s.duration)
         })
         .collect();
-    body.push_str("
+    body.push_str(
+        "
 terasort, mpstat view:
-");
+",
+    );
     body.push_str(&sae_metrics::mpstat_report(&summaries));
-    body.push_str("
+    body.push_str(
+        "
 terasort, iostat view (MB columns):
-");
+",
+    );
     body.push_str(&sae_metrics::iostat_report(&summaries));
     ExperimentOutput {
         id: "fig1",

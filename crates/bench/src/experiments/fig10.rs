@@ -114,6 +114,9 @@ mod tests {
         };
         let hdd = gain(&EngineConfig::four_node_hdd());
         let ssd = gain(&EngineConfig::four_node_ssd());
-        assert!(ssd < hdd, "SSD gain {ssd:.2} must be below HDD gain {hdd:.2}");
+        assert!(
+            ssd < hdd,
+            "SSD gain {ssd:.2} must be below HDD gain {hdd:.2}"
+        );
     }
 }

@@ -29,7 +29,10 @@ pub fn run() -> ExperimentOutput {
         let mut row = vec![
             run.policy.clone(),
             format!("{:.1}", run.report.total_runtime),
-            format!("{:+.1}%", (run.report.total_runtime / default - 1.0) * 100.0),
+            format!(
+                "{:+.1}%",
+                (run.report.total_runtime / default - 1.0) * 100.0
+            ),
         ];
         for stage in &run.report.stages {
             row.push(format!("{}/{}", stage.threads_used, run.report.total_cores));

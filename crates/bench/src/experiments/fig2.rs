@@ -36,7 +36,10 @@ fn render(kind: WorkloadKind, body: &mut String) {
         }
         t.row(row);
     }
-    let mut row = vec!["bestfit".to_owned(), format!("{:.1}", bestfit.total_runtime)];
+    let mut row = vec![
+        "bestfit".to_owned(),
+        format!("{:.1}", bestfit.total_runtime),
+    ];
     for stage in &bestfit.stages {
         row.push(format!("{:.1}", stage.duration));
     }

@@ -45,7 +45,11 @@ pub fn run() -> ExperimentOutput {
             let marker = if *threads == peak { " <- highest" } else { "" };
             t.row(vec![threads.to_string(), format!("{util:.1}{marker}")]);
         }
-        body.push_str(&format!("{}, stage {stage}:\n{}\n", kind.name(), t.render()));
+        body.push_str(&format!(
+            "{}, stage {stage}:\n{}\n",
+            kind.name(),
+            t.render()
+        ));
     }
     ExperimentOutput {
         id: "fig5",

@@ -68,7 +68,11 @@ pub fn run() -> ExperimentOutput {
             "congestion index",
         ]);
         for p in &sweep {
-            let marker = if p.threads == pick { " <- selected" } else { "" };
+            let marker = if p.threads == pick {
+                " <- selected"
+            } else {
+                ""
+            };
             t.row(vec![
                 p.threads.to_string(),
                 format!("{:.1}", p.epoll_wait),
@@ -76,7 +80,10 @@ pub fn run() -> ExperimentOutput {
                 format!("{:.4}{marker}", p.zeta),
             ]);
         }
-        body.push_str(&format!("Terasort stage {stage} (executor 0):\n{}\n", t.render()));
+        body.push_str(&format!(
+            "Terasort stage {stage} (executor 0):\n{}\n",
+            t.render()
+        ));
     }
     ExperimentOutput {
         id: "fig7",

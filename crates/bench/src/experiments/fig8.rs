@@ -30,7 +30,11 @@ pub fn reduction(reference: f64, candidate: f64) -> f64 {
 fn render(kind: WorkloadKind, body: &mut String) {
     let runs = compare(kind);
     let stages = runs[0].report.stages.len();
-    let mut header = vec!["policy".to_owned(), "runtime (s)".to_owned(), "vs default".to_owned()];
+    let mut header = vec![
+        "policy".to_owned(),
+        "runtime (s)".to_owned(),
+        "vs default".to_owned(),
+    ];
     for s in 0..stages {
         header.push(format!("s{s} threads"));
     }
@@ -43,10 +47,7 @@ fn render(kind: WorkloadKind, body: &mut String) {
             format!("{:+.1}%", -reduction(default, run.report.total_runtime)),
         ];
         for stage in &run.report.stages {
-            row.push(format!(
-                "{}/{}",
-                stage.threads_used, run.report.total_cores
-            ));
+            row.push(format!("{}/{}", stage.threads_used, run.report.total_cores));
         }
         t.row(row);
     }

@@ -22,11 +22,7 @@ pub fn run() -> ExperimentOutput {
     let mut t = TextTable::new(vec!["nodes", "policy", "runtime (s)"]);
     for nodes in [4usize, 16] {
         for (policy, runtime) in scaled_runtimes(nodes) {
-            t.row(vec![
-                nodes.to_string(),
-                policy,
-                format!("{runtime:.1}"),
-            ]);
+            t.row(vec![nodes.to_string(), policy, format!("{runtime:.1}")]);
         }
     }
     let mut body = t.render();

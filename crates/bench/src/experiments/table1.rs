@@ -10,7 +10,10 @@ use crate::TextTable;
 pub fn run() -> ExperimentOutput {
     let mut body = String::new();
     for (label, catalog) in [
-        ("Spark 2.4.2 (paper's Table 1)", ParameterCatalog::spark_2_4_2()),
+        (
+            "Spark 2.4.2 (paper's Table 1)",
+            ParameterCatalog::spark_2_4_2(),
+        ),
         ("sae engine", ParameterCatalog::engine()),
     ] {
         let mut t = TextTable::new(vec!["Category", "#Parameters"]);

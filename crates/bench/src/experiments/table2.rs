@@ -74,7 +74,11 @@ mod tests {
 
     #[test]
     fn every_workload_amplifies_io() {
-        for kind in [WorkloadKind::Terasort, WorkloadKind::PageRank, WorkloadKind::NWeight] {
+        for kind in [
+            WorkloadKind::Terasort,
+            WorkloadKind::PageRank,
+            WorkloadKind::NWeight,
+        ] {
             let a = measure(kind);
             assert!(
                 a.measured_gib > a.input_gib,

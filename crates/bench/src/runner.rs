@@ -105,9 +105,7 @@ pub fn derive_bestfit(config: &EngineConfig, workload: &Workload) -> BestFitTabl
     }
     best.iter()
         .enumerate()
-        .filter(|(s, _)| {
-            workload.job.stages[*s].kind() == sae_core::StageKind::Io
-        })
+        .filter(|(s, _)| workload.job.stages[*s].kind() == sae_core::StageKind::Io)
         .map(|(s, &(t, _))| (s, t))
         .collect()
 }

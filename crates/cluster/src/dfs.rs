@@ -110,9 +110,10 @@ impl Dfs {
         assert!(size_mb > 0.0, "file size must be positive");
         assert!(nodes > 0, "cluster must have nodes");
         let mut rng = DeterministicRng::seed(
-            self.seed ^ name.bytes().fold(0u64, |h, b| {
-                h.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64)
-            }),
+            self.seed
+                ^ name.bytes().fold(0u64, |h, b| {
+                    h.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64)
+                }),
         );
         let replication = self.effective_replication(nodes);
         let n_blocks = (size_mb / self.block_size_mb).ceil() as usize;

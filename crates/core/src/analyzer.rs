@@ -147,9 +147,7 @@ impl HillClimbAnalyzer {
     /// the boundary (terminal).
     fn next_candidate(&self, threads: usize) -> Option<usize> {
         match self.direction {
-            ClimbDirection::Ascend => {
-                (threads < self.c_max).then(|| (threads * 2).min(self.c_max))
-            }
+            ClimbDirection::Ascend => (threads < self.c_max).then(|| (threads * 2).min(self.c_max)),
             ClimbDirection::Descend => {
                 (threads > self.c_min).then(|| (threads / 2).max(self.c_min))
             }

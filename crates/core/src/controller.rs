@@ -188,6 +188,23 @@ impl AdaptiveController {
         }
     }
 
+    /// Declares the current monitoring interval disturbed — a task on this
+    /// executor failed, an executor elsewhere was lost and its work is
+    /// being redistributed, or a speculative clone was cancelled mid-run.
+    ///
+    /// The interval is discarded and restarted from `snapshot` at the same
+    /// thread count: its congestion measurements no longer reflect the
+    /// thread count under test, and feeding them to the analyzer would
+    /// push phantom congestion into the hill climb. The knowledge base
+    /// keeps only clean intervals.
+    pub fn interval_disturbed(&mut self, now: f64, snapshot: ProbeSnapshot) {
+        if !self.adapting || !self.monitor.is_active() {
+            return;
+        }
+        self.monitor
+            .begin_interval(self.current_threads, now, snapshot);
+    }
+
     /// The thread count currently in effect.
     pub fn current_threads(&self) -> usize {
         self.current_threads
@@ -329,6 +346,36 @@ mod tests {
                 assert!((2..=32).contains(&d), "decision {d} out of bounds");
             }
         }
+    }
+
+    #[test]
+    fn disturbed_interval_is_discarded_not_analyzed() {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        let threads = ctl.stage_started(0.0, Some(300));
+        assert_eq!(threads, 2);
+        // One completion into the first interval (needs `threads` = 2).
+        assert_eq!(ctl.task_finished(1.0, 0.6, 100.0), None);
+        assert!(ctl.history().is_empty());
+        // A failure elsewhere poisons the interval: restart it.
+        ctl.interval_disturbed(1.5, crate::ProbeSnapshot::basic(0.7, 110.0));
+        // The next completion is the restarted interval's *first*, so no
+        // report is produced and nothing enters the knowledge base.
+        assert_eq!(ctl.task_finished(2.0, 1.3, 210.0), None);
+        assert!(ctl.history().is_empty());
+        // Two clean completions after the restart close an interval.
+        let _ = ctl.task_finished(3.0, 2.0, 320.0);
+        assert_eq!(ctl.history().len(), 1);
+        assert_eq!(ctl.history()[0].threads, 2);
+    }
+
+    #[test]
+    fn disturbance_after_settling_is_inert() {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        let _ = ctl.stage_started(0.0, Some(3)); // short stage: no adaptation
+        assert!(ctl.settled());
+        ctl.interval_disturbed(1.0, crate::ProbeSnapshot::default());
+        assert!(ctl.settled());
+        assert_eq!(ctl.task_finished(2.0, 0.0, 0.0), None);
     }
 
     #[test]

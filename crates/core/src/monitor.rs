@@ -162,7 +162,9 @@ mod tests {
         let mut mon = Monitor::new();
         mon.begin_interval(4, 0.0, ProbeSnapshot::default());
         for i in 1..4 {
-            assert!(mon.task_finished(i as f64, ProbeSnapshot::default()).is_none());
+            assert!(mon
+                .task_finished(i as f64, ProbeSnapshot::default())
+                .is_none());
         }
         assert!(mon.task_finished(4.0, ProbeSnapshot::default()).is_some());
     }

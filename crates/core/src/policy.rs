@@ -99,9 +99,10 @@ impl FromIterator<(usize, usize)> for BestFitTable {
 
 /// How executors size their thread pools: the four configurations the
 /// paper evaluates against each other (Figure 8).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum ThreadPolicy {
     /// Default Spark: one thread per virtual core in every stage.
+    #[default]
     Default,
     /// The static solution: `io_threads` for I/O stages, default elsewhere.
     Static(StaticPolicy),
@@ -153,12 +154,6 @@ impl ThreadPolicy {
             ThreadPolicy::BestFit(_) => "static-bestfit",
             ThreadPolicy::Adaptive(_) => "dynamic",
         }
-    }
-}
-
-impl Default for ThreadPolicy {
-    fn default() -> Self {
-        ThreadPolicy::Default
     }
 }
 

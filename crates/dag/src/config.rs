@@ -1,8 +1,8 @@
 //! Engine configuration and the functional-parameter catalog (Table 1).
 
-use sae_net::FabricConfig;
 use sae_cluster::NodeSpec;
 use sae_core::ThreadPolicy;
+use sae_net::FabricConfig;
 use sae_storage::VariabilityConfig;
 
 /// Full configuration of a simulated cluster + engine run.
@@ -50,21 +50,278 @@ pub struct EngineConfig {
     pub sample_interval: f64,
     /// Master RNG seed.
     pub seed: u64,
-    /// Optional fault injection: kill one executor at a point in time and
-    /// bring it back after a downtime. Its running tasks are lost and
-    /// rescheduled, as in Spark's executor-loss handling.
-    pub executor_failure: Option<ExecutorFailure>,
+    /// Optional fault injection: a deterministic, seeded schedule of
+    /// executor crashes, transient task failures, node slowdowns, and
+    /// heartbeat loss. `None` runs fault-free (and bit-identical to a run
+    /// without the fault subsystem).
+    pub fault_plan: Option<FaultPlan>,
+    /// Driver-side fault-tolerance knobs: retry budget, backoff,
+    /// heartbeat timing, blacklisting, and speculation.
+    pub fault_tolerance: FaultToleranceConfig,
 }
 
-/// A scheduled executor failure (fault injection).
+/// One scheduled executor crash inside a [`FaultPlan`].
+///
+/// The process dies at `at`: every flow it drives stops, its heartbeats
+/// cease, and the driver only learns of the loss when the heartbeat
+/// timeout elapses. A replacement executor registers `downtime` seconds
+/// after the crash.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ExecutorFailure {
+pub struct ExecutorCrash {
     /// Executor (= node) to kill.
     pub executor: usize,
     /// Simulated time at which it dies.
     pub at: f64,
-    /// Seconds until a replacement executor registers.
+    /// Seconds until a replacement executor registers. Must be positive —
+    /// an instant restart would race its own failure detection.
     pub downtime: f64,
+}
+
+/// A temporary node slowdown inside a [`FaultPlan`]: antagonist disk
+/// traffic (a co-located tenant, a RAID scrub) steals bandwidth from the
+/// node's disk between `at` and `at + duration`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSlowdown {
+    /// Node whose disk slows down.
+    pub node: usize,
+    /// Simulated start time.
+    pub at: f64,
+    /// Seconds the slowdown lasts.
+    pub duration: f64,
+    /// Antagonist intensity in `(0, 1]`: the fraction of fair-share disk
+    /// streams the antagonist contends with (1.0 ≈ one full extra tenant
+    /// per active stream budget).
+    pub severity: f64,
+}
+
+/// A deterministic, seeded schedule of faults injected into a run.
+///
+/// All randomness (which attempts fail transiently, which heartbeats are
+/// lost, message delays) is drawn from a dedicated RNG stream seeded by
+/// [`FaultPlan::seed`], so the same plan over the same job yields a
+/// bit-identical run — and the main engine RNG is never touched, so a run
+/// with an empty plan is bit-identical to a run with no plan at all.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Scheduled executor crashes (multiple crashes, any executors).
+    pub crashes: Vec<ExecutorCrash>,
+    /// Probability in `[0, 1)` that any given task attempt fails
+    /// transiently (a lost shuffle block, an OOM-killed JVM task, a disk
+    /// read error) partway through execution.
+    pub task_failure_probability: f64,
+    /// Scheduled node slowdowns.
+    pub slowdowns: Vec<NodeSlowdown>,
+    /// Probability in `[0, 1)` that a single heartbeat message is lost in
+    /// flight. Heartbeats are fire-and-forget; data-plane RPCs are modelled
+    /// as reliable and are only ever delayed, never dropped.
+    pub heartbeat_loss_probability: f64,
+    /// Maximum extra one-way delay in seconds added to each driver↔executor
+    /// message, drawn uniformly from `[0, message_delay_max)`.
+    pub message_delay_max: f64,
+    /// Seed of the fault RNG stream.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan with the given fault-stream seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Adds a scheduled executor crash.
+    pub fn with_crash(mut self, executor: usize, at: f64, downtime: f64) -> Self {
+        self.crashes.push(ExecutorCrash {
+            executor,
+            at,
+            downtime,
+        });
+        self
+    }
+
+    /// Sets the per-attempt transient failure probability.
+    pub fn with_task_failures(mut self, probability: f64) -> Self {
+        self.task_failure_probability = probability;
+        self
+    }
+
+    /// Adds a scheduled node slowdown.
+    pub fn with_slowdown(mut self, node: usize, at: f64, duration: f64, severity: f64) -> Self {
+        self.slowdowns.push(NodeSlowdown {
+            node,
+            at,
+            duration,
+            severity,
+        });
+        self
+    }
+
+    /// Sets the heartbeat loss probability.
+    pub fn with_heartbeat_loss(mut self, probability: f64) -> Self {
+        self.heartbeat_loss_probability = probability;
+        self
+    }
+
+    /// Sets the maximum extra message delay in seconds.
+    pub fn with_message_delay(mut self, max_delay: f64) -> Self {
+        self.message_delay_max = max_delay;
+        self
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.slowdowns.is_empty()
+            && self.task_failure_probability == 0.0
+            && self.heartbeat_loss_probability == 0.0
+            && self.message_delay_max == 0.0
+    }
+
+    /// Validates the plan against a cluster size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range executors/nodes, non-positive downtimes or
+    /// durations, or probabilities outside `[0, 1)`.
+    pub fn validate(&self, nodes: usize) {
+        for crash in &self.crashes {
+            assert!(
+                crash.executor < nodes,
+                "fault plan: crash targets executor {} of {nodes}",
+                crash.executor
+            );
+            assert!(
+                crash.at.is_finite() && crash.at >= 0.0,
+                "fault plan: crash time must be finite and >= 0, got {}",
+                crash.at
+            );
+            assert!(
+                crash.downtime.is_finite() && crash.downtime > 0.0,
+                "fault plan: crash downtime must be positive, got {}",
+                crash.downtime
+            );
+        }
+        for slow in &self.slowdowns {
+            assert!(
+                slow.node < nodes,
+                "fault plan: slowdown targets node {} of {nodes}",
+                slow.node
+            );
+            assert!(
+                slow.at.is_finite() && slow.at >= 0.0,
+                "fault plan: slowdown time must be finite and >= 0, got {}",
+                slow.at
+            );
+            assert!(
+                slow.duration.is_finite() && slow.duration > 0.0,
+                "fault plan: slowdown duration must be positive, got {}",
+                slow.duration
+            );
+            assert!(
+                slow.severity > 0.0 && slow.severity <= 1.0,
+                "fault plan: slowdown severity must be in (0, 1], got {}",
+                slow.severity
+            );
+        }
+        for (label, p) in [
+            ("task failure", self.task_failure_probability),
+            ("heartbeat loss", self.heartbeat_loss_probability),
+        ] {
+            assert!(
+                (0.0..1.0).contains(&p),
+                "fault plan: {label} probability must be in [0, 1), got {p}"
+            );
+        }
+        assert!(
+            self.message_delay_max.is_finite() && self.message_delay_max >= 0.0,
+            "fault plan: message delay must be finite and >= 0, got {}",
+            self.message_delay_max
+        );
+    }
+}
+
+/// Driver-side fault-tolerance configuration, mirroring Spark's
+/// `spark.task.maxFailures` / blacklisting / speculation knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultToleranceConfig {
+    /// Maximum attempts per task (first run + retries). When a task fails
+    /// this many times the job aborts with
+    /// [`JobError::MaxAttemptsExceeded`](crate::JobError::MaxAttemptsExceeded).
+    pub max_task_attempts: usize,
+    /// Base of the exponential retry backoff in seconds: attempt `k`
+    /// (zero-based) is delayed by `base · 2^(k-1)` after its failure.
+    pub retry_backoff_base: f64,
+    /// Executor-side heartbeat period in seconds.
+    pub heartbeat_interval: f64,
+    /// Silence after which the driver declares an executor lost, in
+    /// seconds. Should comfortably exceed the interval so occasional
+    /// heartbeat loss does not trigger false positives.
+    pub heartbeat_timeout: f64,
+    /// Task failures on one executor *within a single stage* after which
+    /// the driver blacklists it for the rest of the job (no further
+    /// assignments) — unless it is the last usable executor.
+    pub blacklist_after: usize,
+    /// Whether stragglers are speculatively re-executed even in fault-free
+    /// runs. Runs with a fault plan always speculate.
+    pub speculation: bool,
+    /// A running attempt is a straggler when it has run longer than this
+    /// multiple of the median completed-attempt duration of the stage.
+    pub speculation_multiplier: f64,
+    /// Fraction of the stage's tasks that must have completed before
+    /// speculation activates.
+    pub speculation_quantile: f64,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        Self {
+            max_task_attempts: 4,
+            retry_backoff_base: 0.5,
+            heartbeat_interval: 2.0,
+            heartbeat_timeout: 6.0,
+            blacklist_after: 3,
+            speculation: false,
+            speculation_multiplier: 1.5,
+            speculation_quantile: 0.75,
+        }
+    }
+}
+
+impl FaultToleranceConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero retry budget, non-positive timings, or a heartbeat
+    /// timeout not exceeding the interval.
+    pub fn validate(&self) {
+        assert!(self.max_task_attempts > 0, "need at least one task attempt");
+        assert!(
+            self.retry_backoff_base.is_finite() && self.retry_backoff_base >= 0.0,
+            "retry backoff must be finite and >= 0"
+        );
+        assert!(
+            self.heartbeat_interval > 0.0,
+            "heartbeat interval must be positive"
+        );
+        assert!(
+            self.heartbeat_timeout > self.heartbeat_interval,
+            "heartbeat timeout ({}) must exceed the interval ({})",
+            self.heartbeat_timeout,
+            self.heartbeat_interval
+        );
+        assert!(self.blacklist_after > 0, "blacklist threshold must be > 0");
+        assert!(
+            self.speculation_multiplier >= 1.0,
+            "speculation multiplier must be >= 1"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.speculation_quantile),
+            "speculation quantile must be in [0, 1]"
+        );
+    }
 }
 
 impl EngineConfig {
@@ -86,7 +343,8 @@ impl EngineConfig {
             rpc_latency: 0.0005,
             sample_interval: 1.0,
             seed: 42,
-            executor_failure: None,
+            fault_plan: None,
+            fault_tolerance: FaultToleranceConfig::default(),
         }
     }
 
@@ -154,14 +412,9 @@ impl EngineConfig {
         );
         assert!(self.rpc_latency >= 0.0, "rpc latency must be >= 0");
         assert!(self.sample_interval > 0.0, "sample interval must be > 0");
-        if let Some(failure) = self.executor_failure {
-            assert!(
-                failure.executor < self.nodes,
-                "failure targets executor {} of {}",
-                failure.executor,
-                self.nodes
-            );
-            assert!(failure.at >= 0.0 && failure.downtime >= 0.0);
+        self.fault_tolerance.validate();
+        if let Some(plan) = &self.fault_plan {
+            plan.validate(self.nodes);
         }
     }
 
@@ -256,7 +509,11 @@ impl ParameterCatalog {
     /// Parameter names are not reproduced (the paper only reports counts);
     /// entries are synthesised as `spark.<category>.pN`.
     pub fn spark_2_4_2() -> Self {
-        fn synth(category: ConfigCategory, count: usize, names: &'static [&'static str]) -> Vec<ConfigParameter> {
+        fn synth(
+            category: ConfigCategory,
+            count: usize,
+            names: &'static [&'static str],
+        ) -> Vec<ConfigParameter> {
             (0..count)
                 .map(|i| ConfigParameter {
                     name: names.get(i).copied().unwrap_or("spark.parameter"),
@@ -266,13 +523,49 @@ impl ParameterCatalog {
                 .collect()
         }
         let mut parameters = Vec::new();
-        parameters.extend(synth(ConfigCategory::Shuffle, 19, &["spark.shuffle.compress", "spark.shuffle.file.buffer", "spark.reducer.maxSizeInFlight"]));
-        parameters.extend(synth(ConfigCategory::CompressionSerialization, 16, &["spark.io.compression.codec", "spark.serializer"]));
-        parameters.extend(synth(ConfigCategory::MemoryManagement, 14, &["spark.memory.fraction", "spark.memory.storageFraction"]));
-        parameters.extend(synth(ConfigCategory::ExecutionBehavior, 14, &["spark.executor.cores", "spark.default.parallelism"]));
-        parameters.extend(synth(ConfigCategory::Network, 13, &["spark.network.timeout", "spark.rpc.askTimeout"]));
-        parameters.extend(synth(ConfigCategory::Scheduling, 32, &["spark.locality.wait", "spark.speculation", "spark.task.cpus"]));
-        parameters.extend(synth(ConfigCategory::DynamicAllocation, 9, &["spark.dynamicAllocation.enabled"]));
+        parameters.extend(synth(
+            ConfigCategory::Shuffle,
+            19,
+            &[
+                "spark.shuffle.compress",
+                "spark.shuffle.file.buffer",
+                "spark.reducer.maxSizeInFlight",
+            ],
+        ));
+        parameters.extend(synth(
+            ConfigCategory::CompressionSerialization,
+            16,
+            &["spark.io.compression.codec", "spark.serializer"],
+        ));
+        parameters.extend(synth(
+            ConfigCategory::MemoryManagement,
+            14,
+            &["spark.memory.fraction", "spark.memory.storageFraction"],
+        ));
+        parameters.extend(synth(
+            ConfigCategory::ExecutionBehavior,
+            14,
+            &["spark.executor.cores", "spark.default.parallelism"],
+        ));
+        parameters.extend(synth(
+            ConfigCategory::Network,
+            13,
+            &["spark.network.timeout", "spark.rpc.askTimeout"],
+        ));
+        parameters.extend(synth(
+            ConfigCategory::Scheduling,
+            32,
+            &[
+                "spark.locality.wait",
+                "spark.speculation",
+                "spark.task.cpus",
+            ],
+        ));
+        parameters.extend(synth(
+            ConfigCategory::DynamicAllocation,
+            9,
+            &["spark.dynamicAllocation.enabled"],
+        ));
         Self { parameters }
     }
 
@@ -408,5 +701,72 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         EngineConfig::four_node_hdd().with_nodes(0).validate();
+    }
+
+    #[test]
+    fn fault_plan_builder_chains() {
+        let plan = FaultPlan::new(7)
+            .with_crash(1, 60.0, 30.0)
+            .with_crash(2, 90.0, 15.0)
+            .with_task_failures(0.02)
+            .with_slowdown(0, 10.0, 20.0, 0.5)
+            .with_heartbeat_loss(0.1)
+            .with_message_delay(0.01);
+        plan.validate(4);
+        assert_eq!(plan.crashes.len(), 2);
+        assert_eq!(plan.slowdowns.len(), 1);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new(7).is_empty());
+    }
+
+    #[test]
+    fn fault_plan_accepted_by_engine_config() {
+        let mut cfg = EngineConfig::four_node_hdd();
+        cfg.fault_plan = Some(FaultPlan::new(1).with_crash(3, 5.0, 10.0));
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "crash targets executor")]
+    fn crash_on_missing_executor_rejected() {
+        FaultPlan::new(0).with_crash(4, 1.0, 1.0).validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "downtime must be positive")]
+    fn zero_downtime_rejected() {
+        FaultPlan::new(0).with_crash(0, 1.0, 0.0).validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "severity must be in")]
+    fn excessive_slowdown_severity_rejected() {
+        FaultPlan::new(0)
+            .with_slowdown(0, 1.0, 1.0, 1.5)
+            .validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in")]
+    fn certain_task_failure_rejected() {
+        FaultPlan::new(0).with_task_failures(1.0).validate(4);
+    }
+
+    #[test]
+    fn fault_tolerance_defaults_validate() {
+        let ft = FaultToleranceConfig::default();
+        ft.validate();
+        assert_eq!(ft.max_task_attempts, 4);
+        assert!(ft.heartbeat_timeout > ft.heartbeat_interval);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed the interval")]
+    fn heartbeat_timeout_below_interval_rejected() {
+        let ft = FaultToleranceConfig {
+            heartbeat_timeout: 1.0,
+            ..FaultToleranceConfig::default()
+        };
+        ft.validate();
     }
 }

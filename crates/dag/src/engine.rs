@@ -1,30 +1,79 @@
-//! The driver: stage-at-a-time scheduling, executors, and the run loop.
+//! The driver: stage-at-a-time scheduling, executors, fault tolerance,
+//! and the run loop.
 
 use sae_cluster::{Cluster, ClusterBuilder, Dfs};
 use sae_core::{AdaptiveController, ThreadPolicy, TunablePool};
 use sae_sim::rng::DeterministicRng;
-use sae_sim::{Kernel, Occurrence, ResourceId, ResourceUsage, SimTime, TimerId};
+use sae_sim::{FlowId, Kernel, Occurrence, ResourceId, ResourceUsage, SimTime, TimerId};
 
 use crate::config::EngineConfig;
 use crate::executor::ExecutorState;
 use crate::job::{JobSpec, StageSpec};
 use crate::messages::Message;
 use crate::report::{ExecutorStageReport, JobReport, StageReport};
-use crate::task::{Accounting, FlowTarget, Phase, TaskPlan, TaskState};
+use crate::task::{Accounting, AttemptState, FlowTarget, Phase, TaskPlan, TaskState};
 use crate::trace::{ExecutionTrace, TraceEvent};
+
+/// Outstanding work assigned to an antagonist disk flow during an injected
+/// node slowdown — effectively infinite; the flow only ends by cancellation.
+const ANTAGONIST_WORK: f64 = 1e15;
+
+/// A structured, clean job failure.
+///
+/// Fault-tolerant runs either complete or fail with one of these — never a
+/// hang or a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// A task exhausted its retry budget
+    /// ([`FaultToleranceConfig::max_task_attempts`](crate::FaultToleranceConfig::max_task_attempts)).
+    MaxAttemptsExceeded {
+        /// The task that gave up.
+        task: usize,
+        /// Its stage.
+        stage: usize,
+        /// Failed attempts at the point of giving up.
+        attempts: usize,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::MaxAttemptsExceeded {
+                task,
+                stage,
+                attempts,
+            } => write!(
+                f,
+                "task {task} of stage {stage} failed {attempts} times (max attempts exceeded)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// Kernel event payloads.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Event {
-    /// One flow of a task's current phase completed. `gen` guards against
-    /// stale events after the task was reset by an executor loss.
-    PhaseDone { task: usize, gen: u32 },
+    /// One flow of an attempt's current phase completed.
+    PhaseDone { task: usize, attempt: usize },
     /// An incast stall elapsed; the delayed phase's flows may start.
-    StallOver { task: usize, gen: u32 },
-    /// Fault injection: the configured executor dies now.
-    ExecutorFail,
-    /// The failed executor's replacement registers.
-    ExecutorRecover { executor: usize },
+    StallOver { task: usize, attempt: usize },
+    /// Fault injection: crash `plan.crashes[crash]` happens now.
+    ExecutorCrash { crash: usize },
+    /// The crashed executor's replacement process comes up.
+    ExecutorRestart { executor: usize },
+    /// An executor's heartbeat period elapsed; it emits a beacon.
+    HeartbeatTick { executor: usize },
+    /// The driver scans for heartbeat-timeout expiries.
+    HeartbeatCheck,
+    /// Fault injection: slowdown `plan.slowdowns[slowdown]` begins.
+    SlowdownStart { slowdown: usize },
+    /// The slowdown's duration elapsed; antagonist traffic stops.
+    SlowdownEnd { slowdown: usize },
+    /// A failed task's retry backoff elapsed; it may be requeued.
+    RetryReady { task: usize },
     /// A background replication write completed.
     BackgroundDone { bytes: f64 },
     /// A driver↔executor RPC message arrived.
@@ -63,29 +112,52 @@ impl Engine {
         &self.policy
     }
 
-    /// Runs `job` to completion and returns the report.
+    /// Runs `job` to completion, or to a clean failure when a fault plan
+    /// exhausts some task's retry budget.
     ///
     /// # Panics
     ///
     /// Panics if the job spec is invalid.
-    pub fn run(&self, job: &JobSpec) -> JobReport {
+    pub fn try_run(&self, job: &JobSpec) -> Result<JobReport, JobError> {
         job.validate();
         Run::new(&self.config, &self.policy, job).execute().0
     }
 
-    /// Like [`Engine::run`], additionally recording a structured
-    /// [`ExecutionTrace`] (stage/task lifecycles, pool resizes, failures)
-    /// suitable for Chrome-trace export.
+    /// Runs `job` to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job spec is invalid or the job fails under its fault
+    /// plan (use [`Engine::try_run`] to handle failure).
+    pub fn run(&self, job: &JobSpec) -> JobReport {
+        self.try_run(job)
+            .unwrap_or_else(|e| panic!("job failed: {e}"))
+    }
+
+    /// Like [`Engine::try_run`], additionally recording a structured
+    /// [`ExecutionTrace`] (stage/task lifecycles, attempts, pool resizes,
+    /// failures, blacklists) suitable for Chrome-trace export.
     ///
     /// # Panics
     ///
     /// Panics if the job spec is invalid.
-    pub fn run_traced(&self, job: &JobSpec) -> (JobReport, ExecutionTrace) {
+    pub fn try_run_traced(&self, job: &JobSpec) -> Result<(JobReport, ExecutionTrace), JobError> {
         job.validate();
         let mut run = Run::new(&self.config, &self.policy, job);
         run.trace = Some(ExecutionTrace::new());
-        let (report, trace) = run.execute();
-        (report, trace.expect("trace was enabled"))
+        let (result, trace) = run.execute();
+        result.map(|report| (report, trace.expect("trace was enabled")))
+    }
+
+    /// Like [`Engine::run`], additionally recording an [`ExecutionTrace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job spec is invalid or the job fails under its fault
+    /// plan (use [`Engine::try_run_traced`] to handle failure).
+    pub fn run_traced(&self, job: &JobSpec) -> (JobReport, ExecutionTrace) {
+        self.try_run_traced(job)
+            .unwrap_or_else(|e| panic!("job failed: {e}"))
     }
 }
 
@@ -111,7 +183,7 @@ struct Run<'a> {
     pending: Vec<usize>,
     /// Driver's view of each executor's capacity (updated via RPC).
     driver_capacity: Vec<usize>,
-    /// Driver's count of tasks assigned-or-running per executor.
+    /// Driver's count of attempts assigned-or-running per executor.
     driver_running: Vec<usize>,
     current_stage: usize,
     stage_tasks_remaining: usize,
@@ -124,22 +196,58 @@ struct Run<'a> {
     stage_decisions: Vec<Vec<usize>>,
     /// Cluster disk throughput samples for the current stage.
     stage_series: Vec<(f64, f64)>,
+    /// Attempt launches / failures / speculation counters for the stage.
+    stage_attempts: usize,
+    stage_failed_attempts: usize,
+    stage_spec_launched: usize,
+    stage_spec_wins: usize,
+    /// Completed-attempt durations this stage (straggler detection).
+    stage_attempt_durations: Vec<f64>,
     last_sample_usage: Vec<ResourceUsage>,
     last_sample_time: f64,
     sample_timer: Option<TimerId>,
     /// Fetch requests currently pointed at each node's serve path
     /// (including stalled ones) — drives the incast stall model.
     serve_pressure: Vec<usize>,
-    /// Executors currently lost (fault injection).
-    executor_down: Vec<bool>,
+    /// Ground truth: whether the executor process is running.
+    executor_alive: Vec<bool>,
+    /// The driver's belief — lags behind reality by up to the heartbeat
+    /// timeout, since loss is only ever *detected* through silence.
+    driver_sees_alive: Vec<bool>,
+    /// Executors the driver refuses to assign to.
+    blacklisted: Vec<bool>,
+    /// Blacklist events in order, for the job report.
+    blacklist_order: Vec<usize>,
+    /// Task failures per executor (drives blacklisting).
+    executor_task_failures: Vec<usize>,
+    /// Last heartbeat arrival per executor (driver side).
+    last_heartbeat: Vec<f64>,
+    /// Each executor's pending heartbeat-tick timer.
+    heartbeat_timers: Vec<Option<TimerId>>,
+    /// The driver's pending timeout-scan timer.
+    heartbeat_check_timer: Option<TimerId>,
+    /// Pending fault-subsystem timers (crashes, slowdowns, retries);
+    /// cancelled wholesale at job end.
+    fault_timers: Vec<TimerId>,
+    /// Assignments that arrived at a dead-but-undetected executor, per
+    /// executor; requeued when the loss is detected.
+    lost_assignments: Vec<Vec<usize>>,
+    /// Antagonist disk flows per active slowdown.
+    slowdown_flows: Vec<Vec<(ResourceId, FlowId)>>,
     /// Tasks completed by an executor before it failed (kept so stage
     /// accounting stays exact across resets).
     lost_task_counts: Vec<usize>,
-    /// Pending fault-injection timers (cancelled at job end).
-    failure_timers: Vec<TimerId>,
     rng: DeterministicRng,
+    /// Dedicated fault stream: seeded from the plan, never from the main
+    /// rng, so a fault-free run is bit-identical to a plan-free run.
+    fault_rng: DeterministicRng,
     stage_reports: Vec<StageReport>,
     job_done: bool,
+    job_done_at: f64,
+    /// Completion time of the latest flow, for the runtime bound (leftover
+    /// timer chatter after job end must not stretch the reported runtime).
+    last_flow_time: f64,
+    error: Option<JobError>,
     trace: Option<ExecutionTrace>,
 }
 
@@ -155,7 +263,11 @@ impl<'a> Run<'a> {
         let mut dfs = Dfs::new(cfg.block_size_mb, cfg.input_replication, cfg.seed);
         for (i, stage) in job.stages.iter().enumerate() {
             if stage.read_mb > 0.0 {
-                dfs.create_file(&format!("{}/stage{}/input", job.name, i), stage.read_mb, cfg.nodes);
+                dfs.create_file(
+                    &format!("{}/stage{}/input", job.name, i),
+                    stage.read_mb,
+                    cfg.nodes,
+                );
             }
         }
         let executors = (0..cfg.nodes)
@@ -168,6 +280,13 @@ impl<'a> Run<'a> {
             })
             .collect();
         let rng = DeterministicRng::seed(cfg.seed ^ 0x5AE5_AE5A);
+        let fault_rng = DeterministicRng::seed(
+            cfg.fault_plan
+                .as_ref()
+                .map(|p| p.seed ^ 0xFA17_0FFA_170F)
+                .unwrap_or(0),
+        );
+        let slowdown_count = cfg.fault_plan.as_ref().map_or(0, |p| p.slowdowns.len());
         Self {
             cfg,
             policy,
@@ -188,16 +307,34 @@ impl<'a> Run<'a> {
             stage_shuffle: 0.0,
             stage_decisions: vec![Vec::new(); cfg.nodes],
             stage_series: Vec::new(),
+            stage_attempts: 0,
+            stage_failed_attempts: 0,
+            stage_spec_launched: 0,
+            stage_spec_wins: 0,
+            stage_attempt_durations: Vec::new(),
             last_sample_usage: Vec::new(),
             last_sample_time: 0.0,
             sample_timer: None,
             serve_pressure: vec![0; cfg.nodes],
-            executor_down: vec![false; cfg.nodes],
+            executor_alive: vec![true; cfg.nodes],
+            driver_sees_alive: vec![true; cfg.nodes],
+            blacklisted: vec![false; cfg.nodes],
+            blacklist_order: Vec::new(),
+            executor_task_failures: vec![0; cfg.nodes],
+            last_heartbeat: vec![0.0; cfg.nodes],
+            heartbeat_timers: vec![None; cfg.nodes],
+            heartbeat_check_timer: None,
+            fault_timers: Vec::new(),
+            lost_assignments: vec![Vec::new(); cfg.nodes],
+            slowdown_flows: vec![Vec::new(); slowdown_count],
             lost_task_counts: vec![0; cfg.nodes],
-            failure_timers: Vec::new(),
             rng,
+            fault_rng,
             stage_reports: Vec::new(),
             job_done: false,
+            job_done_at: 0.0,
+            last_flow_time: 0.0,
+            error: None,
             trace: None,
             dfs,
         }
@@ -209,19 +346,48 @@ impl<'a> Run<'a> {
         }
     }
 
-    fn execute(mut self) -> (JobReport, Option<ExecutionTrace>) {
-        if let Some(failure) = self.cfg.executor_failure {
-            let t = self
-                .kernel
-                .schedule_timer(SimTime::from_seconds(failure.at), Event::ExecutorFail);
-            self.failure_timers.push(t);
+    fn faults_enabled(&self) -> bool {
+        self.cfg.fault_plan.is_some()
+    }
+
+    fn execute(mut self) -> (Result<JobReport, JobError>, Option<ExecutionTrace>) {
+        if let Some(plan) = self.cfg.fault_plan.clone() {
+            for (i, crash) in plan.crashes.iter().enumerate() {
+                let t = self.kernel.schedule_timer(
+                    SimTime::from_seconds(crash.at),
+                    Event::ExecutorCrash { crash: i },
+                );
+                self.fault_timers.push(t);
+            }
+            for (i, slow) in plan.slowdowns.iter().enumerate() {
+                let t = self.kernel.schedule_timer(
+                    SimTime::from_seconds(slow.at),
+                    Event::SlowdownStart { slowdown: i },
+                );
+                self.fault_timers.push(t);
+            }
+            // Failure detection is heartbeat-driven: executors beacon every
+            // interval and the driver scans for silences. Without a fault
+            // plan none of this machinery is scheduled, so fault-free runs
+            // see zero extra events.
+            for e in 0..self.cfg.nodes {
+                self.schedule_heartbeat_tick(e);
+            }
+            let t = self.kernel.schedule_after(
+                SimTime::from_seconds(self.cfg.fault_tolerance.heartbeat_interval),
+                Event::HeartbeatCheck,
+            );
+            self.heartbeat_check_timer = Some(t);
         }
         self.start_stage(0);
         self.schedule_sample();
         while let Some(occ) = self.kernel.next() {
             match occ {
-                Occurrence::FlowCompleted { payload, at, .. }
-                | Occurrence::TimerFired { payload, at, .. } => {
+                Occurrence::FlowCompleted { payload, at, .. } => {
+                    self.last_flow_time = at.seconds();
+                    self.handle(payload, at.seconds());
+                }
+                Occurrence::TimerFired { payload, at, .. } => {
                     self.handle(payload, at.seconds());
                 }
             }
@@ -229,9 +395,12 @@ impl<'a> Run<'a> {
                 break;
             }
         }
-        let total_runtime = self.kernel.now().seconds();
+        if let Some(err) = self.error.take() {
+            return (Err(err), self.trace);
+        }
+        let total_runtime = self.job_done_at.max(self.last_flow_time);
         (
-            JobReport {
+            Ok(JobReport {
                 job: self.job.name.clone(),
                 policy: self.policy.name().to_owned(),
                 nodes: self.cfg.nodes,
@@ -239,42 +408,389 @@ impl<'a> Run<'a> {
                 total_runtime,
                 input_mb: self.job.total_input_mb(),
                 stages: self.stage_reports,
-            },
+                blacklisted_executors: self.blacklist_order,
+            }),
             self.trace,
         )
     }
 
+    fn attempt_is_live(&self, task: usize, attempt: usize) -> bool {
+        self.tasks[task]
+            .attempts
+            .get(attempt)
+            .is_some_and(|a| a.live)
+    }
+
     fn handle(&mut self, event: Event, now: f64) {
+        if self.job_done {
+            // Leftover in-flight RPCs, replication completions and stray
+            // timers drain inertly after completion or abort.
+            return;
+        }
         match event {
-            Event::PhaseDone { task, gen } => {
-                if self.tasks[task].generation == gen {
-                    self.on_phase_flow_done(task, now);
+            Event::PhaseDone { task, attempt } => {
+                if self.attempt_is_live(task, attempt) {
+                    self.on_phase_flow_done(task, attempt, now);
                 }
             }
-            Event::StallOver { task, gen } => {
-                if self.tasks[task].generation == gen {
-                    self.start_phase_flows(task);
+            Event::StallOver { task, attempt } => {
+                if self.attempt_is_live(task, attempt) {
+                    self.tasks[task].attempts[attempt].stall_timer = None;
+                    self.start_phase_flows(task, attempt);
                 }
             }
-            Event::ExecutorFail => self.on_executor_fail(now),
-            Event::ExecutorRecover { executor } => self.on_executor_recover(executor, now),
+            Event::ExecutorCrash { crash } => self.on_executor_crash(crash),
+            Event::ExecutorRestart { executor } => self.on_executor_restart(executor, now),
+            Event::HeartbeatTick { executor } => self.on_heartbeat_tick(executor),
+            Event::HeartbeatCheck => self.on_heartbeat_check(now),
+            Event::SlowdownStart { slowdown } => self.on_slowdown_start(slowdown),
+            Event::SlowdownEnd { slowdown } => self.on_slowdown_end(slowdown),
+            Event::RetryReady { task } => {
+                self.requeue_if_needed(task);
+                self.try_assign(now);
+            }
             // Replication bytes are accounted at submission (they are
             // deterministic); the completion event only drains the flow.
             Event::BackgroundDone { .. } => {}
-            Event::Rpc(Message::AssignTask { task, executor }) => {
-                self.start_task(task, executor, now);
-            }
-            Event::Rpc(Message::PoolSizeChanged { executor, size }) => {
-                self.driver_capacity[executor] = size;
-                self.try_assign(now);
-            }
+            Event::Rpc(msg) => self.on_rpc(msg, now),
             Event::Sample => {
                 self.take_sample(now);
+                self.maybe_speculate(now);
                 if !self.job_done {
                     self.schedule_sample();
                 } else {
                     self.sample_timer = None;
                 }
+            }
+        }
+    }
+
+    fn on_rpc(&mut self, msg: Message, now: f64) {
+        match msg {
+            Message::AssignTask { task, executor } => self.start_task(task, executor, now),
+            Message::PoolSizeChanged { executor, size } => {
+                // Ignore announcements from executors the driver has
+                // declared lost or blacklisted — honouring one would
+                // silently reopen capacity on a node it gave up on.
+                if !self.driver_sees_alive[executor] || self.blacklisted[executor] {
+                    return;
+                }
+                self.driver_capacity[executor] = size;
+                self.try_assign(now);
+            }
+            Message::Heartbeat { executor } => {
+                self.last_heartbeat[executor] = now;
+                if !self.driver_sees_alive[executor] && self.executor_alive[executor] {
+                    // False-positive loss (heartbeat loss streak): the
+                    // executor is still there — take it back.
+                    self.register_executor(executor, now);
+                }
+            }
+            Message::TaskFailed {
+                task,
+                executor,
+                attempt,
+            } => self.on_task_failed_rpc(task, executor, attempt, now),
+        }
+    }
+
+    // ---- messaging -------------------------------------------------------
+
+    /// Sends a driver↔executor message, applying the fault plan's extra
+    /// delay. Messages are reliable (never dropped) except heartbeats,
+    /// whose loss is decided at the sender.
+    fn send_rpc(&mut self, msg: Message) {
+        let mut delay = self.cfg.rpc_latency;
+        if let Some(plan) = &self.cfg.fault_plan {
+            if plan.message_delay_max > 0.0 {
+                delay += self.fault_rng.uniform() * plan.message_delay_max;
+            }
+        }
+        self.kernel
+            .schedule_after(SimTime::from_seconds(delay), Event::Rpc(msg));
+    }
+
+    // ---- heartbeats and failure detection --------------------------------
+
+    fn schedule_heartbeat_tick(&mut self, executor: usize) {
+        let t = self.kernel.schedule_after(
+            SimTime::from_seconds(self.cfg.fault_tolerance.heartbeat_interval),
+            Event::HeartbeatTick { executor },
+        );
+        self.heartbeat_timers[executor] = Some(t);
+    }
+
+    fn on_heartbeat_tick(&mut self, executor: usize) {
+        self.heartbeat_timers[executor] = None;
+        if !self.executor_alive[executor] {
+            return;
+        }
+        let loss_p = self
+            .cfg
+            .fault_plan
+            .as_ref()
+            .map_or(0.0, |p| p.heartbeat_loss_probability);
+        let lost = loss_p > 0.0 && self.fault_rng.uniform() < loss_p;
+        if !lost {
+            self.send_rpc(Message::Heartbeat { executor });
+        }
+        self.schedule_heartbeat_tick(executor);
+    }
+
+    fn on_heartbeat_check(&mut self, now: f64) {
+        self.heartbeat_check_timer = None;
+        let timeout = self.cfg.fault_tolerance.heartbeat_timeout;
+        for e in 0..self.cfg.nodes {
+            if self.driver_sees_alive[e] && now - self.last_heartbeat[e] > timeout {
+                self.on_executor_lost_detected(e, now);
+                if self.error.is_some() {
+                    return;
+                }
+            }
+        }
+        let t = self.kernel.schedule_after(
+            SimTime::from_seconds(self.cfg.fault_tolerance.heartbeat_interval),
+            Event::HeartbeatCheck,
+        );
+        self.heartbeat_check_timer = Some(t);
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// The executor process dies. Nothing driver-side happens yet: its
+    /// flows stop and its heartbeats cease, and the driver only reacts when
+    /// the heartbeat timeout expires.
+    fn on_executor_crash(&mut self, crash_idx: usize) {
+        let crash = self
+            .cfg
+            .fault_plan
+            .as_ref()
+            .expect("crash event implies plan")
+            .crashes[crash_idx];
+        let e = crash.executor;
+        if !self.executor_alive[e] {
+            return; // overlapping crash on an already-dead executor
+        }
+        self.executor_alive[e] = false;
+        // Silence (but do not kill) every attempt on the executor: the
+        // driver still believes they run, and requeues them at detection.
+        for t in 0..self.tasks.len() {
+            for a in 0..self.tasks[t].attempts.len() {
+                if self.tasks[t].attempts[a].live && self.tasks[t].attempts[a].executor == e {
+                    self.silence_attempt(t, a);
+                }
+            }
+        }
+        if let Some(timer) = self.heartbeat_timers[e].take() {
+            self.kernel.cancel_timer(timer);
+        }
+        let t = self.kernel.schedule_after(
+            SimTime::from_seconds(crash.downtime),
+            Event::ExecutorRestart { executor: e },
+        );
+        self.fault_timers.push(t);
+    }
+
+    /// The heartbeat timeout expired: the driver declares the executor
+    /// lost, fails its attempts (requeued immediately — machine loss is
+    /// not the task's fault, so no backoff), and restarts every other
+    /// executor's monitoring interval so the redistribution spike does not
+    /// feed phantom congestion into the hill climb.
+    fn on_executor_lost_detected(&mut self, e: usize, now: f64) {
+        self.record(TraceEvent::ExecutorFailed {
+            executor: e,
+            at: now,
+        });
+        self.driver_sees_alive[e] = false;
+        self.driver_capacity[e] = 0;
+        self.driver_running[e] = 0;
+        for t in 0..self.tasks.len() {
+            let lost: Vec<usize> = self.tasks[t]
+                .attempts
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.live && a.executor == e)
+                .map(|(i, _)| i)
+                .collect();
+            for a in lost {
+                self.kill_attempt(t, a);
+                self.record(TraceEvent::TaskFailed {
+                    task: t,
+                    attempt: a,
+                    executor: e,
+                    at: now,
+                });
+                self.stage_failed_attempts += 1;
+                self.tasks[t].failures += 1;
+                if !self.tasks[t].failed_on.contains(&e) {
+                    self.tasks[t].failed_on.push(e);
+                }
+                if self.tasks[t].failures >= self.cfg.fault_tolerance.max_task_attempts {
+                    let err = JobError::MaxAttemptsExceeded {
+                        task: t,
+                        stage: self.current_stage,
+                        attempts: self.tasks[t].failures,
+                    };
+                    self.abort(err, now);
+                    return;
+                }
+            }
+            self.requeue_if_needed(t);
+        }
+        // Assignments in flight to the dead process never started; they
+        // are recovered here and do not count as task failures.
+        for t in std::mem::take(&mut self.lost_assignments[e]) {
+            self.requeue_if_needed(t);
+        }
+        self.lost_task_counts[e] += self.executors[e].stats.tasks_finished;
+        self.executors[e].begin_stage();
+        self.executors[e].pool = crate::executor::SlotPool::new(self.cfg.default_threads());
+        self.disturb_controllers_except(e, now);
+        self.try_assign(now);
+    }
+
+    /// The replacement process comes up `downtime` seconds after the crash
+    /// and registers with the driver.
+    fn on_executor_restart(&mut self, executor: usize, now: f64) {
+        if self.driver_sees_alive[executor] {
+            // The replacement beat the driver's own detection: settle the
+            // books for the old incarnation first.
+            self.on_executor_lost_detected(executor, now);
+            if self.error.is_some() {
+                return;
+            }
+        }
+        self.executor_alive[executor] = true;
+        self.register_executor(executor, now);
+        self.schedule_heartbeat_tick(executor);
+    }
+
+    /// A (re)registering executor rejoins the scheduler's rotation and
+    /// re-announces its pool size over the §5.4 protocol; the driver only
+    /// assigns once the `PoolSizeChanged` message lands.
+    fn register_executor(&mut self, executor: usize, now: f64) {
+        self.record(TraceEvent::ExecutorRecovered { executor, at: now });
+        self.driver_sees_alive[executor] = true;
+        self.last_heartbeat[executor] = now;
+        self.driver_running[executor] = 0;
+        if self.blacklisted[executor] {
+            self.driver_capacity[executor] = 0;
+            return;
+        }
+        let spec = &self.job.stages[self.current_stage];
+        let hint = (self.tasks.len() / self.cfg.nodes).max(1);
+        let threads = match self.policy {
+            ThreadPolicy::Adaptive(_) => {
+                let controller = self.executors[executor]
+                    .controller
+                    .as_mut()
+                    .expect("adaptive policy implies controller");
+                controller.stage_started(now, Some(hint))
+            }
+            policy => policy.initial_threads(
+                spec.info(self.current_stage),
+                self.cfg.node_spec.cores,
+                Some(hint),
+            ),
+        };
+        self.executors[executor].begin_stage();
+        self.executors[executor].pool.set_max_pool_size(threads);
+        self.stage_decisions[executor].push(threads);
+        self.send_rpc(Message::PoolSizeChanged {
+            executor,
+            size: threads,
+        });
+    }
+
+    fn on_slowdown_start(&mut self, idx: usize) {
+        let slow = self
+            .cfg
+            .fault_plan
+            .as_ref()
+            .expect("slowdown event implies plan")
+            .slowdowns[idx];
+        // The antagonist contends for the disk with `severity * 8` extra
+        // read streams (the kernel has no mid-run capacity mutation, so
+        // contention is modelled as competing flows).
+        let streams = ((slow.severity * 8.0).ceil() as usize).max(1);
+        let resource = self.cluster.node(slow.node).disk.resource();
+        for _ in 0..streams {
+            let flow = self.kernel.start_flow(
+                resource,
+                sae_storage::DiskClass::Read.flow_class(),
+                ANTAGONIST_WORK,
+                Event::BackgroundDone { bytes: 0.0 },
+            );
+            self.slowdown_flows[idx].push((resource, flow));
+        }
+        let t = self.kernel.schedule_after(
+            SimTime::from_seconds(slow.duration),
+            Event::SlowdownEnd { slowdown: idx },
+        );
+        self.fault_timers.push(t);
+    }
+
+    fn on_slowdown_end(&mut self, idx: usize) {
+        for (resource, flow) in std::mem::take(&mut self.slowdown_flows[idx]) {
+            let _ = self.kernel.cancel_flow(resource, flow);
+        }
+    }
+
+    // ---- attempt bookkeeping ---------------------------------------------
+
+    /// Cancels an attempt's in-flight work without marking it dead: used at
+    /// crash time, when the driver must still discover the loss itself.
+    fn silence_attempt(&mut self, task: usize, attempt: usize) {
+        self.release_pressure(task, attempt);
+        let flows = std::mem::take(&mut self.tasks[task].attempts[attempt].active_flows);
+        for (resource, flow) in flows {
+            let _ = self.kernel.cancel_flow(resource, flow);
+        }
+        if let Some(timer) = self.tasks[task].attempts[attempt].stall_timer.take() {
+            self.kernel.cancel_timer(timer);
+        }
+    }
+
+    fn kill_attempt(&mut self, task: usize, attempt: usize) {
+        self.silence_attempt(task, attempt);
+        self.tasks[task].attempts[attempt].live = false;
+    }
+
+    fn requeue_if_needed(&mut self, task_id: usize) {
+        let t = &mut self.tasks[task_id];
+        if t.completed || t.queued || t.has_live_attempt() {
+            return;
+        }
+        t.queued = true;
+        self.pending.push(task_id);
+    }
+
+    /// Feeds the executor's controller a fresh snapshot so it restarts its
+    /// current monitoring interval — the interval-poisoning rule: intervals
+    /// spanning an executor loss, a task failure, or a cancelled clone do
+    /// not enter the knowledge base.
+    fn disturb_controller(&mut self, executor: usize, now: f64) {
+        if self.executors[executor].controller.is_none() {
+            return;
+        }
+        let stats = self.executors[executor].stats;
+        let disk = self.cluster.node(executor).disk.resource();
+        let disk_busy = self.kernel.usage(disk).busy_seconds
+            - self.stage_usage_start.disk[executor].busy_seconds;
+        let snapshot = sae_core::ProbeSnapshot {
+            epoll_wait: stats.epoll_wait,
+            io_bytes: stats.io_bytes,
+            disk_busy,
+        };
+        if let Some(c) = self.executors[executor].controller.as_mut() {
+            c.interval_disturbed(now, snapshot);
+        }
+    }
+
+    fn disturb_controllers_except(&mut self, except: usize, now: f64) {
+        for e in 0..self.cfg.nodes {
+            if e != except && self.executor_alive[e] && self.driver_sees_alive[e] {
+                self.disturb_controller(e, now);
             }
         }
     }
@@ -289,19 +805,30 @@ impl<'a> Run<'a> {
         self.stage_disk_write = 0.0;
         self.stage_shuffle = 0.0;
         self.stage_series.clear();
+        self.stage_attempts = 0;
+        self.stage_failed_attempts = 0;
+        self.stage_spec_launched = 0;
+        self.stage_spec_wins = 0;
+        self.stage_attempt_durations.clear();
         self.stage_usage_start = self.snapshot_usage();
 
         let task_count = self.task_count(spec, stage_id);
         let hint = (task_count / self.cfg.nodes).max(1);
         let now = self.stage_started_at;
         self.lost_task_counts = vec![0; self.cfg.nodes];
+        // Failure counts reset at stage boundaries (as in Spark's per-stage
+        // blacklisting): only *repeated* failures within one stage ban an
+        // executor, a lifetime tally would eventually ban every node.
+        self.executor_task_failures = vec![0; self.cfg.nodes];
         for e in 0..self.cfg.nodes {
-            if self.executor_down[e] {
+            // Stats reset unconditionally: a lost or blacklisted executor
+            // must not carry last stage's counters into this stage's report.
+            self.executors[e].begin_stage();
+            if !self.driver_sees_alive[e] || self.blacklisted[e] {
                 self.driver_capacity[e] = 0;
                 self.stage_decisions[e] = Vec::new();
                 continue;
             }
-            self.executors[e].begin_stage();
             let threads = match self.policy {
                 ThreadPolicy::Adaptive(_) => {
                     let controller = self.executors[e]
@@ -380,15 +907,15 @@ impl<'a> Run<'a> {
         let mut iowait = 0.0;
         let mut disk_util = 0.0;
         for n in 0..self.cfg.nodes {
-            let cpu_work =
-                end_usage.cpu[n].work_done - self.stage_usage_start.cpu[n].work_done;
+            let cpu_work = end_usage.cpu[n].work_done - self.stage_usage_start.cpu[n].work_done;
             let busy = (cpu_work / (cores * duration)).clamp(0.0, 1.0);
             let io_flow_seconds = (end_usage.disk[n].flow_seconds
                 - self.stage_usage_start.disk[n].flow_seconds)
                 + (end_usage.nic[n].flow_seconds - self.stage_usage_start.nic[n].flow_seconds)
-                + (end_usage.serve[n].flow_seconds
-                    - self.stage_usage_start.serve[n].flow_seconds);
-            let wait = (io_flow_seconds / (cores * duration)).min(1.0 - busy).max(0.0);
+                + (end_usage.serve[n].flow_seconds - self.stage_usage_start.serve[n].flow_seconds);
+            let wait = (io_flow_seconds / (cores * duration))
+                .min(1.0 - busy)
+                .max(0.0);
             let util = ((end_usage.disk[n].busy_seconds
                 - self.stage_usage_start.disk[n].busy_seconds)
                 / duration)
@@ -428,6 +955,10 @@ impl<'a> Run<'a> {
             started_at: self.stage_started_at,
             duration,
             tasks: self.tasks.len(),
+            attempts: self.stage_attempts,
+            failed_attempts: self.stage_failed_attempts,
+            speculative_launched: self.stage_spec_launched,
+            speculative_wins: self.stage_spec_wins,
             avg_cpu_busy: cpu_busy / nodes,
             avg_cpu_iowait: iowait / nodes,
             avg_disk_util: disk_util / nodes,
@@ -447,41 +978,85 @@ impl<'a> Run<'a> {
             self.start_stage(stage_id + 1);
         } else {
             self.job_done = true;
-            if let Some(timer) = self.sample_timer.take() {
+            self.job_done_at = now;
+            self.terminate();
+        }
+    }
+
+    /// Cancels every pending engine-owned timer and antagonist flow so the
+    /// kernel drains to idle after completion or abort.
+    fn terminate(&mut self) {
+        if let Some(timer) = self.sample_timer.take() {
+            self.kernel.cancel_timer(timer);
+        }
+        if let Some(timer) = self.heartbeat_check_timer.take() {
+            self.kernel.cancel_timer(timer);
+        }
+        for e in 0..self.cfg.nodes {
+            if let Some(timer) = self.heartbeat_timers[e].take() {
                 self.kernel.cancel_timer(timer);
             }
-            for timer in std::mem::take(&mut self.failure_timers) {
-                self.kernel.cancel_timer(timer);
+        }
+        for timer in std::mem::take(&mut self.fault_timers) {
+            self.kernel.cancel_timer(timer);
+        }
+        for flows in &mut self.slowdown_flows {
+            for (resource, flow) in std::mem::take(flows) {
+                let _ = self.kernel.cancel_flow(resource, flow);
             }
         }
     }
 
+    /// Fails the job cleanly: records the error, kills all running
+    /// attempts, and lets the kernel drain.
+    fn abort(&mut self, err: JobError, now: f64) {
+        self.error = Some(err);
+        self.job_done = true;
+        self.job_done_at = now;
+        for t in 0..self.tasks.len() {
+            let live: Vec<usize> = self.tasks[t].live_attempts().collect();
+            for a in live {
+                self.kill_attempt(t, a);
+            }
+        }
+        self.terminate();
+    }
+
     // ---- task lifecycle --------------------------------------------------
 
-    /// Assigns pending tasks to executors with free capacity (driver view),
-    /// preferring data-local placement.
+    /// Assigns pending tasks to live executors with free capacity (driver
+    /// view), preferring data-local placement and avoiding executors the
+    /// task already failed on.
     fn try_assign(&mut self, _now: f64) {
         loop {
             let mut assigned_any = false;
             for e in 0..self.cfg.nodes {
+                if !self.driver_sees_alive[e] || self.blacklisted[e] {
+                    continue;
+                }
                 if self.driver_running[e] >= self.driver_capacity[e] {
                     continue;
                 }
                 if self.pending.is_empty() {
                     return;
                 }
-                // Prefer a task whose preferred nodes include e.
                 let pos = self
                     .pending
                     .iter()
-                    .position(|&t| self.tasks[t].preferred_nodes.contains(&e))
+                    .position(|&t| {
+                        self.tasks[t].preferred_nodes.contains(&e)
+                            && !self.tasks[t].failed_on.contains(&e)
+                    })
+                    .or_else(|| {
+                        self.pending
+                            .iter()
+                            .position(|&t| !self.tasks[t].failed_on.contains(&e))
+                    })
                     .unwrap_or(0);
                 let task = self.pending.remove(pos);
+                self.tasks[task].queued = false;
                 self.driver_running[e] += 1;
-                self.kernel.schedule_after(
-                    SimTime::from_seconds(self.cfg.rpc_latency),
-                    Event::Rpc(Message::AssignTask { task, executor: e }),
-                );
+                self.send_rpc(Message::AssignTask { task, executor: e });
                 assigned_any = true;
             }
             if !assigned_any {
@@ -490,12 +1065,26 @@ impl<'a> Run<'a> {
         }
     }
 
-    /// An `AssignTask` RPC arrived: materialise the task's phases and start.
+    /// An `AssignTask` RPC arrived: materialise an attempt and start it.
     fn start_task(&mut self, task_id: usize, executor: usize, now: f64) {
-        if self.executor_down[executor] {
-            // The executor died while the assignment was in flight.
-            self.pending.push(task_id);
+        if self.tasks[task_id].completed {
+            // A speculative clone landed after the task already finished.
+            self.driver_running[executor] = self.driver_running[executor].saturating_sub(1);
             self.try_assign(now);
+            return;
+        }
+        if !self.driver_sees_alive[executor] || self.blacklisted[executor] {
+            // The driver gave up on the executor while the assignment was
+            // in flight.
+            self.driver_running[executor] = self.driver_running[executor].saturating_sub(1);
+            self.requeue_if_needed(task_id);
+            self.try_assign(now);
+            return;
+        }
+        if !self.executor_alive[executor] {
+            // The process is dead but the driver has not noticed yet; the
+            // assignment evaporates and is recovered at detection time.
+            self.lost_assignments[executor].push(task_id);
             return;
         }
         let stage_id = self.tasks[task_id].stage;
@@ -515,8 +1104,7 @@ impl<'a> Run<'a> {
         } else {
             Vec::new()
         };
-        let cpu_total = spec.cpu_per_mb * spec.processed_mb()
-            + spec.base_cpu_per_task * task_count;
+        let cpu_total = spec.cpu_per_mb * spec.processed_mb() + spec.base_cpu_per_task * task_count;
         let plan = TaskPlan {
             read_mb: spec.read_mb / task_count,
             read_source,
@@ -529,17 +1117,29 @@ impl<'a> Run<'a> {
             node: executor,
             seed: self.cfg.seed ^ (task_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         };
-        let task = &mut self.tasks[task_id];
-        task.executor = Some(executor);
-        task.phases = plan.build_phases();
-        task.current_phase = 0;
+        let speculative = self.tasks[task_id].has_live_attempt();
+        let attempt_idx = self.tasks[task_id].attempts.len();
+        let mut attempt = AttemptState::new(executor, plan.build_phases(), now, speculative);
+        let fail_p = self
+            .cfg
+            .fault_plan
+            .as_ref()
+            .map_or(0.0, |p| p.task_failure_probability);
+        if fail_p > 0.0 && self.fault_rng.uniform() < fail_p {
+            let phases = attempt.phases.len();
+            attempt.fail_after_phase = Some(self.fault_rng.index(phases));
+        }
+        self.tasks[task_id].attempts.push(attempt);
         self.executors[executor].pool.task_started();
+        self.stage_attempts += 1;
         self.record(TraceEvent::TaskStarted {
             task: task_id,
+            attempt: attempt_idx,
             executor,
+            speculative,
             at: now,
         });
-        self.start_phase(task_id, now);
+        self.start_phase(task_id, attempt_idx, now);
     }
 
     fn resolve(&self, target: FlowTarget) -> (ResourceId, u8) {
@@ -553,10 +1153,11 @@ impl<'a> Run<'a> {
         }
     }
 
-    fn start_phase(&mut self, task_id: usize, now: f64) {
-        let phase: Phase = self.tasks[task_id].phases[self.tasks[task_id].current_phase].clone();
-        self.tasks[task_id].outstanding = phase.flows.len();
-        self.tasks[task_id].phase_started_at = now;
+    fn start_phase(&mut self, task_id: usize, attempt: usize, now: f64) {
+        let phase_idx = self.tasks[task_id].attempts[attempt].current_phase;
+        let phase: Phase = self.tasks[task_id].attempts[attempt].phases[phase_idx].clone();
+        self.tasks[task_id].attempts[attempt].outstanding = phase.flows.len();
+        self.tasks[task_id].attempts[attempt].phase_started_at = now;
         // Incast model: register fetch pressure on every serving node; if
         // any source is over the free threshold, the request stalls
         // (TCP retransmission timeouts) before any byte moves. The stall is
@@ -570,45 +1171,54 @@ impl<'a> Run<'a> {
                 max_pressure = max_pressure.max(self.serve_pressure[node]);
             }
         }
-        self.tasks[task_id].pressure_registered = registered;
+        self.tasks[task_id].attempts[attempt].pressure_registered = registered;
         if max_pressure > self.cfg.incast_free_requests {
             let over = (max_pressure - self.cfg.incast_free_requests) as f64;
             let stall = self.cfg.incast_stall_base * (over / 16.0).powf(1.5);
             if stall > 0.0 {
-                let gen = self.tasks[task_id].generation;
-                self.kernel.schedule_after(
+                let timer = self.kernel.schedule_after(
                     SimTime::from_seconds(stall),
-                    Event::StallOver { task: task_id, gen },
+                    Event::StallOver {
+                        task: task_id,
+                        attempt,
+                    },
                 );
+                self.tasks[task_id].attempts[attempt].stall_timer = Some(timer);
                 return;
             }
         }
-        self.start_phase_flows(task_id);
+        self.start_phase_flows(task_id, attempt);
     }
 
-    fn start_phase_flows(&mut self, task_id: usize) {
-        let phase: Phase = self.tasks[task_id].phases[self.tasks[task_id].current_phase].clone();
-        let gen = self.tasks[task_id].generation;
-        self.tasks[task_id].active_flows.clear();
+    fn start_phase_flows(&mut self, task_id: usize, attempt: usize) {
+        let phase_idx = self.tasks[task_id].attempts[attempt].current_phase;
+        let phase: Phase = self.tasks[task_id].attempts[attempt].phases[phase_idx].clone();
+        self.tasks[task_id].attempts[attempt].active_flows.clear();
         for flow in &phase.flows {
             let (resource, class) = self.resolve(flow.target);
             let handle = self.kernel.start_flow(
                 resource,
                 class,
                 flow.work,
-                Event::PhaseDone { task: task_id, gen },
+                Event::PhaseDone {
+                    task: task_id,
+                    attempt,
+                },
             );
-            self.tasks[task_id].active_flows.push((resource, handle));
+            self.tasks[task_id].attempts[attempt]
+                .active_flows
+                .push((resource, handle));
         }
     }
 
-    /// Releases the serve-path pressure the task's current phase holds.
-    fn release_pressure(&mut self, task_id: usize) {
-        if !self.tasks[task_id].pressure_registered {
+    /// Releases the serve-path pressure the attempt's current phase holds.
+    fn release_pressure(&mut self, task_id: usize, attempt: usize) {
+        if !self.tasks[task_id].attempts[attempt].pressure_registered {
             return;
         }
-        self.tasks[task_id].pressure_registered = false;
-        let phase = self.tasks[task_id].phases[self.tasks[task_id].current_phase].clone();
+        self.tasks[task_id].attempts[attempt].pressure_registered = false;
+        let phase_idx = self.tasks[task_id].attempts[attempt].current_phase;
+        let phase = self.tasks[task_id].attempts[attempt].phases[phase_idx].clone();
         for flow in &phase.flows {
             if let FlowTarget::ServePath { node } = flow.target {
                 debug_assert!(self.serve_pressure[node] > 0);
@@ -617,94 +1227,19 @@ impl<'a> Run<'a> {
         }
     }
 
-    /// Fault injection: the configured executor dies. Its running tasks
-    /// are lost and requeued, its pool and per-stage counters reset —
-    /// Spark's executor-loss handling.
-    fn on_executor_fail(&mut self, now: f64) {
-        let failure = self.cfg.executor_failure.expect("fail event implies config");
-        let e = failure.executor;
-        self.record(TraceEvent::ExecutorFailed { executor: e, at: now });
-        self.executor_down[e] = true;
-        self.driver_capacity[e] = 0;
-        self.driver_running[e] = 0;
-        // Reset every task currently on the executor.
-        let victims: Vec<usize> = (0..self.tasks.len())
-            .filter(|&t| {
-                self.tasks[t].executor == Some(e) && !self.tasks[t].phases.is_empty()
-                    && self.tasks[t].current_phase < self.tasks[t].phases.len()
-            })
-            .collect();
-        for task_id in victims {
-            self.release_pressure(task_id);
-            let flows = std::mem::take(&mut self.tasks[task_id].active_flows);
-            for (resource, flow) in flows {
-                let _ = self.kernel.cancel_flow(resource, flow);
-            }
-            let task = &mut self.tasks[task_id];
-            task.generation += 1;
-            task.executor = None;
-            task.phases.clear();
-            task.current_phase = 0;
-            task.outstanding = 0;
-            self.pending.push(task_id);
-        }
-        // Preserve the completed-task count for stage accounting, then
-        // reset the executor's sensors and pool.
-        self.lost_task_counts[e] += self.executors[e].stats.tasks_finished;
-        self.executors[e].begin_stage();
-        self.executors[e].pool = crate::executor::SlotPool::new(self.cfg.default_threads());
-        self.kernel.schedule_after(
-            SimTime::from_seconds(failure.downtime.max(1e-6)),
-            Event::ExecutorRecover { executor: e },
-        );
-        let _ = now;
-        self.try_assign(now);
-    }
-
-    /// The replacement executor registers: fresh pool, fresh controller
-    /// state, back into the scheduler's rotation.
-    fn on_executor_recover(&mut self, executor: usize, now: f64) {
-        if self.job_done {
-            return;
-        }
-        self.record(TraceEvent::ExecutorRecovered { executor, at: now });
-        self.executor_down[executor] = false;
-        let spec = &self.job.stages[self.current_stage];
-        let hint = (self.tasks.len() / self.cfg.nodes).max(1);
-        let threads = match self.policy {
-            ThreadPolicy::Adaptive(_) => {
-                let controller = self.executors[executor]
-                    .controller
-                    .as_mut()
-                    .expect("adaptive policy implies controller");
-                controller.stage_started(now, Some(hint))
-            }
-            policy => policy.initial_threads(
-                spec.info(self.current_stage),
-                self.cfg.node_spec.cores,
-                Some(hint),
-            ),
-        };
-        self.executors[executor].begin_stage();
-        self.executors[executor].pool.set_max_pool_size(threads);
-        self.driver_capacity[executor] = threads;
-        self.stage_decisions[executor].push(threads);
-        self.try_assign(now);
-    }
-
-    /// One flow of a task's current phase completed.
-    fn on_phase_flow_done(&mut self, task_id: usize, now: f64) {
-        self.tasks[task_id].outstanding -= 1;
-        if self.tasks[task_id].outstanding > 0 {
+    /// One flow of an attempt's current phase completed.
+    fn on_phase_flow_done(&mut self, task_id: usize, attempt: usize, now: f64) {
+        self.tasks[task_id].attempts[attempt].outstanding -= 1;
+        if self.tasks[task_id].attempts[attempt].outstanding > 0 {
             return;
         }
         // Whole phase complete: account it.
-        let executor = self.tasks[task_id].executor.expect("running task assigned");
-        let phase_idx = self.tasks[task_id].current_phase;
-        let phase = self.tasks[task_id].phases[phase_idx].clone();
-        let phase_duration = now - self.tasks[task_id].phase_started_at;
-        self.release_pressure(task_id);
-        self.tasks[task_id].active_flows.clear();
+        let executor = self.tasks[task_id].attempts[attempt].executor;
+        let phase_idx = self.tasks[task_id].attempts[attempt].current_phase;
+        let phase = self.tasks[task_id].attempts[attempt].phases[phase_idx].clone();
+        let phase_duration = now - self.tasks[task_id].attempts[attempt].phase_started_at;
+        self.release_pressure(task_id, attempt);
+        self.tasks[task_id].attempts[attempt].active_flows.clear();
         if phase.is_io() {
             self.executors[executor].stats.epoll_wait += phase_duration;
         }
@@ -733,12 +1268,162 @@ impl<'a> Run<'a> {
                 }
             }
         }
-        // Advance the task.
-        self.tasks[task_id].current_phase += 1;
-        if self.tasks[task_id].current_phase < self.tasks[task_id].phases.len() {
-            self.start_phase(task_id, now);
+        // Injected transient fault: the attempt dies after this phase.
+        if self.tasks[task_id].attempts[attempt].fail_after_phase == Some(phase_idx) {
+            self.fail_attempt_locally(task_id, attempt, executor, now);
+            return;
+        }
+        // Advance the attempt.
+        self.tasks[task_id].attempts[attempt].current_phase += 1;
+        if self.tasks[task_id].attempts[attempt].current_phase
+            < self.tasks[task_id].attempts[attempt].phases.len()
+        {
+            self.start_phase(task_id, attempt, now);
         } else {
-            self.on_task_finished(task_id, executor, now);
+            self.on_attempt_finished(task_id, attempt, executor, now);
+        }
+    }
+
+    /// The executor-side half of a transient failure: free the slot,
+    /// restart the poisoned monitoring interval, and report to the driver.
+    fn fail_attempt_locally(&mut self, task_id: usize, attempt: usize, executor: usize, now: f64) {
+        self.tasks[task_id].attempts[attempt].live = false;
+        self.executors[executor].pool.task_finished();
+        self.disturb_controller(executor, now);
+        self.send_rpc(Message::TaskFailed {
+            task: task_id,
+            executor,
+            attempt,
+        });
+    }
+
+    /// The driver learns of a transient attempt failure: it books the
+    /// failure, possibly blacklists the executor, and schedules a retry
+    /// with exponential backoff (or aborts when the budget is exhausted).
+    fn on_task_failed_rpc(&mut self, task_id: usize, executor: usize, attempt: usize, now: f64) {
+        self.driver_running[executor] = self.driver_running[executor].saturating_sub(1);
+        self.record(TraceEvent::TaskFailed {
+            task: task_id,
+            attempt,
+            executor,
+            at: now,
+        });
+        self.stage_failed_attempts += 1;
+        self.tasks[task_id].failures += 1;
+        if !self.tasks[task_id].failed_on.contains(&executor) {
+            self.tasks[task_id].failed_on.push(executor);
+        }
+        self.executor_task_failures[executor] += 1;
+        if !self.tasks[task_id].completed
+            && self.tasks[task_id].failures >= self.cfg.fault_tolerance.max_task_attempts
+        {
+            let err = JobError::MaxAttemptsExceeded {
+                task: task_id,
+                stage: self.tasks[task_id].stage,
+                attempts: self.tasks[task_id].failures,
+            };
+            self.abort(err, now);
+            return;
+        }
+        self.maybe_blacklist(executor, now);
+        if !self.tasks[task_id].completed
+            && !self.tasks[task_id].queued
+            && !self.tasks[task_id].has_live_attempt()
+        {
+            let base = self.cfg.fault_tolerance.retry_backoff_base;
+            if base > 0.0 {
+                let backoff = base * 2f64.powi(self.tasks[task_id].failures as i32 - 1);
+                let timer = self.kernel.schedule_after(
+                    SimTime::from_seconds(backoff),
+                    Event::RetryReady { task: task_id },
+                );
+                self.fault_timers.push(timer);
+            } else {
+                self.requeue_if_needed(task_id);
+            }
+        }
+        self.try_assign(now);
+    }
+
+    /// Blacklists an executor after repeated task failures — never the
+    /// last usable one, which would wedge the job.
+    fn maybe_blacklist(&mut self, executor: usize, now: f64) {
+        if self.blacklisted[executor] {
+            return;
+        }
+        if self.executor_task_failures[executor] < self.cfg.fault_tolerance.blacklist_after {
+            return;
+        }
+        let usable_elsewhere = (0..self.cfg.nodes)
+            .filter(|&e| e != executor && !self.blacklisted[e] && self.driver_sees_alive[e])
+            .count();
+        if usable_elsewhere == 0 {
+            return;
+        }
+        self.blacklisted[executor] = true;
+        self.blacklist_order.push(executor);
+        self.driver_capacity[executor] = 0;
+        self.record(TraceEvent::ExecutorBlacklisted { executor, at: now });
+    }
+
+    /// Speculative re-execution, evaluated at each metrics tick: once most
+    /// of the stage has completed, any attempt running far beyond the
+    /// median duration is cloned onto another executor; first finisher
+    /// wins, the loser is cancelled.
+    fn maybe_speculate(&mut self, now: f64) {
+        let enabled = self.faults_enabled() || self.cfg.fault_tolerance.speculation;
+        if !enabled || self.job_done || self.tasks.is_empty() {
+            return;
+        }
+        let total = self.tasks.len();
+        let done = total - self.stage_tasks_remaining;
+        if (done as f64) < self.cfg.fault_tolerance.speculation_quantile * total as f64 {
+            return;
+        }
+        if self.stage_attempt_durations.is_empty() {
+            return;
+        }
+        let mut durations = self.stage_attempt_durations.clone();
+        durations.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = durations[durations.len() / 2];
+        let threshold = self.cfg.fault_tolerance.speculation_multiplier * median;
+        for t in 0..total {
+            let task = &self.tasks[t];
+            if task.completed || task.speculated || task.queued {
+                continue;
+            }
+            let live: Vec<usize> = task.live_attempts().collect();
+            if live.len() != 1 {
+                continue;
+            }
+            let a = live[0];
+            if now - task.attempts[a].started_at <= threshold {
+                continue;
+            }
+            let current = task.attempts[a].executor;
+            // Clone onto the live, non-blacklisted executor with the most
+            // free capacity (lowest index on ties).
+            let target = (0..self.cfg.nodes)
+                .filter(|&e| {
+                    e != current
+                        && self.driver_sees_alive[e]
+                        && !self.blacklisted[e]
+                        && self.driver_running[e] < self.driver_capacity[e]
+                })
+                .max_by_key(|&e| {
+                    (
+                        self.driver_capacity[e] - self.driver_running[e],
+                        std::cmp::Reverse(e),
+                    )
+                });
+            let Some(target) = target else { continue };
+            self.tasks[t].speculated = true;
+            self.stage_spec_launched += 1;
+            self.driver_running[target] += 1;
+            self.send_rpc(Message::AssignTask {
+                task: t,
+                executor: target,
+            });
         }
     }
 
@@ -758,16 +1443,44 @@ impl<'a> Run<'a> {
         }
     }
 
-    fn on_task_finished(&mut self, task_id: usize, executor: usize, now: f64) {
+    fn on_attempt_finished(&mut self, task_id: usize, attempt: usize, executor: usize, now: f64) {
+        self.tasks[task_id].attempts[attempt].live = false;
+        self.executors[executor].pool.task_finished();
+        self.driver_running[executor] = self.driver_running[executor].saturating_sub(1);
+        if self.tasks[task_id].completed {
+            return;
+        }
+        self.tasks[task_id].completed = true;
+        // Cancel the losing twin(s), if any; their slots free immediately.
+        let losers: Vec<usize> = self.tasks[task_id].live_attempts().collect();
+        for l in losers {
+            let loser_exec = self.tasks[task_id].attempts[l].executor;
+            self.kill_attempt(task_id, l);
+            if self.executor_alive[loser_exec] {
+                self.executors[loser_exec].pool.task_finished();
+                self.disturb_controller(loser_exec, now);
+            }
+            self.driver_running[loser_exec] = self.driver_running[loser_exec].saturating_sub(1);
+        }
         self.record(TraceEvent::TaskFinished {
             task: task_id,
+            attempt,
             executor,
             at: now,
         });
-        self.executors[executor].pool.task_finished();
+        if self.tasks[task_id].attempts[attempt].speculative {
+            self.record(TraceEvent::SpeculativeWon {
+                task: task_id,
+                attempt,
+                executor,
+                at: now,
+            });
+            self.stage_spec_wins += 1;
+        }
         self.executors[executor].stats.tasks_finished += 1;
-        self.driver_running[executor] -= 1;
         self.stage_tasks_remaining -= 1;
+        self.stage_attempt_durations
+            .push(now - self.tasks[task_id].attempts[attempt].started_at);
 
         // MAPE-K: consult the controller with cumulative stage counters
         // (including the disk-busy seconds behind the alternative
@@ -794,13 +1507,10 @@ impl<'a> Run<'a> {
             });
             self.executors[executor].pool.set_max_pool_size(new_size);
             self.stage_decisions[executor].push(new_size);
-            self.kernel.schedule_after(
-                SimTime::from_seconds(self.cfg.rpc_latency),
-                Event::Rpc(Message::PoolSizeChanged {
-                    executor,
-                    size: new_size,
-                }),
-            );
+            self.send_rpc(Message::PoolSizeChanged {
+                executor,
+                size: new_size,
+            });
         }
 
         if self.stage_tasks_remaining == 0 {
@@ -849,8 +1559,7 @@ impl<'a> Run<'a> {
                 .zip(&self.last_sample_usage)
                 .map(|(cur, prev)| (cur.work_done - prev.work_done) / dt)
                 .sum();
-            self.stage_series
-                .push((now - self.stage_started_at, total));
+            self.stage_series.push((now - self.stage_started_at, total));
         }
         self.last_sample_usage = disks;
         self.last_sample_time = now;
@@ -860,6 +1569,7 @@ impl<'a> Run<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::FaultPlan;
     use crate::job::StageSpec;
     use sae_core::MapeConfig;
 
@@ -988,10 +1698,7 @@ mod tests {
         assert_eq!(stage_starts, report.stages.len());
         // Every task appears exactly once per executor count.
         let total_tasks: usize = report.stages.iter().map(|s| s.tasks).sum();
-        let started: usize = trace
-            .tasks_started_per_executor(report.nodes)
-            .iter()
-            .sum();
+        let started: usize = trace.tasks_started_per_executor(report.nodes).iter().sum();
         assert_eq!(started, total_tasks);
         // The export is parseable-ish JSON.
         let json = trace.to_chrome_trace();
@@ -1069,8 +1776,7 @@ mod tests {
         let policy = ThreadPolicy::Static(sae_core::StaticPolicy::new(8));
         let report = Engine::new(small_config(), policy).run(&simple_job());
         for stage in &report.stages {
-            let from_executors: usize =
-                stage.executors.iter().map(|e| e.final_threads).sum();
+            let from_executors: usize = stage.executors.iter().map(|e| e.final_threads).sum();
             assert_eq!(stage.threads_used, from_executors);
         }
     }
@@ -1093,5 +1799,178 @@ mod tests {
             t8 < t32,
             "8 threads should beat 32 on an I/O-bound HDD stage: {t8} vs {t32}"
         );
+    }
+
+    // ---- fault tolerance -------------------------------------------------
+
+    #[test]
+    fn try_run_matches_run_when_fault_free() {
+        let engine = Engine::new(small_config(), ThreadPolicy::Default);
+        let a = engine.try_run(&simple_job()).expect("fault-free run");
+        let b = engine.run(&simple_job());
+        assert_eq!(a.total_runtime.to_bits(), b.total_runtime.to_bits());
+    }
+
+    #[test]
+    fn fault_plan_field_does_not_perturb_fault_free_stream() {
+        // An engine carrying an *empty* fault plan pays for heartbeats but
+        // must still complete with the exact task/byte accounting.
+        let mut cfg = small_config();
+        cfg.fault_plan = Some(FaultPlan::new(3));
+        let report = Engine::new(cfg, ThreadPolicy::Default).run(&simple_job());
+        let baseline = Engine::new(small_config(), ThreadPolicy::Default).run(&simple_job());
+        assert_eq!(report.stages.len(), baseline.stages.len());
+        for (a, b) in report.stages.iter().zip(&baseline.stages) {
+            assert_eq!(a.tasks, b.tasks);
+            assert!((a.disk_read_mb - b.disk_read_mb).abs() < 1e-6);
+            assert!((a.disk_write_mb - b.disk_write_mb).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transient_failures_retry_and_complete() {
+        let mut cfg = small_config();
+        cfg.fault_plan = Some(FaultPlan::new(11).with_task_failures(0.2));
+        let (report, trace) = Engine::new(cfg, ThreadPolicy::Default)
+            .try_run_traced(&simple_job())
+            .expect("retries must absorb a 20% transient rate");
+        assert!(report.total_failed_attempts() > 0, "faults must fire");
+        assert!(report.total_attempts() > report.stages.iter().map(|s| s.tasks).sum::<usize>());
+        assert!(!trace.retried_tasks().is_empty());
+        assert_eq!(trace.failed_attempts(), report.total_failed_attempts());
+        // Every stage still accounts every task exactly once.
+        for stage in &report.stages {
+            assert_eq!(
+                stage.executors.iter().map(|e| e.tasks).sum::<usize>(),
+                stage.tasks
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_fault_runs_are_bit_identical() {
+        let mut cfg = small_config();
+        cfg.fault_plan = Some(
+            FaultPlan::new(5)
+                .with_task_failures(0.1)
+                .with_message_delay(0.002)
+                .with_heartbeat_loss(0.05),
+        );
+        let engine = Engine::new(cfg, ThreadPolicy::Default);
+        let r1 = engine.try_run(&simple_job()).expect("completes");
+        let r2 = engine.try_run(&simple_job()).expect("completes");
+        assert_eq!(r1.total_runtime.to_bits(), r2.total_runtime.to_bits());
+        assert_eq!(r1.total_attempts(), r2.total_attempts());
+        assert_eq!(r1.total_failed_attempts(), r2.total_failed_attempts());
+        for (a, b) in r1.stages.iter().zip(&r2.stages) {
+            assert_eq!(a.duration.to_bits(), b.duration.to_bits());
+            assert_eq!(a.disk_read_mb.to_bits(), b.disk_read_mb.to_bits());
+        }
+    }
+
+    #[test]
+    fn certain_failure_rate_aborts_cleanly() {
+        let mut cfg = small_config();
+        cfg.fault_plan = Some(FaultPlan::new(1).with_task_failures(0.97));
+        cfg.fault_tolerance.retry_backoff_base = 0.05;
+        let err = Engine::new(cfg, ThreadPolicy::Default)
+            .try_run(&simple_job())
+            .expect_err("a 97% failure rate must exhaust the retry budget");
+        let JobError::MaxAttemptsExceeded { attempts, .. } = err;
+        assert_eq!(attempts, 4);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn crash_is_detected_by_heartbeat_silence() {
+        let mut cfg = small_config();
+        cfg.fault_plan = Some(FaultPlan::new(2).with_crash(1, 3.0, 9.0));
+        let (report, trace) = Engine::new(cfg.clone(), ThreadPolicy::Default)
+            .try_run_traced(&simple_job())
+            .expect("job survives one crash");
+        let failed_at = trace
+            .events()
+            .iter()
+            .find_map(|e| match *e {
+                TraceEvent::ExecutorFailed { executor: 1, at } => Some(at),
+                _ => None,
+            })
+            .expect("loss must be detected");
+        // Detection is driven by heartbeat silence, never by an omniscient
+        // failure signal: it fires strictly after the crash, once the gap
+        // since the last pre-crash heartbeat exceeds the timeout.
+        assert!(failed_at > 3.0, "detected at {failed_at}");
+        let earliest =
+            3.0 + cfg.fault_tolerance.heartbeat_timeout - cfg.fault_tolerance.heartbeat_interval;
+        assert!(
+            failed_at >= earliest,
+            "detected at {failed_at}, before silence could exceed the timeout"
+        );
+        let recovered = trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ExecutorRecovered { executor: 1, .. }));
+        assert!(recovered, "replacement must re-register");
+        // Lost attempts show up as failures and reruns.
+        assert!(report.total_failed_attempts() > 0);
+        assert!(!trace.retried_tasks().is_empty());
+        for stage in &report.stages {
+            assert_eq!(
+                stage.executors.iter().map(|e| e.tasks).sum::<usize>(),
+                stage.tasks
+            );
+        }
+    }
+
+    #[test]
+    fn slowdown_stretches_the_stage() {
+        let job = JobSpec::builder("readonly")
+            .stage(StageSpec::read("ingest", 2048.0).cpu_per_mb(0.001))
+            .build();
+        let baseline = Engine::new(small_config(), ThreadPolicy::Default)
+            .run(&job)
+            .total_runtime;
+        let mut cfg = small_config();
+        cfg.fault_plan = Some(FaultPlan::new(4).with_slowdown(0, 5.0, 60.0, 1.0));
+        let slowed = Engine::new(cfg, ThreadPolicy::Default)
+            .try_run(&job)
+            .expect("slowdown is not fatal")
+            .total_runtime;
+        assert!(
+            slowed > baseline * 1.02,
+            "antagonist traffic must cost runtime: {slowed} vs {baseline}"
+        );
+    }
+
+    #[test]
+    fn speculation_reruns_stragglers_under_slowdown() {
+        let job = JobSpec::builder("readonly")
+            .stage(StageSpec::read("ingest", 2048.0).cpu_per_mb(0.001))
+            .build();
+        let mut cfg = small_config();
+        // A long severe slowdown turns node 0's tasks into stragglers.
+        cfg.fault_plan = Some(FaultPlan::new(6).with_slowdown(0, 2.0, 500.0, 1.0));
+        cfg.fault_tolerance.speculation_multiplier = 1.2;
+        cfg.fault_tolerance.speculation_quantile = 0.5;
+        let (report, trace) = Engine::new(cfg, ThreadPolicy::Default)
+            .try_run_traced(&job)
+            .expect("speculation keeps the job alive");
+        let launched: usize = report.stages.iter().map(|s| s.speculative_launched).sum();
+        assert!(launched > 0, "stragglers must be speculated");
+        let wins: usize = report.stages.iter().map(|s| s.speculative_wins).sum();
+        assert_eq!(wins, trace.speculative_wins());
+    }
+
+    #[test]
+    fn job_error_display_is_structured() {
+        let err = JobError::MaxAttemptsExceeded {
+            task: 7,
+            stage: 1,
+            attempts: 4,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("task 7"));
+        assert!(msg.contains("stage 1"));
+        assert!(msg.contains('4'));
     }
 }

@@ -46,8 +46,11 @@ mod report;
 mod task;
 mod trace;
 
-pub use config::{ConfigCategory, ConfigParameter, EngineConfig, ExecutorFailure, ParameterCatalog};
-pub use engine::Engine;
+pub use config::{
+    ConfigCategory, ConfigParameter, EngineConfig, ExecutorCrash, FaultPlan, FaultToleranceConfig,
+    NodeSlowdown, ParameterCatalog,
+};
+pub use engine::{Engine, JobError};
 pub use executor::{ExecutorStats, SlotPool};
 pub use job::{JobSpec, JobSpecBuilder, Operator, StageSpec};
 pub use messages::Message;

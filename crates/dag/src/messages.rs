@@ -24,6 +24,25 @@ pub enum Message {
         /// New maximum pool size.
         size: usize,
     },
+    /// Executor → driver: liveness beacon. Fire-and-forget: unlike the
+    /// other messages it may be dropped by a fault plan, and a silence
+    /// longer than the heartbeat timeout is how the driver *detects*
+    /// executor loss (there is no omniscient failure signal).
+    Heartbeat {
+        /// Reporting executor.
+        executor: usize,
+    },
+    /// Executor → driver: a task attempt failed (transient error). The
+    /// driver decides between retry with backoff, blacklisting the
+    /// executor, and aborting the job.
+    TaskFailed {
+        /// Global task index within the stage.
+        task: usize,
+        /// Executor the attempt ran on.
+        executor: usize,
+        /// Zero-based attempt number that failed.
+        attempt: usize,
+    },
 }
 
 #[cfg(test)]
@@ -45,5 +64,16 @@ mod tests {
                 size: 8
             }
         );
+    }
+
+    #[test]
+    fn failure_protocol_messages_carry_attempt() {
+        let f = Message::TaskFailed {
+            task: 3,
+            executor: 1,
+            attempt: 2,
+        };
+        assert_eq!(f, f);
+        assert_ne!(f, Message::Heartbeat { executor: 1 });
     }
 }

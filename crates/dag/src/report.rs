@@ -71,6 +71,16 @@ pub struct StageReport {
     pub duration: f64,
     /// Number of tasks.
     pub tasks: usize,
+    /// Task attempts launched during the stage (equals `tasks` in a
+    /// fault-free, non-speculative run).
+    pub attempts: usize,
+    /// Attempts that failed (transient faults or executor loss) and were
+    /// retried.
+    pub failed_attempts: usize,
+    /// Speculative straggler clones launched.
+    pub speculative_launched: usize,
+    /// Speculative clones that won against the original attempt.
+    pub speculative_wins: usize,
     /// Mean CPU busy fraction across nodes and time (exact integral).
     pub avg_cpu_busy: f64,
     /// Mean CPU iowait fraction (exact integral, clamped).
@@ -118,12 +128,24 @@ pub struct JobReport {
     pub input_mb: f64,
     /// Per-stage reports in order.
     pub stages: Vec<StageReport>,
+    /// Executors the driver blacklisted during the run, in order.
+    pub blacklisted_executors: Vec<usize>,
 }
 
 impl JobReport {
     /// Total disk I/O activity in MB across the job (Table 2's metric).
     pub fn total_disk_io_mb(&self) -> f64 {
         self.stages.iter().map(StageReport::disk_io_mb).sum()
+    }
+
+    /// Task attempts launched across the job.
+    pub fn total_attempts(&self) -> usize {
+        self.stages.iter().map(|s| s.attempts).sum()
+    }
+
+    /// Failed task attempts across the job.
+    pub fn total_failed_attempts(&self) -> usize {
+        self.stages.iter().map(|s| s.failed_attempts).sum()
     }
 
     /// I/O amplification: disk activity relative to input size.
@@ -146,6 +168,10 @@ mod tests {
             started_at: 0.0,
             duration: 1.0,
             tasks: 1,
+            attempts: 1,
+            failed_attempts: 0,
+            speculative_launched: 0,
+            speculative_wins: 0,
             avg_cpu_busy: 0.5,
             avg_cpu_iowait: 0.2,
             avg_disk_util: 0.8,
@@ -173,9 +199,12 @@ mod tests {
             total_runtime: 10.0,
             input_mb: 10.0,
             stages: vec![stage(10.0, 10.0), stage(5.0, 5.0)],
+            blacklisted_executors: Vec::new(),
         };
         assert_eq!(report.total_disk_io_mb(), 30.0);
         assert_eq!(report.io_amplification(), Some(3.0));
+        assert_eq!(report.total_attempts(), 2);
+        assert_eq!(report.total_failed_attempts(), 0);
     }
 
     #[test]
@@ -188,6 +217,7 @@ mod tests {
             total_runtime: 1.0,
             input_mb: 0.0,
             stages: Vec::new(),
+            blacklisted_executors: Vec::new(),
         };
         assert_eq!(report.io_amplification(), None);
     }

@@ -209,32 +209,85 @@ impl TaskPlan {
     }
 }
 
-/// Runtime state of a task.
+/// Runtime state of one attempt of a task on one executor.
+///
+/// A task may have several attempts over its lifetime — retries after
+/// transient failures or executor loss, plus at most one concurrent
+/// speculative clone — but each attempt runs its own phase plan to
+/// completion (or death) independently.
 #[derive(Debug, Clone)]
-pub(crate) struct TaskState {
-    /// Stage the task belongs to.
-    pub stage: usize,
-    /// Executor (= node) the task runs on; `None` until assigned.
-    pub executor: Option<usize>,
-    /// Preferred (data-local) nodes.
-    pub preferred_nodes: Vec<usize>,
-    /// The task's phase plan parameters (built on assignment, since the
-    /// executor determines locality).
+pub(crate) struct AttemptState {
+    /// Executor (= node) the attempt runs on.
+    pub executor: usize,
+    /// The attempt's phase plan (built on assignment, since the executor
+    /// determines locality).
     pub phases: Vec<Phase>,
     /// Index of the phase currently running.
     pub current_phase: usize,
     /// Flows of the current phase still in flight.
     pub outstanding: usize,
+    /// When the attempt started (for straggler detection).
+    pub started_at: f64,
     /// When the current phase started (for ε accounting).
     pub phase_started_at: f64,
-    /// Bumped whenever the task is reset (executor loss); stale kernel
-    /// events carrying an older generation are ignored.
-    pub generation: u32,
     /// Kernel handles of the current phase's in-flight flows (for
-    /// cancellation on executor loss).
+    /// cancellation on executor loss or speculative defeat).
     pub active_flows: Vec<(sae_sim::ResourceId, sae_sim::FlowId)>,
+    /// Pending incast-stall timer, cancellable when the attempt dies.
+    pub stall_timer: Option<sae_sim::TimerId>,
     /// Whether the current phase has registered serve-path pressure.
     pub pressure_registered: bool,
+    /// Whether the attempt is still running. Dead attempts (failed,
+    /// cancelled, or superseded) ignore any straggler kernel events.
+    pub live: bool,
+    /// Whether this attempt is a speculative clone.
+    pub speculative: bool,
+    /// Injected transient fault: the attempt fails after completing this
+    /// phase (drawn from the fault RNG at assignment).
+    pub fail_after_phase: Option<usize>,
+}
+
+impl AttemptState {
+    /// Creates a freshly assigned attempt.
+    pub fn new(executor: usize, phases: Vec<Phase>, started_at: f64, speculative: bool) -> Self {
+        Self {
+            executor,
+            phases,
+            current_phase: 0,
+            outstanding: 0,
+            started_at,
+            phase_started_at: started_at,
+            active_flows: Vec::new(),
+            stall_timer: None,
+            pressure_registered: false,
+            live: true,
+            speculative,
+            fail_after_phase: None,
+        }
+    }
+}
+
+/// Runtime state of a task across all its attempts.
+#[derive(Debug, Clone)]
+pub(crate) struct TaskState {
+    /// Stage the task belongs to.
+    pub stage: usize,
+    /// Preferred (data-local) nodes.
+    pub preferred_nodes: Vec<usize>,
+    /// Every attempt ever made, in launch order. The attempt number in
+    /// messages and traces is the index into this vector.
+    pub attempts: Vec<AttemptState>,
+    /// Executors on which an attempt of this task has already failed
+    /// (avoided on retry when an alternative exists).
+    pub failed_on: Vec<usize>,
+    /// Failed attempts so far (drives the retry budget and backoff).
+    pub failures: usize,
+    /// Whether a winning attempt has completed.
+    pub completed: bool,
+    /// Whether the task currently sits in the driver's pending queue.
+    pub queued: bool,
+    /// Whether a speculative clone has been requested or launched.
+    pub speculated: bool,
 }
 
 impl TaskState {
@@ -242,22 +295,28 @@ impl TaskState {
     pub fn new(stage: usize, preferred_nodes: Vec<usize>) -> Self {
         Self {
             stage,
-            executor: None,
             preferred_nodes,
-            phases: Vec::new(),
-            current_phase: 0,
-            outstanding: 0,
-            phase_started_at: 0.0,
-            generation: 0,
-            active_flows: Vec::new(),
-            pressure_registered: false,
+            attempts: Vec::new(),
+            failed_on: Vec::new(),
+            failures: 0,
+            completed: false,
+            queued: true,
+            speculated: false,
         }
     }
 
-    /// Whether every phase has completed.
-    #[cfg(test)]
-    pub fn is_finished(&self) -> bool {
-        !self.phases.is_empty() && self.current_phase >= self.phases.len()
+    /// Indices of attempts that are still running.
+    pub fn live_attempts(&self) -> impl Iterator<Item = usize> + '_ {
+        self.attempts
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.live)
+            .map(|(i, _)| i)
+    }
+
+    /// Whether any attempt is currently running.
+    pub fn has_live_attempt(&self) -> bool {
+        self.attempts.iter().any(|a| a.live)
     }
 }
 
@@ -372,10 +431,30 @@ mod tests {
     #[test]
     fn task_state_lifecycle() {
         let mut t = TaskState::new(1, vec![0, 1]);
-        assert!(!t.is_finished());
-        t.phases = plan().build_phases();
-        t.current_phase = t.phases.len();
-        assert!(t.is_finished());
+        assert!(t.queued);
+        assert!(!t.has_live_attempt());
+        t.attempts
+            .push(AttemptState::new(0, plan().build_phases(), 0.0, false));
+        t.queued = false;
+        assert!(t.has_live_attempt());
+        assert_eq!(t.live_attempts().collect::<Vec<_>>(), vec![0]);
+        t.attempts[0].live = false;
+        t.failures += 1;
+        t.failed_on.push(0);
+        assert!(!t.has_live_attempt());
+    }
+
+    #[test]
+    fn speculative_clone_tracked_separately() {
+        let mut t = TaskState::new(0, vec![0]);
+        t.attempts
+            .push(AttemptState::new(0, plan().build_phases(), 0.0, false));
+        t.attempts
+            .push(AttemptState::new(1, plan().build_phases(), 5.0, true));
+        t.speculated = true;
+        assert_eq!(t.live_attempts().count(), 2);
+        assert!(t.attempts[1].speculative);
+        assert!(!t.attempts[0].speculative);
     }
 
     #[test]

@@ -23,20 +23,37 @@ pub enum TraceEvent {
         /// Simulated time.
         at: f64,
     },
-    /// A task began executing on an executor.
+    /// A task attempt began executing on an executor.
     TaskStarted {
         /// Global task index within the stage.
         task: usize,
+        /// Zero-based attempt number (`> 0` for retries and clones).
+        attempt: usize,
+        /// Executor (= node).
+        executor: usize,
+        /// Whether this attempt is a speculative clone of a straggler.
+        speculative: bool,
+        /// Simulated time.
+        at: f64,
+    },
+    /// A task attempt finished successfully (the winning attempt).
+    TaskFinished {
+        /// Global task index within the stage.
+        task: usize,
+        /// Zero-based attempt number that won.
+        attempt: usize,
         /// Executor (= node).
         executor: usize,
         /// Simulated time.
         at: f64,
     },
-    /// A task finished.
-    TaskFinished {
+    /// A task attempt failed — a transient fault or an executor loss.
+    TaskFailed {
         /// Global task index within the stage.
         task: usize,
-        /// Executor (= node).
+        /// Zero-based attempt number that failed.
+        attempt: usize,
+        /// Executor (= node) the attempt ran on.
         executor: usize,
         /// Simulated time.
         at: f64,
@@ -64,6 +81,24 @@ pub enum TraceEvent {
         /// Simulated time.
         at: f64,
     },
+    /// The driver blacklisted an executor after repeated task failures.
+    ExecutorBlacklisted {
+        /// Executor (= node).
+        executor: usize,
+        /// Simulated time.
+        at: f64,
+    },
+    /// A speculative clone beat the original attempt to completion.
+    SpeculativeWon {
+        /// Global task index within the stage.
+        task: usize,
+        /// The winning (speculative) attempt number.
+        attempt: usize,
+        /// Executor the winning clone ran on.
+        executor: usize,
+        /// Simulated time.
+        at: f64,
+    },
 }
 
 impl TraceEvent {
@@ -74,9 +109,12 @@ impl TraceEvent {
             | TraceEvent::StageFinished { at, .. }
             | TraceEvent::TaskStarted { at, .. }
             | TraceEvent::TaskFinished { at, .. }
+            | TraceEvent::TaskFailed { at, .. }
             | TraceEvent::PoolResized { at, .. }
             | TraceEvent::ExecutorFailed { at, .. }
-            | TraceEvent::ExecutorRecovered { at, .. } => at,
+            | TraceEvent::ExecutorRecovered { at, .. }
+            | TraceEvent::ExecutorBlacklisted { at, .. }
+            | TraceEvent::SpeculativeWon { at, .. } => at,
         }
     }
 }
@@ -95,7 +133,9 @@ impl ExecutionTrace {
 
     pub(crate) fn record(&mut self, event: TraceEvent) {
         debug_assert!(
-            self.events.last().map_or(true, |e| event.at() >= e.at() - 1e-9),
+            self.events
+                .last()
+                .is_none_or(|e| event.at() >= e.at() - 1e-9),
             "trace must be chronological"
         );
         self.events.push(event);
@@ -142,6 +182,49 @@ impl ExecutionTrace {
         counts
     }
 
+    /// Task ids that ran more than one attempt (retries or clones),
+    /// sorted and deduplicated.
+    pub fn retried_tasks(&self) -> Vec<usize> {
+        let mut tasks: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::TaskStarted { task, attempt, .. } if attempt > 0 => Some(task),
+                _ => None,
+            })
+            .collect();
+        tasks.sort_unstable();
+        tasks.dedup();
+        tasks
+    }
+
+    /// Number of failed task attempts in the trace.
+    pub fn failed_attempts(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TaskFailed { .. }))
+            .count()
+    }
+
+    /// Number of speculative wins in the trace.
+    pub fn speculative_wins(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SpeculativeWon { .. }))
+            .count()
+    }
+
+    /// Executors the driver blacklisted, in order.
+    pub fn blacklisted_executors(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::ExecutorBlacklisted { executor, .. } => Some(executor),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Exports the trace in the Chrome trace-event JSON format.
     ///
     /// Stages become duration events on a "driver" row; tasks become
@@ -163,14 +246,42 @@ impl ExecutionTrace {
                     r#"{{"name":"stage-{stage}","ph":"E","ts":{},"pid":0,"tid":0}}"#,
                     us(at)
                 ),
-                TraceEvent::TaskStarted { task, executor, at } => format!(
-                    r#"{{"name":"task-{task}","ph":"B","ts":{},"pid":1,"tid":{executor}}}"#,
+                TraceEvent::TaskStarted {
+                    task,
+                    attempt,
+                    executor,
+                    at,
+                    ..
+                } => format!(
+                    r#"{{"name":"task-{task}.{attempt}","ph":"B","ts":{},"pid":1,"tid":{executor}}}"#,
                     us(at)
                 ),
-                TraceEvent::TaskFinished { task, executor, at } => format!(
-                    r#"{{"name":"task-{task}","ph":"E","ts":{},"pid":1,"tid":{executor}}}"#,
+                TraceEvent::TaskFinished {
+                    task,
+                    attempt,
+                    executor,
+                    at,
+                } => format!(
+                    r#"{{"name":"task-{task}.{attempt}","ph":"E","ts":{},"pid":1,"tid":{executor}}}"#,
                     us(at)
                 ),
+                TraceEvent::TaskFailed {
+                    task,
+                    attempt,
+                    executor,
+                    at,
+                } => {
+                    // Close the attempt's duration slice, then mark the
+                    // failure as an instant.
+                    entries.push(format!(
+                        r#"{{"name":"task-{task}.{attempt}","ph":"E","ts":{},"pid":1,"tid":{executor}}}"#,
+                        us(at)
+                    ));
+                    format!(
+                        r#"{{"name":"task-failed","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"t"}}"#,
+                        us(at)
+                    )
+                }
                 TraceEvent::PoolResized { executor, to, at } => format!(
                     r#"{{"name":"{}","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"t"}}"#,
                     esc(&format!("resize->{to}")),
@@ -182,6 +293,20 @@ impl ExecutionTrace {
                 ),
                 TraceEvent::ExecutorRecovered { executor, at } => format!(
                     r#"{{"name":"executor-recovered","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"p"}}"#,
+                    us(at)
+                ),
+                TraceEvent::ExecutorBlacklisted { executor, at } => format!(
+                    r#"{{"name":"executor-blacklisted","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"p"}}"#,
+                    us(at)
+                ),
+                TraceEvent::SpeculativeWon {
+                    task,
+                    attempt,
+                    executor,
+                    at,
+                } => format!(
+                    r#"{{"name":"{}","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"t"}}"#,
+                    esc(&format!("speculative-won-task-{task}.{attempt}")),
                     us(at)
                 ),
             };
@@ -200,7 +325,9 @@ mod tests {
         t.record(TraceEvent::StageStarted { stage: 0, at: 0.0 });
         t.record(TraceEvent::TaskStarted {
             task: 0,
+            attempt: 0,
             executor: 1,
+            speculative: false,
             at: 0.5,
         });
         t.record(TraceEvent::PoolResized {
@@ -210,6 +337,7 @@ mod tests {
         });
         t.record(TraceEvent::TaskFinished {
             task: 0,
+            attempt: 0,
             executor: 1,
             at: 2.0,
         });
@@ -254,5 +382,56 @@ mod tests {
     #[test]
     fn empty_trace_exports_empty_array() {
         assert_eq!(ExecutionTrace::new().to_chrome_trace(), "[]");
+    }
+
+    #[test]
+    fn failure_queries_surface_retries_and_blacklists() {
+        let mut t = ExecutionTrace::new();
+        t.record(TraceEvent::TaskStarted {
+            task: 3,
+            attempt: 0,
+            executor: 0,
+            speculative: false,
+            at: 0.0,
+        });
+        t.record(TraceEvent::TaskFailed {
+            task: 3,
+            attempt: 0,
+            executor: 0,
+            at: 1.0,
+        });
+        t.record(TraceEvent::TaskStarted {
+            task: 3,
+            attempt: 1,
+            executor: 1,
+            speculative: false,
+            at: 2.0,
+        });
+        t.record(TraceEvent::ExecutorBlacklisted {
+            executor: 0,
+            at: 3.0,
+        });
+        t.record(TraceEvent::TaskStarted {
+            task: 5,
+            attempt: 1,
+            executor: 2,
+            speculative: true,
+            at: 4.0,
+        });
+        t.record(TraceEvent::SpeculativeWon {
+            task: 5,
+            attempt: 1,
+            executor: 2,
+            at: 6.0,
+        });
+        assert_eq!(t.retried_tasks(), vec![3, 5]);
+        assert_eq!(t.failed_attempts(), 1);
+        assert_eq!(t.speculative_wins(), 1);
+        assert_eq!(t.blacklisted_executors(), vec![0]);
+        // The failed attempt closes its duration slice in the export.
+        let json = t.to_chrome_trace();
+        assert!(json.contains("task-3.0"));
+        assert!(json.contains("task-failed"));
+        assert!(json.contains("executor-blacklisted"));
     }
 }

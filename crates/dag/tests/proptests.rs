@@ -3,16 +3,16 @@
 
 use proptest::prelude::*;
 use sae_core::{StaticPolicy, ThreadPolicy};
-use sae_dag::{Engine, EngineConfig, JobSpec, StageSpec};
+use sae_dag::{Engine, EngineConfig, FaultPlan, JobSpec, StageSpec, TraceEvent};
 
 /// A random but valid job: 1–4 stages, the first reading from the DFS,
 /// later stages chained through shuffles.
 fn arb_job() -> impl Strategy<Value = JobSpec> {
     (
-        64.0f64..2048.0,                       // input MB
-        0.0f64..0.2,                           // cpu per MB
+        64.0f64..2048.0,                          // input MB
+        0.0f64..0.2,                              // cpu per MB
         prop::collection::vec(0.1f64..1.0, 0..3), // shuffle chain fractions
-        prop::bool::ANY,                       // write output?
+        prop::bool::ANY,                          // write output?
     )
         .prop_map(|(input, cpu, chain, write)| {
             let mut builder = JobSpec::builder("prop-job");
@@ -60,6 +60,26 @@ fn small_cluster() -> EngineConfig {
     cfg.nodes = 2;
     cfg.block_size_mb = 64;
     cfg
+}
+
+/// A random but valid fault plan: an optional transient failure rate and
+/// an optional early crash on a two-node cluster.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        0u64..1024,
+        prop::option::of(0.01f64..0.25),
+        prop::option::of((0usize..2, 1.0f64..40.0, 1.0f64..25.0)),
+    )
+        .prop_map(|(seed, failures, crash)| {
+            let mut plan = FaultPlan::new(seed);
+            if let Some(p) = failures {
+                plan = plan.with_task_failures(p);
+            }
+            if let Some((executor, at, downtime)) = crash {
+                plan = plan.with_crash(executor, at, downtime);
+            }
+            plan
+        })
 }
 
 proptest! {
@@ -134,6 +154,51 @@ proptest! {
                     prop_assert!((2..=32).contains(&d), "decision {d}");
                 }
             }
+        }
+    }
+
+    /// A seeded fault plan is part of the pure function: reruns either
+    /// complete with bit-identical accounting or fail with the same error.
+    #[test]
+    fn fault_injected_runs_deterministic(job in arb_job(), plan in arb_fault_plan()) {
+        let mut cfg = small_cluster();
+        cfg.fault_plan = Some(plan);
+        let engine = Engine::new(cfg, ThreadPolicy::Default);
+        match (engine.try_run(&job), engine.try_run(&job)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.total_runtime.to_bits(), b.total_runtime.to_bits());
+                prop_assert_eq!(a.total_attempts(), b.total_attempts());
+                prop_assert_eq!(a.total_failed_attempts(), b.total_failed_attempts());
+                for (x, y) in a.stages.iter().zip(&b.stages) {
+                    prop_assert_eq!(x.duration.to_bits(), y.duration.to_bits());
+                    prop_assert_eq!(x.disk_read_mb.to_bits(), y.disk_read_mb.to_bits());
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "outcomes diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Once the driver blacklists an executor, no further attempt ever
+    /// starts on it.
+    #[test]
+    fn blacklisted_executors_receive_no_work(job in arb_job(), seed in 0u64..512) {
+        let mut cfg = small_cluster();
+        cfg.fault_plan = Some(FaultPlan::new(seed).with_task_failures(0.15));
+        let engine = Engine::new(cfg, ThreadPolicy::Default);
+        if let Ok((report, trace)) = engine.try_run_traced(&job) {
+            let mut banned = Vec::new();
+            for event in trace.events() {
+                match *event {
+                    TraceEvent::ExecutorBlacklisted { executor, .. } => banned.push(executor),
+                    TraceEvent::TaskStarted { executor, at, .. } => prop_assert!(
+                        !banned.contains(&executor),
+                        "blacklisted executor {executor} started a task at {at}"
+                    ),
+                    _ => {}
+                }
+            }
+            prop_assert_eq!(banned, report.blacklisted_executors);
         }
     }
 }

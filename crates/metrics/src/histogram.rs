@@ -61,7 +61,11 @@ impl Histogram {
         let idx = Self::bucket_index(value);
         self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.inner.count.fetch_add(1, Ordering::Relaxed);
-        let v = if value.is_finite() { value.max(0.0) } else { 0.0 };
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
         atomic_f64_update(&self.inner.sum_bits, |s| s + v);
         atomic_f64_update(&self.inner.min_bits, |m| m.min(v));
         atomic_f64_update(&self.inner.max_bits, |m| m.max(v));

@@ -84,7 +84,10 @@ mod tests {
 
     #[test]
     fn mpstat_has_one_row_per_stage() {
-        let stages = vec![summary(0, 0.06, 0.9, 0.95, 10.0), summary(1, 0.15, 0.8, 0.9, 5.0)];
+        let stages = vec![
+            summary(0, 0.06, 0.9, 0.95, 10.0),
+            summary(1, 0.15, 0.8, 0.9, 5.0),
+        ];
         let report = mpstat_report(&stages);
         assert_eq!(report.lines().count(), 3);
         assert!(report.contains("stage-0"));

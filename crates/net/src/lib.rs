@@ -236,7 +236,10 @@ mod tests {
             done = at.seconds();
         }
         let ideal = 100.0 * per_flow / FabricConfig::das5().ingress_bandwidth;
-        assert!(done > ideal * 2.0, "incast invisible: {done} vs ideal {ideal}");
+        assert!(
+            done > ideal * 2.0,
+            "incast invisible: {done} vs ideal {ideal}"
+        );
     }
 
     #[test]

@@ -162,10 +162,7 @@ mod tests {
 
     #[test]
     fn stage_boundary_resets_to_c_min() {
-        let pool = AdaptivePool::new(
-            MapeConfig::new(2, 8),
-            Arc::new(|| (0.0, 0.0)),
-        );
+        let pool = AdaptivePool::new(MapeConfig::new(2, 8), Arc::new(|| (0.0, 0.0)));
         assert_eq!(pool.current_threads(), 8);
         pool.stage_started(Some(100));
         assert_eq!(pool.current_threads(), 2);
@@ -174,10 +171,7 @@ mod tests {
 
     #[test]
     fn short_stage_skips_adaptation() {
-        let pool = AdaptivePool::new(
-            MapeConfig::new(2, 8),
-            Arc::new(|| (0.0, 0.0)),
-        );
+        let pool = AdaptivePool::new(MapeConfig::new(2, 8), Arc::new(|| (0.0, 0.0)));
         pool.stage_started(Some(2));
         assert_eq!(pool.current_threads(), 8);
         assert!(pool.settled());
@@ -187,10 +181,7 @@ mod tests {
     #[test]
     fn cpu_bound_workload_reaches_max() {
         // Zero I/O: the controller should end at c_max.
-        let pool = AdaptivePool::new(
-            MapeConfig::new(2, 8),
-            Arc::new(|| (0.0, 0.0)),
-        );
+        let pool = AdaptivePool::new(MapeConfig::new(2, 8), Arc::new(|| (0.0, 0.0)));
         pool.stage_started(Some(500));
         for _ in 0..100 {
             pool.submit(|| {

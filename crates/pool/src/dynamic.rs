@@ -21,6 +21,9 @@ pub struct PoolMetrics {
     pub completed: u64,
     /// Tasks that panicked (contained, the worker survived).
     pub panicked: u64,
+    /// Panic payload messages, in completion order (`"<non-string panic>"`
+    /// when the payload was not a string).
+    pub panic_messages: Vec<String>,
     /// Current maximum pool size.
     pub max_size: usize,
     /// Workers currently alive (may briefly exceed `max_size` right after
@@ -39,6 +42,7 @@ struct Shared {
     submitted: Counter,
     completed: Counter,
     panicked: Counter,
+    panic_messages: Mutex<Vec<String>>,
     queue_depth: Gauge,
     exec_seconds: Histogram,
 }
@@ -116,6 +120,7 @@ impl DynamicThreadPool {
             submitted: registry.counter("pool.tasks_submitted"),
             completed: registry.counter("pool.tasks_completed"),
             panicked: registry.counter("pool.tasks_panicked"),
+            panic_messages: Mutex::new(Vec::new()),
             queue_depth: registry.gauge("pool.queue_depth"),
             exec_seconds: registry.histogram("pool.exec_seconds"),
         });
@@ -175,6 +180,7 @@ impl DynamicThreadPool {
             submitted: self.shared.submitted.value(),
             completed: self.shared.completed.value(),
             panicked: self.shared.panicked.value(),
+            panic_messages: self.shared.panic_messages.lock().clone(),
             max_size: self.shared.max_size.load(Ordering::Acquire),
             live_workers: self.shared.live_workers.load(Ordering::Acquire),
             busy_workers: self.shared.busy_workers.load(Ordering::Acquire),
@@ -243,13 +249,19 @@ fn run_job(shared: &Shared, job: Job) {
     shared.busy_workers.fetch_add(1, Ordering::AcqRel);
     let start = std::time::Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(job));
-    shared
-        .exec_seconds
-        .record(start.elapsed().as_secs_f64());
+    shared.exec_seconds.record(start.elapsed().as_secs_f64());
     shared.busy_workers.fetch_sub(1, Ordering::AcqRel);
     match outcome {
         Ok(()) => shared.completed.inc(),
-        Err(_) => shared.panicked.inc(),
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&'static str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic>".to_owned());
+            shared.panic_messages.lock().push(message);
+            shared.panicked.inc();
+        }
     }
 }
 
@@ -364,6 +376,60 @@ mod tests {
         let m = pool.metrics();
         assert_eq!(m.panicked, 1);
         assert_eq!(m.completed, 10);
+        assert_eq!(m.panic_messages, vec!["boom".to_owned()]);
+    }
+
+    #[test]
+    fn formatted_panic_payloads_are_captured() {
+        let pool = DynamicThreadPool::new(1);
+        pool.submit(|| panic!("task {} failed", 7));
+        pool.submit(|| std::panic::panic_any(42_u32));
+        pool.shutdown();
+        let m = pool.metrics();
+        assert_eq!(m.panicked, 2);
+        assert!(m.panic_messages.contains(&"task 7 failed".to_owned()));
+        assert!(m.panic_messages.contains(&"<non-string panic>".to_owned()));
+    }
+
+    #[test]
+    fn resize_racing_panics_keeps_pool_alive_and_bounded() {
+        const MIN: usize = 2;
+        const MAX: usize = 8;
+        let mut pool = DynamicThreadPool::new(MAX);
+        // Interleave panicking and sleeping tasks with rapid resizes.
+        for round in 0..30 {
+            for k in 0..4 {
+                if (round + k) % 3 == 0 {
+                    pool.submit(move || panic!("chaos {round}:{k}"));
+                } else {
+                    pool.submit(|| std::thread::sleep(Duration::from_millis(1)));
+                }
+            }
+            let size = if round % 2 == 0 { MIN } else { MAX };
+            pool.set_max_pool_size(size);
+            assert!((MIN..=MAX).contains(&pool.max_pool_size()));
+        }
+        pool.set_max_pool_size(MIN);
+        // Let surplus workers retire, then prove the pool still executes.
+        std::thread::sleep(Duration::from_millis(100));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 20, "pool died under chaos");
+        let m = pool.metrics();
+        assert!(m.panicked > 0, "no panics were injected");
+        assert_eq!(m.panicked as usize, m.panic_messages.len());
+        assert!(
+            m.live_workers <= MAX,
+            "live workers {} above max",
+            m.live_workers
+        );
+        assert_eq!(m.completed + m.panicked, m.submitted);
     }
 
     #[test]

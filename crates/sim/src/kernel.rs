@@ -269,6 +269,10 @@ impl<P> Kernel<P> {
     ///
     /// Multiple flows finishing at the same instant are delivered one per
     /// call, in deterministic (flow-id) order.
+    ///
+    /// Not an `Iterator`: advancing mutates capacity state, and callers
+    /// interleave `next` with `start_flow`/`cancel_flow` between calls.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Occurrence<P>> {
         loop {
             if let Some(occ) = self.pending.pop_front() {

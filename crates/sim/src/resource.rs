@@ -119,7 +119,9 @@ impl<P> Resource<P> {
             .flows
             .values()
             .map(|f| f.remaining)
-            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |m| m.min(v))))
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |m| m.min(v)))
+            })
         else {
             return Vec::new();
         };

@@ -114,7 +114,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_seconds(3.0),
             SimTime::from_seconds(1.0),
             SimTime::from_seconds(2.0),

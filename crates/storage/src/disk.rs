@@ -61,11 +61,7 @@ impl Disk {
     /// # Panics
     ///
     /// Panics if `speed_factor` is not finite and positive.
-    pub fn register<P>(
-        kernel: &mut Kernel<P>,
-        profile: DeviceProfile,
-        speed_factor: f64,
-    ) -> Self {
+    pub fn register<P>(kernel: &mut Kernel<P>, profile: DeviceProfile, speed_factor: f64) -> Self {
         assert!(
             speed_factor.is_finite() && speed_factor > 0.0,
             "speed factor must be finite and positive, got {speed_factor}"
@@ -117,7 +113,7 @@ mod tests {
     use super::*;
     use sae_sim::Occurrence;
 
-    fn time_to_read<P: Default + Copy>(profile: DeviceProfile, factor: f64, streams: usize) -> f64 {
+    fn time_to_read(profile: DeviceProfile, factor: f64, streams: usize) -> f64 {
         let mut kernel: Kernel<u32> = Kernel::new();
         let disk = Disk::register(&mut kernel, profile, factor);
         for i in 0..streams {
@@ -145,7 +141,7 @@ mod tests {
             .bandwidth(&[(DiskClass::Read, 1)])
             .min(hdd.per_stream_cap());
         let expected = 1000.0 / rate;
-        let measured = time_to_read::<u32>(hdd, 1.0, 1);
+        let measured = time_to_read(hdd, 1.0, 1);
         assert!((measured - expected).abs() < 1e-6);
     }
 
@@ -153,7 +149,7 @@ mod tests {
     fn aggregate_throughput_rises_with_streams_below_saturation() {
         // 1 stream: 60 MB/s; 3 streams: 180 MB/s — the µ-rises-with-n
         // behaviour behind Figure 7's falling congestion index.
-        let t1 = time_to_read::<u32>(DeviceProfile::hdd_7200(), 1.0, 1);
+        let t1 = time_to_read(DeviceProfile::hdd_7200(), 1.0, 1);
         let t3 = {
             let mut kernel: Kernel<u32> = Kernel::new();
             let disk = Disk::register(&mut kernel, DeviceProfile::hdd_7200(), 1.0);
@@ -176,8 +172,8 @@ mod tests {
     fn slow_node_is_proportionally_slower() {
         // With enough streams the device envelope (which scales with the
         // node factor) binds, so a half-speed node takes twice as long.
-        let t_fast = time_to_read::<u32>(DeviceProfile::hdd_7200(), 1.0, 16);
-        let t_slow = time_to_read::<u32>(DeviceProfile::hdd_7200(), 0.5, 16);
+        let t_fast = time_to_read(DeviceProfile::hdd_7200(), 1.0, 16);
+        let t_slow = time_to_read(DeviceProfile::hdd_7200(), 0.5, 16);
         assert!((t_slow / t_fast - 2.0).abs() < 1e-6);
     }
 

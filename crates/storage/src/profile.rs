@@ -111,7 +111,10 @@ impl DeviceProfile {
         fragment_penalty: f64,
         per_stream_cap: f64,
     ) -> Self {
-        assert!(read_peak > 0.0 && write_peak > 0.0, "peaks must be positive");
+        assert!(
+            read_peak > 0.0 && write_peak > 0.0,
+            "peaks must be positive"
+        );
         assert!(
             mix_penalty > 0.0 && mix_penalty <= 1.0,
             "mix penalty must be in (0, 1]"

@@ -6,7 +6,7 @@ use sae_sim::rng::DeterministicRng;
 ///
 /// Real clusters show substantial I/O performance spread even across
 /// identically specced nodes (Figure 3: reading/writing 30 GB varies by
-/// >2x across DAS-5 nodes). We model a node's speed as
+/// \>2x across DAS-5 nodes). We model a node's speed as
 /// `1 / lognormal(0, sigma)`, optionally degraded further for a small
 /// fraction of "outlier" nodes (failing disks, background daemons).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,8 +99,9 @@ impl NodeVariability {
 
     /// The speed factor for `node_id`, in `[min_factor, max_factor]`.
     pub fn speed_factor(&self, node_id: usize) -> f64 {
-        let mut rng =
-            DeterministicRng::seed(self.seed ^ (node_id as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let mut rng = DeterministicRng::seed(
+            self.seed ^ (node_id as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+        );
         let mut factor = if self.config.sigma == 0.0 {
             1.0
         } else {

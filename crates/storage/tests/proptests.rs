@@ -5,11 +5,11 @@ use sae_storage::{ContentionCurve, DeviceProfile, DiskClass, NodeVariability, Va
 
 fn arb_curve() -> impl Strategy<Value = ContentionCurve> {
     (
-        0.1f64..=1.0,   // single-stream fraction
-        0.5f64..10.0,   // ramp tau
-        0.0f64..64.0,   // free streams
-        0.0f64..0.2,    // alpha
-        0.5f64..2.5,    // beta
+        0.1f64..=1.0, // single-stream fraction
+        0.5f64..10.0, // ramp tau
+        0.0f64..64.0, // free streams
+        0.0f64..0.2,  // alpha
+        0.5f64..2.5,  // beta
     )
         .prop_map(|(a, tau, free, alpha, beta)| ContentionCurve::new(a, tau, free, alpha, beta))
 }

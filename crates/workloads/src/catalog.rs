@@ -278,9 +278,7 @@ mod tests {
         let base = WorkloadKind::Terasort.build_scaled(1.0);
         let scaled = WorkloadKind::Terasort.build_scaled(4.0);
         assert!((scaled.input_mb / base.input_mb - 4.0).abs() < 1e-9);
-        assert!(
-            (scaled.expected_io_mb(4) / base.expected_io_mb(4) - 4.0).abs() < 1e-9
-        );
+        assert!((scaled.expected_io_mb(4) / base.expected_io_mb(4) - 4.0).abs() < 1e-9);
     }
 
     #[test]

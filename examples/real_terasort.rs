@@ -19,7 +19,11 @@ use sae::workloads::datagen::{teragen, RangePartitioner, TeraRecord};
 
 fn main() {
     let records = teragen(400_000, 2026); // ~40 MB of records
-    println!("generated {} records ({} MB)", records.len(), records.len() / 10_000);
+    println!(
+        "generated {} records ({} MB)",
+        records.len(),
+        records.len() / 10_000
+    );
 
     // Stage 0: sample and build the range partitioner (cheap, inline).
     let partitioner = RangePartitioner::from_sample(&records[..10_000], 64);

@@ -55,7 +55,10 @@ fn main() {
         });
         if i % 100 == 99 {
             // Let the queue drain enough for the monitor to observe.
-            while pool.current_threads() < 16 && !pool.settled() && pool.intervals_observed() < 1 + i / 100 {
+            while pool.current_threads() < 16
+                && !pool.settled()
+                && pool.intervals_observed() < 1 + i / 100
+            {
                 std::thread::sleep(Duration::from_millis(1));
             }
             println!(

@@ -7,16 +7,16 @@
 //! # then load /tmp/sae-trace.json in chrome://tracing
 //! ```
 
-use sae::dag::{Engine, EngineConfig, ExecutorFailure, TraceEvent};
+use sae::dag::{Engine, EngineConfig, FaultPlan, TraceEvent};
 use sae::workloads::WorkloadKind;
 
 fn main() -> std::io::Result<()> {
     let mut config = EngineConfig::four_node_hdd();
-    config.executor_failure = Some(ExecutorFailure {
-        executor: 2,
-        at: 120.0,
-        downtime: 45.0,
-    });
+    config.fault_plan = Some(
+        FaultPlan::new(42)
+            .with_crash(2, 120.0, 45.0)
+            .with_task_failures(0.01),
+    );
     let workload = WorkloadKind::Terasort.build_scaled(0.25);
     let engine = Engine::new(workload.configure(config.clone()), config.adaptive_policy());
     let (report, trace) = engine.run_traced(&workload.job);
@@ -26,7 +26,10 @@ fn main() -> std::io::Result<()> {
         report.total_runtime,
         trace.len()
     );
-    println!("tasks per executor: {:?}", trace.tasks_started_per_executor(4));
+    println!(
+        "tasks per executor: {:?}",
+        trace.tasks_started_per_executor(4)
+    );
     for executor in 0..4 {
         println!(
             "executor {executor} resizes: {:?}",
@@ -36,7 +39,12 @@ fn main() -> std::io::Result<()> {
     let failures = trace
         .events()
         .iter()
-        .filter(|e| matches!(e, TraceEvent::ExecutorFailed { .. } | TraceEvent::ExecutorRecovered { .. }))
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::ExecutorFailed { .. } | TraceEvent::ExecutorRecovered { .. }
+            )
+        })
         .count();
     println!("failure/recovery events: {failures}");
 

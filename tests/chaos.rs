@@ -1,0 +1,87 @@
+//! Chaos testing: a seeded fault plan with executor crashes and transient
+//! task failures must never change *whether* a job completes, only how
+//! long it takes — and reruns with the same seed must be bit-identical.
+
+use sae::core::ThreadPolicy;
+use sae::dag::{Engine, EngineConfig, FaultPlan};
+use sae::workloads::WorkloadKind;
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new(1234)
+        .with_crash(1, 40.0, 25.0)
+        .with_crash(3, 85.0, 15.0)
+        .with_task_failures(0.02)
+}
+
+#[test]
+fn terasort_survives_crashes_and_transient_failures() {
+    let w = WorkloadKind::Terasort.build_scaled(0.25);
+    let mut cfg = EngineConfig::four_node_hdd();
+    cfg.fault_plan = Some(chaos_plan());
+    let (report, trace) = Engine::new(w.configure(cfg), ThreadPolicy::Default)
+        .try_run_traced(&w.job)
+        .expect("retries and re-registration must absorb the chaos plan");
+
+    assert_eq!(report.stages.len(), w.job.stages.len());
+    // Every task is accounted exactly once per stage despite reruns.
+    for stage in &report.stages {
+        assert_eq!(
+            stage.executors.iter().map(|e| e.tasks).sum::<usize>(),
+            stage.tasks,
+            "task accounting broken in stage {}",
+            stage.stage_id
+        );
+    }
+    // Lost and transiently failed work shows up as extra attempts…
+    assert!(report.total_failed_attempts() > 0, "no faults fired");
+    assert!(report.total_attempts() > report.stages.iter().map(|s| s.tasks).sum::<usize>());
+    // …and the trace shows reruns (attempt index > 0) for those tasks.
+    assert!(!trace.retried_tasks().is_empty());
+    assert_eq!(trace.failed_attempts(), report.total_failed_attempts());
+}
+
+#[test]
+fn same_seed_chaos_reruns_are_bit_identical() {
+    let w = WorkloadKind::Terasort.build_scaled(0.25);
+    let mut cfg = EngineConfig::four_node_hdd();
+    cfg.fault_plan = Some(chaos_plan());
+    let engine = Engine::new(w.configure(cfg), ThreadPolicy::Default);
+    let a = engine.try_run(&w.job).expect("first run completes");
+    let b = engine.try_run(&w.job).expect("second run completes");
+    assert_eq!(a.total_runtime.to_bits(), b.total_runtime.to_bits());
+    assert_eq!(a.total_attempts(), b.total_attempts());
+    assert_eq!(a.total_failed_attempts(), b.total_failed_attempts());
+    for (x, y) in a.stages.iter().zip(&b.stages) {
+        assert_eq!(x.duration.to_bits(), y.duration.to_bits());
+        assert_eq!(x.disk_read_mb.to_bits(), y.disk_read_mb.to_bits());
+        assert_eq!(x.disk_write_mb.to_bits(), y.disk_write_mb.to_bits());
+        assert_eq!(x.shuffle_mb.to_bits(), y.shuffle_mb.to_bits());
+        assert_eq!(x.attempts, y.attempts);
+    }
+}
+
+#[test]
+fn adaptive_policy_converges_despite_chaos() {
+    let w = WorkloadKind::Terasort.build_scaled(0.25);
+    let clean_cfg = EngineConfig::four_node_hdd();
+    let clean =
+        Engine::new(w.configure(clean_cfg.clone()), clean_cfg.adaptive_policy()).run(&w.job);
+    let mut cfg = EngineConfig::four_node_hdd();
+    cfg.fault_plan = Some(chaos_plan());
+    let chaotic = Engine::new(w.configure(cfg.clone()), cfg.adaptive_policy())
+        .try_run(&w.job)
+        .expect("adaptive run completes under chaos");
+    // Interval poisoning keeps the knowledge base clean, so the chaotic run
+    // must still land within one doubling of the fault-free setpoints.
+    for (clean_stage, chaos_stage) in clean.stages.iter().zip(&chaotic.stages) {
+        let a = clean_stage.threads_used as f64;
+        let b = chaos_stage.threads_used as f64;
+        assert!(
+            b >= a / 2.0 && b <= a * 2.0,
+            "stage {} diverged: {} threads fault-free vs {} under chaos",
+            clean_stage.stage_id,
+            clean_stage.threads_used,
+            chaos_stage.threads_used
+        );
+    }
+}

@@ -98,9 +98,12 @@ fn runs_are_deterministic_across_invocations() {
 fn different_seeds_change_details_not_shapes() {
     let w = WorkloadKind::Terasort.build_scaled(0.2);
     let base = EngineConfig::four_node_hdd();
-    let r1 = Engine::new(w.configure(base.clone().with_seed(1)), ThreadPolicy::Default)
-        .run(&w.job)
-        .total_runtime;
+    let r1 = Engine::new(
+        w.configure(base.clone().with_seed(1)),
+        ThreadPolicy::Default,
+    )
+    .run(&w.job)
+    .total_runtime;
     let r2 = Engine::new(w.configure(base.with_seed(2)), ThreadPolicy::Default)
         .run(&w.job)
         .total_runtime;
@@ -139,7 +142,11 @@ fn scheduler_view_stays_consistent_under_resizes() {
         }
         assert_eq!(
             stage.threads_used,
-            stage.executors.iter().map(|e| e.final_threads).sum::<usize>()
+            stage
+                .executors
+                .iter()
+                .map(|e| e.final_threads)
+                .sum::<usize>()
         );
     }
 }

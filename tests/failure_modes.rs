@@ -43,7 +43,11 @@ fn pure_cpu_job_reaches_default_parallelism() {
 #[test]
 fn zero_io_stage_reports_zero_bytes() {
     let job = JobSpec::builder("cpu-only")
-        .stage(StageSpec::compute("crunch").base_cpu_per_task(1.0).with_tasks(64))
+        .stage(
+            StageSpec::compute("crunch")
+                .base_cpu_per_task(1.0)
+                .with_tasks(64),
+        )
         .build();
     let report = Engine::new(EngineConfig::four_node_hdd(), ThreadPolicy::Default).run(&job);
     let stage = &report.stages[0];
@@ -105,9 +109,8 @@ fn static_policy_clamps_to_core_count() {
 
 #[test]
 fn many_small_stages_chain_correctly() {
-    let mut builder = JobSpec::builder("chain").stage(
-        StageSpec::read("ingest", 512.0).shuffle_out(256.0),
-    );
+    let mut builder =
+        JobSpec::builder("chain").stage(StageSpec::read("ingest", 512.0).shuffle_out(256.0));
     for i in 0..8 {
         builder = builder.stage(
             StageSpec::shuffle(&format!("hop-{i}"), 256.0)
@@ -141,13 +144,12 @@ fn ssd_cluster_runs_all_policies() {
 fn executor_loss_mid_stage_recovers_and_completes() {
     let w = WorkloadKind::Terasort.build_scaled(0.25);
     let mut cfg = EngineConfig::four_node_hdd();
-    cfg.executor_failure = Some(sae::dag::ExecutorFailure {
-        executor: 1,
-        at: 60.0,
-        downtime: 30.0,
-    });
-    let baseline = Engine::new(w.configure(EngineConfig::four_node_hdd()), ThreadPolicy::Default)
-        .run(&w.job);
+    cfg.fault_plan = Some(sae::dag::FaultPlan::new(7).with_crash(1, 60.0, 30.0));
+    let baseline = Engine::new(
+        w.configure(EngineConfig::four_node_hdd()),
+        ThreadPolicy::Default,
+    )
+    .run(&w.job);
     let failed = Engine::new(w.configure(cfg), ThreadPolicy::Default).run(&w.job);
     assert_eq!(failed.stages.len(), baseline.stages.len());
     // Every task still runs exactly once per stage.
@@ -171,11 +173,7 @@ fn executor_loss_mid_stage_recovers_and_completes() {
 fn executor_loss_under_adaptive_policy_completes() {
     let w = WorkloadKind::PageRank.build_scaled(0.5);
     let mut cfg = EngineConfig::four_node_hdd();
-    cfg.executor_failure = Some(sae::dag::ExecutorFailure {
-        executor: 0,
-        at: 45.0,
-        downtime: 20.0,
-    });
+    cfg.fault_plan = Some(sae::dag::FaultPlan::new(7).with_crash(0, 45.0, 20.0));
     let report = Engine::new(w.configure(cfg.clone()), cfg.adaptive_policy()).run(&w.job);
     assert_eq!(report.stages.len(), w.job.stages.len());
     for stage in &report.stages {
@@ -195,13 +193,13 @@ fn executor_loss_under_adaptive_policy_completes() {
 fn failure_after_job_end_is_harmless() {
     let w = WorkloadKind::Join.build_scaled(0.1);
     let mut cfg = EngineConfig::four_node_hdd();
-    cfg.executor_failure = Some(sae::dag::ExecutorFailure {
-        executor: 2,
-        at: 1.0e6, // long after the job finishes
-        downtime: 10.0,
-    });
-    let baseline = Engine::new(w.configure(EngineConfig::four_node_hdd()), ThreadPolicy::Default)
-        .run(&w.job);
+    // Crash scheduled long after the job finishes.
+    cfg.fault_plan = Some(sae::dag::FaultPlan::new(7).with_crash(2, 1.0e6, 10.0));
+    let baseline = Engine::new(
+        w.configure(EngineConfig::four_node_hdd()),
+        ThreadPolicy::Default,
+    )
+    .run(&w.job);
     let report = Engine::new(w.configure(cfg), ThreadPolicy::Default).run(&w.job);
     assert!((report.total_runtime - baseline.total_runtime).abs() < 1e-6);
 }
@@ -212,11 +210,8 @@ fn repeated_failures_across_stages_still_complete() {
     // remaining stages normally.
     let w = WorkloadKind::Terasort.build_scaled(0.25);
     let mut cfg = EngineConfig::four_node_hdd();
-    cfg.executor_failure = Some(sae::dag::ExecutorFailure {
-        executor: 3,
-        at: 10.0,
-        downtime: 200.0, // down for most of stage 0
-    });
+    // Down for most of stage 0.
+    cfg.fault_plan = Some(sae::dag::FaultPlan::new(7).with_crash(3, 10.0, 200.0));
     let report = Engine::new(w.configure(cfg), ThreadPolicy::Default).run(&w.job);
     for stage in &report.stages {
         assert_eq!(

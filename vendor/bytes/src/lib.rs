@@ -1,0 +1,6 @@
+//! Offline vendored placeholder for `bytes`.
+//!
+//! The workspace declares the dependency but does not use any of its API
+//! yet; this empty crate satisfies the resolver without network access.
+//! Grow it into a real subset (e.g. `Bytes`/`BytesMut`) if code starts
+//! using zero-copy buffers.

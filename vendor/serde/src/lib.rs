@@ -1,0 +1,16 @@
+//! Offline vendored facade for `serde`.
+//!
+//! The workspace only uses serde's *derives* as forward-looking markers on
+//! metric snapshot types; nothing serializes yet (no serde_json in the
+//! dependency tree). This facade supplies the two marker traits and, under
+//! the `derive` feature, no-op derive macros so `#[derive(Serialize,
+//! Deserialize)]` compiles without the real framework.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op derive macros backing the offline `serde` facade.
+//!
+//! The derives emit nothing: the facade's `Serialize`/`Deserialize` are pure
+//! marker traits and no code in the workspace calls serialization methods.
+//! `attributes(serde)` is declared so `#[serde(...)]` field attributes parse.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
