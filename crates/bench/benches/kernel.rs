@@ -1,0 +1,132 @@
+//! Kernel scaling benchmark: virtual-time kernel vs the pre-rewrite
+//! reference implementation.
+//!
+//! The workload is the degenerate case the rewrite targets: `n` concurrent
+//! flows on one processor-sharing resource, all distinct works, drained to
+//! idle. Every completion repopulates the rate schedule, so the reference
+//! kernel pays an O(n) per-event sweep (O(n²) total) while the
+//! virtual-time kernel pays O(log n) (O(n log n) total). The reference is
+//! capped at 10⁴ flows — at 10⁵ its quadratic sweep takes minutes.
+//!
+//! Besides the criterion groups, a summary pass prints events/sec and the
+//! speedup per size; set `SAE_WRITE_BENCH_JSON=1` to rewrite the
+//! checked-in `BENCH_kernel.json` at the repo root:
+//!
+//! ```text
+//! SAE_WRITE_BENCH_JSON=1 cargo bench -p sae-bench --bench kernel
+//! ```
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use sae_sim::reference::ReferenceKernel;
+use sae_sim::{CapacityCurve, Kernel};
+
+/// Aggregate capacity curve: peaks at a handful of flows, degrades under
+/// thrash — the HDD shape from the paper, so `recompute` is exercised with
+/// a population-dependent rate on every event.
+fn curve() -> CapacityCurve {
+    CapacityCurve::from_fn(|counts| {
+        let n = counts.total() as f64;
+        120.0 * n.min(4.0) / (1.0 + 0.01 * (n - 4.0).max(0.0))
+    })
+}
+
+/// Distinct per-flow works so each completion is its own event.
+fn work(i: usize) -> f64 {
+    1.0 + i as f64 * 1e-4
+}
+
+fn run_new(n: usize) -> u64 {
+    let mut kernel: Kernel<u32> = Kernel::new();
+    let r = kernel.add_resource(curve());
+    for i in 0..n {
+        kernel.start_flow(r, 0, work(i), i as u32);
+    }
+    kernel.run_to_idle();
+    kernel.events_processed()
+}
+
+fn run_reference(n: usize) -> u64 {
+    let mut kernel: ReferenceKernel<u32> = ReferenceKernel::new();
+    let r = kernel.add_resource(curve());
+    for i in 0..n {
+        kernel.start_flow(r, 0, work(i), i as u32);
+    }
+    let mut events = 0u64;
+    while kernel.next().is_some() {
+        events += 1;
+    }
+    events
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_scaling");
+    for &n in &[100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, &n| {
+            b.iter(|| black_box(run_reference(n)));
+        });
+    }
+    for &n in &[100usize, 1_000, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("virtual_time", n), &n, |b, &n| {
+            b.iter(|| black_box(run_new(n)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(kernel_benches, bench_scaling);
+
+/// Best-of-three wall-clock seconds for `f(n)`.
+fn measure(n: usize, f: fn(usize) -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..3 {
+        let start = Instant::now();
+        events = f(n);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, events)
+}
+
+fn summary_json() -> String {
+    let mut rows = String::new();
+    for &n in &[100usize, 1_000, 10_000, 100_000] {
+        let (new_s, new_events) = measure(n, run_new);
+        let reference = (n <= 10_000).then(|| measure(n, run_reference));
+        let speedup = reference.map(|(ref_s, _)| ref_s / new_s);
+        println!(
+            "n={n:>6}  virtual-time {:>10.1} events/s  reference {}  speedup {}",
+            new_events as f64 / new_s,
+            reference.map_or("        (skipped)".into(), |(s, e)| format!(
+                "{:>10.1} events/s",
+                e as f64 / s
+            )),
+            speedup.map_or("   —".into(), |s| format!("{s:.1}x")),
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\n      \"flows\": {n},\n      \"virtual_time_seconds\": {new_s:.6},\n      \"virtual_time_events_per_sec\": {:.0},\n      \"reference_seconds\": {},\n      \"speedup\": {}\n    }}",
+            new_events as f64 / new_s,
+            reference.map_or("null".into(), |(s, _)| format!("{s:.6}")),
+            speedup.map_or("null".into(), |s| format!("{s:.2}")),
+        ));
+    }
+    format!(
+        "{{\n  \"benchmark\": \"kernel_scaling\",\n  \"workload\": \"n concurrent flows, distinct works, one HDD-shaped resource, drained to idle\",\n  \"timing\": \"best of 3 runs, release build\",\n  \"sizes\": [\n{rows}\n  ]\n}}\n"
+    )
+}
+
+fn main() {
+    kernel_benches();
+    println!();
+    let json = summary_json();
+    if std::env::var("SAE_WRITE_BENCH_JSON").is_ok() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+        std::fs::write(path, &json).expect("write BENCH_kernel.json");
+        println!("wrote {path}");
+    }
+}

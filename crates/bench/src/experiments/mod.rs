@@ -42,22 +42,27 @@ impl std::fmt::Display for ExperimentOutput {
     }
 }
 
-/// Runs every experiment in paper order.
+/// Every experiment, in paper order.
+pub const ALL: [fn() -> ExperimentOutput; 14] = [
+    table1::run,
+    fig1::run,
+    table2::run,
+    fig2::run,
+    fig3::run,
+    fig4::run,
+    fig5::run,
+    fig6::run,
+    fig7::run,
+    fig8::run,
+    fig9::run,
+    fig10::run,
+    fig11::run,
+    fig12::run,
+];
+
+/// Runs every experiment, fanned out across threads, results in paper
+/// order. Each experiment is deterministic, so the output is identical to
+/// running them serially.
 pub fn run_all() -> Vec<ExperimentOutput> {
-    vec![
-        table1::run(),
-        fig1::run(),
-        table2::run(),
-        fig2::run(),
-        fig3::run(),
-        fig4::run(),
-        fig5::run(),
-        fig6::run(),
-        fig7::run(),
-        fig8::run(),
-        fig9::run(),
-        fig10::run(),
-        fig11::run(),
-        fig12::run(),
-    ]
+    crate::parallel::par_map_indexed(ALL.len(), |i| ALL[i]())
 }

@@ -13,9 +13,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod parallel;
 mod runner;
 mod table;
 
+pub use parallel::{par_map_indexed, par_map_slice};
 pub use runner::{
     derive_bestfit, fixed_thread_run, run_policy, run_workload, static_sweep, PolicyRun,
     StaticSweepPoint, SWEEP_THREADS,

@@ -4,6 +4,8 @@ use sae_core::{BestFitTable, StaticPolicy, ThreadPolicy};
 use sae_dag::{Engine, EngineConfig, JobReport};
 use sae_workloads::Workload;
 
+use crate::parallel::{par_map_indexed, par_map_slice};
+
 /// The thread counts the paper sweeps in Figures 2, 4, 5, 10.
 pub const SWEEP_THREADS: [usize; 5] = [32, 16, 8, 4, 2];
 
@@ -27,24 +29,27 @@ pub struct PolicyRun {
 /// of each Figure 8 panel. The best-fit table is derived by sweeping every
 /// stage (the "hypothetical best combination", §6.1).
 pub fn run_policy(config: &EngineConfig, workload: &Workload) -> Vec<PolicyRun> {
-    let default = run_workload(config, workload, ThreadPolicy::Default);
+    // The sweep behind the best-fit table runs first (parallel inside);
+    // the three head-to-head runs are independent of each other and fan
+    // out too.
     let bestfit_table = derive_bestfit(config, workload);
-    let bestfit = run_workload(config, workload, ThreadPolicy::BestFit(bestfit_table));
-    let dynamic = run_workload(config, workload, config.adaptive_policy());
-    vec![
-        PolicyRun {
-            policy: "default".into(),
-            report: default,
-        },
-        PolicyRun {
-            policy: "static-bestfit".into(),
-            report: bestfit,
-        },
-        PolicyRun {
-            policy: "dynamic".into(),
-            report: dynamic,
-        },
-    ]
+    let names = ["default", "static-bestfit", "dynamic"];
+    let reports = par_map_indexed(names.len(), |i| {
+        let policy = match i {
+            0 => ThreadPolicy::Default,
+            1 => ThreadPolicy::BestFit(bestfit_table.clone()),
+            _ => config.adaptive_policy(),
+        };
+        run_workload(config, workload, policy)
+    });
+    names
+        .iter()
+        .zip(reports)
+        .map(|(name, report)| PolicyRun {
+            policy: (*name).into(),
+            report,
+        })
+        .collect()
 }
 
 /// One point of a static sweep: a fixed thread count applied to the I/O
@@ -59,19 +64,17 @@ pub struct StaticSweepPoint {
 
 /// Sweeps the static solution over [`SWEEP_THREADS`], plus the default.
 pub fn static_sweep(config: &EngineConfig, workload: &Workload) -> Vec<StaticSweepPoint> {
-    let mut points = Vec::new();
-    for &threads in &SWEEP_THREADS {
+    par_map_slice(&SWEEP_THREADS, |&threads| {
         let policy = if threads == config.node_spec.cores {
             ThreadPolicy::Default
         } else {
             ThreadPolicy::Static(StaticPolicy::new(threads))
         };
-        points.push(StaticSweepPoint {
+        StaticSweepPoint {
             io_threads: Some(threads),
             report: run_workload(config, workload, policy),
-        });
-    }
-    points
+        }
+    })
 }
 
 /// Runs `workload` with *every* stage pinned to `threads` per executor
@@ -90,13 +93,18 @@ pub fn fixed_thread_run(config: &EngineConfig, workload: &Workload, threads: usi
 /// is exactly why the dynamic solution wins on PageRank (Figure 8b).
 pub fn derive_bestfit(config: &EngineConfig, workload: &Workload) -> BestFitTable {
     let stages = workload.job.stages.len();
-    // One run per candidate count with the I/O stages pinned to it, then
-    // pick per-stage minima — stages are barriers, so per-stage timings
-    // compose.
+    // One run per candidate count with the I/O stages pinned to it (the
+    // runs are independent and fan out), then pick per-stage minima in
+    // sweep order — stages are barriers, so per-stage timings compose.
+    let reports = par_map_slice(&SWEEP_THREADS, |&threads| {
+        run_workload(
+            config,
+            workload,
+            ThreadPolicy::Static(StaticPolicy::new(threads)),
+        )
+    });
     let mut best: Vec<(usize, f64)> = vec![(config.node_spec.cores, f64::INFINITY); stages];
-    for &threads in &SWEEP_THREADS {
-        let policy = ThreadPolicy::Static(StaticPolicy::new(threads));
-        let report = run_workload(config, workload, policy);
+    for (&threads, report) in SWEEP_THREADS.iter().zip(&reports) {
         for (s, stage) in report.stages.iter().enumerate() {
             if stage.duration < best[s].1 {
                 best[s] = (threads, stage.duration);

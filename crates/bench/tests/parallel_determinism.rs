@@ -1,0 +1,43 @@
+//! The parallel experiment runner must be invisible in the results: any
+//! worker count (including 1, the serial path) must produce bit-identical
+//! output, because results are collected in input order and every
+//! simulation is a pure function of its inputs.
+//!
+//! `SAE_BENCH_THREADS` is process-global, so everything lives in one test
+//! that flips it sequentially.
+
+use sae_bench::experiments::fig2;
+use sae_bench::{run_policy, static_sweep};
+use sae_dag::EngineConfig;
+use sae_workloads::WorkloadKind;
+
+#[test]
+fn serial_and_parallel_runs_are_bit_identical() {
+    let cfg = EngineConfig::four_node_hdd();
+    let tiny = WorkloadKind::PageRank.build_scaled(0.05);
+
+    // Serial reference (worker count pinned to 1).
+    std::env::set_var("SAE_BENCH_THREADS", "1");
+    let sweep_serial = format!("{:?}", static_sweep(&cfg, &tiny));
+    let policy_serial = format!("{:?}", run_policy(&cfg, &tiny));
+    let fig2_serial = fig2::run();
+
+    // Parallel: more workers than this machine may have cores — what
+    // matters is that the fan-out path (atomic hand-out + slot collection)
+    // is exercised with real interleaving.
+    std::env::set_var("SAE_BENCH_THREADS", "4");
+    let sweep_par = format!("{:?}", static_sweep(&cfg, &tiny));
+    let policy_par = format!("{:?}", run_policy(&cfg, &tiny));
+    let fig2_par = fig2::run();
+    // A parallel rerun of the same full figure must also be bit-stable.
+    let fig2_par2 = fig2::run();
+
+    std::env::remove_var("SAE_BENCH_THREADS");
+
+    // `{:?}` of f64 is the shortest round-trip representation, so equal
+    // debug strings mean bit-equal reports.
+    assert_eq!(sweep_serial, sweep_par, "static_sweep diverged");
+    assert_eq!(policy_serial, policy_par, "run_policy diverged");
+    assert_eq!(fig2_serial.body, fig2_par.body, "fig2 serial vs parallel");
+    assert_eq!(fig2_par.body, fig2_par2.body, "fig2 parallel rerun");
+}

@@ -848,23 +848,29 @@ impl<'a> Run<'a> {
             self.stage_decisions[e] = vec![threads];
         }
 
-        // Create tasks with locality preferences.
-        let blocks: Option<Vec<Vec<usize>>> = if spec.read_mb > 0.0 {
+        // Create tasks with locality preferences. Replica lists are shared
+        // (`Arc`) — one allocation per distinct block, not one per task.
+        let blocks: Option<Vec<std::sync::Arc<Vec<usize>>>> = if spec.read_mb > 0.0 {
             let file = self
                 .dfs
                 .file(&format!("{}/stage{}/input", self.job.name, stage_id))
                 .expect("input file created at run start");
-            Some(file.blocks.iter().map(|b| b.replicas.clone()).collect())
+            Some(
+                file.blocks
+                    .iter()
+                    .map(|b| std::sync::Arc::new(b.replicas.clone()))
+                    .collect(),
+            )
         } else {
             None
         };
-        let all_nodes: Vec<usize> = (0..self.cfg.nodes).collect();
+        let all_nodes = std::sync::Arc::new((0..self.cfg.nodes).collect::<Vec<usize>>());
         self.tasks.clear();
         self.pending.clear();
         for t in 0..task_count {
             let preferred = match &blocks {
-                Some(blocks) => blocks[t % blocks.len()].clone(),
-                None => all_nodes.clone(),
+                Some(blocks) => std::sync::Arc::clone(&blocks[t % blocks.len()]),
+                None => std::sync::Arc::clone(&all_nodes),
             };
             self.tasks.push(TaskState::new(stage_id, preferred));
             self.pending.push(t);
@@ -931,7 +937,9 @@ impl<'a> Run<'a> {
                 ExecutorStageReport {
                     executor: e,
                     final_threads: state.pool.max_pool_size(),
-                    decisions: self.stage_decisions[e].clone(),
+                    // Moved, not cloned: `start_stage` rebuilds the trace
+                    // for every executor before the next stage runs.
+                    decisions: std::mem::take(&mut self.stage_decisions[e]),
                     epoll_wait: state.stats.epoll_wait,
                     io_bytes: state.stats.io_bytes,
                     tasks: state.stats.tasks_finished + self.lost_task_counts[e],
@@ -967,7 +975,8 @@ impl<'a> Run<'a> {
             shuffle_mb: self.stage_shuffle,
             executors,
             threads_used,
-            disk_throughput_series: self.stage_series.clone(),
+            // Moved, not cloned: `start_stage` clears the series buffer.
+            disk_throughput_series: std::mem::take(&mut self.stage_series),
         });
 
         self.record(TraceEvent::StageFinished {

@@ -209,6 +209,8 @@ impl TaskPlan {
     }
 }
 
+use std::sync::Arc;
+
 /// Runtime state of one attempt of a task on one executor.
 ///
 /// A task may have several attempts over its lifetime — retries after
@@ -272,8 +274,11 @@ impl AttemptState {
 pub(crate) struct TaskState {
     /// Stage the task belongs to.
     pub stage: usize,
-    /// Preferred (data-local) nodes.
-    pub preferred_nodes: Vec<usize>,
+    /// Preferred (data-local) nodes. Shared, not cloned, per task: many
+    /// tasks reference the same replica list (or the all-nodes list), so
+    /// stage start allocates one list per distinct block instead of one
+    /// per task.
+    pub preferred_nodes: Arc<Vec<usize>>,
     /// Every attempt ever made, in launch order. The attempt number in
     /// messages and traces is the index into this vector.
     pub attempts: Vec<AttemptState>,
@@ -292,7 +297,7 @@ pub(crate) struct TaskState {
 
 impl TaskState {
     /// Creates an unassigned task.
-    pub fn new(stage: usize, preferred_nodes: Vec<usize>) -> Self {
+    pub fn new(stage: usize, preferred_nodes: Arc<Vec<usize>>) -> Self {
         Self {
             stage,
             preferred_nodes,
@@ -430,7 +435,7 @@ mod tests {
 
     #[test]
     fn task_state_lifecycle() {
-        let mut t = TaskState::new(1, vec![0, 1]);
+        let mut t = TaskState::new(1, Arc::new(vec![0, 1]));
         assert!(t.queued);
         assert!(!t.has_live_attempt());
         t.attempts
@@ -446,7 +451,7 @@ mod tests {
 
     #[test]
     fn speculative_clone_tracked_separately() {
-        let mut t = TaskState::new(0, vec![0]);
+        let mut t = TaskState::new(0, Arc::new(vec![0]));
         t.attempts
             .push(AttemptState::new(0, plan().build_phases(), 0.0, false));
         t.attempts

@@ -83,6 +83,10 @@ pub struct Kernel<P> {
     heap: BinaryHeap<Reverse<HeapEntry>>,
     timers: BTreeMap<u64, P>,
     pending: VecDeque<Occurrence<P>>,
+    /// Reusable completion-drain buffer: the per-event hot path hands this
+    /// to [`Resource::drain_completed_into`] instead of allocating a fresh
+    /// `Vec` per completion event.
+    completed_scratch: Vec<(u64, P)>,
     next_flow_id: u64,
     next_timer_id: u64,
     seq: u64,
@@ -97,6 +101,7 @@ impl<P> Default for Kernel<P> {
             heap: BinaryHeap::new(),
             timers: BTreeMap::new(),
             pending: VecDeque::new(),
+            completed_scratch: Vec::new(),
             next_flow_id: 0,
             next_timer_id: 0,
             seq: 0,
@@ -301,21 +306,21 @@ impl<P> Kernel<P> {
                     }
                     self.now = entry.at;
                     let at = self.now;
-                    let completed = {
+                    {
                         let res = &mut self.resources[resource];
                         res.advance(at.seconds());
-                        res.drain_completed()
-                    };
+                        res.drain_completed_into(&mut self.completed_scratch);
+                    }
                     debug_assert!(
-                        !completed.is_empty(),
+                        !self.completed_scratch.is_empty(),
                         "valid completion event must complete at least one flow"
                     );
                     self.push_completion(resource);
-                    for (id, flow) in completed {
+                    for (id, payload) in self.completed_scratch.drain(..) {
                         self.pending.push_back(Occurrence::FlowCompleted {
                             resource: ResourceId(resource),
                             flow: FlowId(id),
-                            payload: flow.payload,
+                            payload,
                             at,
                         });
                     }

@@ -17,6 +17,15 @@
 //!
 //! Design notes:
 //!
+//! * **Virtual-time accounting.** Because every flow on a resource is
+//!   served at the same per-flow rate, a resource integrates one
+//!   cumulative-service counter instead of sweeping all flows per event;
+//!   completions come from an intra-resource min-heap of finish credits.
+//!   `advance` is O(1), population changes are O(log flows) — see
+//!   [`resource`](crate::Kernel) internals and `DESIGN.md` §4. The original
+//!   O(flows)-sweep implementation survives in the `reference` module
+//!   (test/feature gated) and property tests pin the two to identical
+//!   completion orders.
 //! * **No callbacks.** [`Kernel::next`] returns [`Occurrence`]s; the caller
 //!   (the DAG engine in `sae-dag`) owns all higher-level state machines.
 //!   This sidesteps shared-mutability issues and keeps the kernel tiny and
@@ -63,6 +72,9 @@ pub mod rng;
 mod time;
 
 pub(crate) mod resource;
+
+#[cfg(any(test, feature = "reference-impl"))]
+pub mod reference;
 
 pub use capacity::{CapacityCurve, ClassCounts, MAX_FLOW_CLASSES};
 pub use kernel::{FlowId, Kernel, Occurrence, ResourceId, ResourceUsage, TimerId};

@@ -1,0 +1,41 @@
+//! Same-seed reruns must be bit-identical under the virtual-time kernel.
+//!
+//! The cumulative-service rewrite of `sae-sim` changes the arithmetic by
+//! which flow completions are computed (one shared integral instead of a
+//! per-flow sweep), so these tests pin the property the rest of the stack
+//! relies on: a run is a pure function of (config, workload, policy), down
+//! to the last bit. The comparison goes through `{:?}` formatting, which
+//! for `f64` is the shortest round-trip representation and therefore
+//! injective — two reports with equal debug strings are bit-equal.
+//!
+//! A chaos-plan counterpart lives in `tests/chaos.rs`
+//! (`same_seed_chaos_reruns_are_bit_identical`).
+
+use sae::core::ThreadPolicy;
+use sae::dag::{Engine, EngineConfig};
+use sae::workloads::WorkloadKind;
+
+fn rerun_bit_identical(kind: WorkloadKind, policy: fn(&EngineConfig) -> ThreadPolicy) {
+    let w = kind.build_scaled(0.25);
+    let cfg = EngineConfig::four_node_hdd();
+    let policy = policy(&cfg);
+    let engine = Engine::new(w.configure(cfg), policy);
+    let a = engine.run(&w.job);
+    let b = engine.run(&w.job);
+    assert_eq!(a.total_runtime.to_bits(), b.total_runtime.to_bits());
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "same-seed reruns diverged for {kind:?}"
+    );
+}
+
+#[test]
+fn terasort_default_rerun_is_bit_identical() {
+    rerun_bit_identical(WorkloadKind::Terasort, |_| ThreadPolicy::Default);
+}
+
+#[test]
+fn pagerank_adaptive_rerun_is_bit_identical() {
+    rerun_bit_identical(WorkloadKind::PageRank, |cfg| cfg.adaptive_policy());
+}
