@@ -1,0 +1,228 @@
+//! Driver-scheduler scaling benchmark: the indexed pending queue vs the
+//! pre-index reference scan.
+//!
+//! Two layers:
+//!
+//! - **queue drain** isolates pure scheduling cost: `n` tasks with
+//!   replica-style locality are enqueued and drained through round-robin
+//!   pick sweeps, the access pattern of the engine's assignment loop. The
+//!   reference scan pays two `O(pending)` scans plus a `Vec::remove` shift
+//!   per pick (`O(n²)` total); the indexed queue is amortised `O(1)` per
+//!   task. The reference is capped at 10⁴ tasks.
+//! - **engine runs** time whole simulations of a scheduling-dominated job
+//!   (one read stage fanned out into tiny tasks), indexed vs reference,
+//!   asserting bit-identical `JobReport`s wherever both run.
+//!
+//! Besides the criterion groups, a summary pass prints the speedup per
+//! size; set `SAE_WRITE_BENCH_JSON=1` to rewrite the checked-in
+//! `BENCH_engine.json` at the repo root:
+//!
+//! ```text
+//! SAE_WRITE_BENCH_JSON=1 cargo bench -p sae-bench --bench engine
+//! ```
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use sae_core::ThreadPolicy;
+use sae_dag::sched::{PendingQueue, ReferenceQueue};
+use sae_dag::{Engine, EngineConfig, JobReport, JobSpec, StageSpec};
+
+/// Nodes backing the queue-drain layer (HDFS-style replication 3).
+const DRAIN_NODES: usize = 64;
+
+/// Replica-style preferred list for task `t`.
+fn replicas(t: usize, nodes: usize) -> [usize; 3] {
+    [t % nodes, (t + 1) % nodes, (t + 2) % nodes]
+}
+
+/// Enqueues `n` tasks and drains them through round-robin pick sweeps.
+/// Returns the picked sequence's checksum so the work cannot be optimised
+/// away.
+fn drain_indexed(queue: &mut PendingQueue, n: usize) -> usize {
+    queue.reset(n, DRAIN_NODES);
+    for t in 0..n {
+        queue.push(t, &replicas(t, DRAIN_NODES));
+    }
+    let mut sum = 0usize;
+    let mut e = 0usize;
+    while !queue.is_empty() {
+        sum = sum.wrapping_add(queue.pick(e, |_| false).expect("non-empty queue"));
+        e = (e + 1) % DRAIN_NODES;
+    }
+    sum
+}
+
+fn drain_reference(queue: &mut ReferenceQueue, n: usize) -> usize {
+    queue.reset();
+    for t in 0..n {
+        queue.push(t);
+    }
+    let mut sum = 0usize;
+    let mut e = 0usize;
+    while !queue.is_empty() {
+        let picked = queue
+            .pick(e, |t| replicas(t, DRAIN_NODES).contains(&e), |_| false)
+            .expect("non-empty queue");
+        sum = sum.wrapping_add(picked);
+        e = (e + 1) % DRAIN_NODES;
+    }
+    sum
+}
+
+/// A scheduling-dominated job: one read stage fanned out into `tasks`
+/// tiny tasks, so driver-side queue work dominates the simulation.
+fn scale_job(tasks: usize) -> JobSpec {
+    JobSpec::builder("sched-scale")
+        .stage(
+            StageSpec::read("scan", 2048.0)
+                .with_tasks(tasks)
+                .cpu_per_mb(0.0005),
+        )
+        .build()
+}
+
+fn run_engine(tasks: usize, nodes: usize, reference: bool) -> JobReport {
+    let mut cfg = EngineConfig::four_node_hdd();
+    cfg.nodes = nodes;
+    cfg.reference_scheduler = reference;
+    Engine::new(cfg, ThreadPolicy::Default).run(&scale_job(tasks))
+}
+
+/// The task-count → cluster-size grid of the summary pass.
+const ENGINE_GRID: [(usize, usize); 3] = [(1_000, 4), (10_000, 16), (100_000, 256)];
+
+/// Reference cap: above this the `O(n²)` scan takes minutes.
+const REFERENCE_CAP: usize = 10_000;
+
+fn bench_queue_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_drain");
+    let mut reference = ReferenceQueue::new();
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, &n| {
+            b.iter(|| black_box(drain_reference(&mut reference, n)));
+        });
+    }
+    let mut indexed = PendingQueue::new();
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, &n| {
+            b.iter(|| black_box(drain_indexed(&mut indexed, n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_run");
+    for &(tasks, nodes) in ENGINE_GRID.iter().filter(|&&(t, _)| t <= REFERENCE_CAP) {
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("{tasks}t_{nodes}n")),
+            &tasks,
+            |b, &tasks| {
+                b.iter(|| black_box(run_engine(tasks, nodes, true).total_runtime));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("indexed", format!("{tasks}t_{nodes}n")),
+            &tasks,
+            |b, &tasks| {
+                b.iter(|| black_box(run_engine(tasks, nodes, false).total_runtime));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(engine_benches, bench_queue_drain, bench_engine_runs);
+
+/// Best-of-three wall-clock seconds for `f()`.
+fn measure<O>(mut f: impl FnMut() -> O) -> (f64, O) {
+    let start = Instant::now();
+    let mut out = f();
+    let mut best = start.elapsed().as_secs_f64();
+    for _ in 0..2 {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+fn summary_json() -> String {
+    let mut drain_rows = String::new();
+    let mut indexed = PendingQueue::new();
+    let mut reference = ReferenceQueue::new();
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let (idx_s, idx_sum) = measure(|| drain_indexed(&mut indexed, n));
+        let reference = (n <= REFERENCE_CAP).then(|| {
+            let (ref_s, ref_sum) = measure(|| drain_reference(&mut reference, n));
+            assert_eq!(idx_sum, ref_sum, "drain checksums diverged at n={n}");
+            ref_s
+        });
+        let speedup = reference.map(|ref_s| ref_s / idx_s);
+        println!(
+            "drain  n={n:>6}  indexed {:>10.1} tasks/s  reference {}  speedup {}",
+            n as f64 / idx_s,
+            reference.map_or("        (skipped)".into(), |s| format!(
+                "{:>10.1} tasks/s",
+                n as f64 / s
+            )),
+            speedup.map_or("   —".into(), |s| format!("{s:.1}x")),
+        );
+        if !drain_rows.is_empty() {
+            drain_rows.push_str(",\n");
+        }
+        drain_rows.push_str(&format!(
+            "    {{\n      \"pending_tasks\": {n},\n      \"indexed_seconds\": {idx_s:.6},\n      \"reference_seconds\": {},\n      \"speedup\": {}\n    }}",
+            reference.map_or("null".into(), |s| format!("{s:.6}")),
+            speedup.map_or("null".into(), |s| format!("{s:.2}")),
+        ));
+    }
+
+    let mut engine_rows = String::new();
+    for &(tasks, nodes) in &ENGINE_GRID {
+        let (idx_s, idx_report) = measure(|| run_engine(tasks, nodes, false));
+        let reference = (tasks <= REFERENCE_CAP).then(|| {
+            let (ref_s, ref_report) = measure(|| run_engine(tasks, nodes, true));
+            // `{:?}` of f64 is the shortest round-trip representation, so
+            // equal debug strings mean bit-equal reports.
+            assert_eq!(
+                format!("{idx_report:?}"),
+                format!("{ref_report:?}"),
+                "JobReports diverged at {tasks} tasks / {nodes} nodes"
+            );
+            ref_s
+        });
+        let speedup = reference.map(|ref_s| ref_s / idx_s);
+        println!(
+            "engine n={tasks:>6} nodes={nodes:>3}  indexed {idx_s:>8.3}s  reference {}  speedup {}",
+            reference.map_or("(skipped)".into(), |s| format!("{s:>8.3}s")),
+            speedup.map_or("   —".into(), |s| format!("{s:.1}x")),
+        );
+        if !engine_rows.is_empty() {
+            engine_rows.push_str(",\n");
+        }
+        engine_rows.push_str(&format!(
+            "    {{\n      \"tasks\": {tasks},\n      \"nodes\": {nodes},\n      \"indexed_seconds\": {idx_s:.6},\n      \"reference_seconds\": {},\n      \"speedup\": {},\n      \"reports_identical\": {}\n    }}",
+            reference.map_or("null".into(), |s| format!("{s:.6}")),
+            speedup.map_or("null".into(), |s| format!("{s:.2}")),
+            if reference.is_some() { "true" } else { "null" },
+        ));
+    }
+
+    format!(
+        "{{\n  \"benchmark\": \"engine_scheduler_scaling\",\n  \"workload\": \"queue drain: n replica-local tasks, round-robin picks over {DRAIN_NODES} nodes; engine runs: one read stage fanned out into n tiny tasks\",\n  \"timing\": \"best of 3 runs, release build; reference scan capped at {REFERENCE_CAP} tasks\",\n  \"queue_drain\": [\n{drain_rows}\n  ],\n  \"engine_runs\": [\n{engine_rows}\n  ]\n}}\n"
+    )
+}
+
+fn main() {
+    engine_benches();
+    println!();
+    let json = summary_json();
+    if std::env::var("SAE_WRITE_BENCH_JSON").is_ok() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+        std::fs::write(path, &json).expect("write BENCH_engine.json");
+        println!("wrote {path}");
+    }
+}

@@ -58,6 +58,15 @@ pub struct EngineConfig {
     /// Driver-side fault-tolerance knobs: retry budget, backoff,
     /// heartbeat timing, blacklisting, and speculation.
     pub fault_tolerance: FaultToleranceConfig,
+    /// Route driver scheduling through the pre-index O(pending)-scan
+    /// reference ([`crate::sched::ReferenceQueue`]) instead of the indexed
+    /// queue — for equivalence tests and benchmarks only, which is why the
+    /// field exists only under the `reference-impl` feature (or `cfg(test)`).
+    /// The `SAE_REFERENCE_SCHEDULER` environment variable forces the same
+    /// switch for runs whose configs are built out of reach (e.g. the fig2
+    /// sweep).
+    #[cfg(any(test, feature = "reference-impl"))]
+    pub reference_scheduler: bool,
 }
 
 /// One scheduled executor crash inside a [`FaultPlan`].
@@ -345,6 +354,8 @@ impl EngineConfig {
             seed: 42,
             fault_plan: None,
             fault_tolerance: FaultToleranceConfig::default(),
+            #[cfg(any(test, feature = "reference-impl"))]
+            reference_scheduler: false,
         }
     }
 

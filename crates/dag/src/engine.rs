@@ -11,8 +11,12 @@ use crate::executor::ExecutorState;
 use crate::job::{JobSpec, StageSpec};
 use crate::messages::Message;
 use crate::report::{ExecutorStageReport, JobReport, StageReport};
-use crate::task::{Accounting, AttemptState, FlowTarget, Phase, TaskPlan, TaskState};
+#[cfg(any(test, feature = "reference-impl"))]
+use crate::sched::ReferenceQueue;
+use crate::sched::{PendingQueue, RunningMedian, Scheduler};
+use crate::task::{Accounting, AttemptState, FlowTarget, TaskPlan, TaskState};
 use crate::trace::{ExecutionTrace, TraceEvent};
+use std::collections::BTreeSet;
 
 /// Outstanding work assigned to an antagonist disk flow during an injected
 /// node slowdown — effectively infinite; the flow only ends by cancellation.
@@ -179,8 +183,12 @@ struct Run<'a> {
     dfs: Dfs,
     executors: Vec<ExecutorState>,
     tasks: Vec<TaskState>,
-    /// Pending (unassigned) task ids of the current stage.
-    pending: Vec<usize>,
+    /// Pending (unassigned) task ids of the current stage, indexed for
+    /// amortized O(1) locality-aware assignment.
+    sched: Scheduler,
+    /// Scratch worklist of `(executor, free slots)` rebuilt per scheduling
+    /// round; shared by assignment sweeps and speculation targeting.
+    free_slots: Vec<(usize, usize)>,
     /// Driver's view of each executor's capacity (updated via RPC).
     driver_capacity: Vec<usize>,
     /// Driver's count of attempts assigned-or-running per executor.
@@ -201,8 +209,20 @@ struct Run<'a> {
     stage_failed_attempts: usize,
     stage_spec_launched: usize,
     stage_spec_wins: usize,
-    /// Completed-attempt durations this stage (straggler detection).
-    stage_attempt_durations: Vec<f64>,
+    /// Running median of completed-attempt durations this stage
+    /// (straggler detection).
+    stage_attempt_durations: RunningMedian,
+    /// Tasks that may currently be speculation-eligible (exactly one live
+    /// non-speculative attempt). Maintained incrementally at task launch
+    /// and pruned lazily when a member turns out completed or speculated,
+    /// so `maybe_speculate` walks candidates instead of every task.
+    spec_candidates: BTreeSet<usize>,
+    /// Scratch for iterating `spec_candidates` while mutating run state.
+    spec_scratch: Vec<usize>,
+    /// Scratch for `TaskPlan::fetch_sources` (reused across assignments).
+    fetch_sources_buf: Vec<usize>,
+    /// Scratch for `TaskPlan::build_phases_with` chunk weights.
+    chunk_weights_buf: Vec<f64>,
     last_sample_usage: Vec<ResourceUsage>,
     last_sample_time: f64,
     sample_timer: Option<TimerId>,
@@ -287,6 +307,15 @@ impl<'a> Run<'a> {
                 .unwrap_or(0),
         );
         let slowdown_count = cfg.fault_plan.as_ref().map_or(0, |p| p.slowdowns.len());
+        #[cfg(any(test, feature = "reference-impl"))]
+        let sched =
+            if cfg.reference_scheduler || std::env::var_os("SAE_REFERENCE_SCHEDULER").is_some() {
+                Scheduler::Reference(ReferenceQueue::new())
+            } else {
+                Scheduler::Indexed(PendingQueue::new())
+            };
+        #[cfg(not(any(test, feature = "reference-impl")))]
+        let sched = Scheduler::Indexed(PendingQueue::new());
         Self {
             cfg,
             policy,
@@ -295,7 +324,8 @@ impl<'a> Run<'a> {
             cluster,
             executors,
             tasks: Vec::new(),
-            pending: Vec::new(),
+            sched,
+            free_slots: Vec::new(),
             driver_capacity: vec![cfg.default_threads(); cfg.nodes],
             driver_running: vec![0; cfg.nodes],
             current_stage: 0,
@@ -311,7 +341,11 @@ impl<'a> Run<'a> {
             stage_failed_attempts: 0,
             stage_spec_launched: 0,
             stage_spec_wins: 0,
-            stage_attempt_durations: Vec::new(),
+            stage_attempt_durations: RunningMedian::new(),
+            spec_candidates: BTreeSet::new(),
+            spec_scratch: Vec::new(),
+            fetch_sources_buf: Vec::new(),
+            chunk_weights_buf: Vec::new(),
             last_sample_usage: Vec::new(),
             last_sample_time: 0.0,
             sample_timer: None,
@@ -762,7 +796,7 @@ impl<'a> Run<'a> {
             return;
         }
         t.queued = true;
-        self.pending.push(task_id);
+        self.sched.push(task_id, t.preferred_nodes.as_slice());
     }
 
     /// Feeds the executor's controller a fresh snapshot so it restarts its
@@ -866,14 +900,15 @@ impl<'a> Run<'a> {
         };
         let all_nodes = std::sync::Arc::new((0..self.cfg.nodes).collect::<Vec<usize>>());
         self.tasks.clear();
-        self.pending.clear();
+        self.sched.reset(task_count, self.cfg.nodes);
+        self.spec_candidates.clear();
         for t in 0..task_count {
             let preferred = match &blocks {
                 Some(blocks) => std::sync::Arc::clone(&blocks[t % blocks.len()]),
                 None => std::sync::Arc::clone(&all_nodes),
             };
+            self.sched.push(t, preferred.as_slice());
             self.tasks.push(TaskState::new(stage_id, preferred));
-            self.pending.push(t);
         }
         self.stage_tasks_remaining = task_count;
         self.record(TraceEvent::StageStarted {
@@ -1033,42 +1068,61 @@ impl<'a> Run<'a> {
 
     // ---- task lifecycle --------------------------------------------------
 
+    /// Rebuilds the free-slot worklist: every executor the driver would
+    /// assign to (live, not blacklisted, spare capacity), in executor
+    /// order, with its current slack. Eligibility can only shrink while a
+    /// scheduling round runs — capacity and liveness change via RPCs, never
+    /// mid-round — so consumers just decrement the slack they use.
+    fn rebuild_free_slots(&mut self) {
+        self.free_slots.clear();
+        for e in 0..self.cfg.nodes {
+            if !self.driver_sees_alive[e] || self.blacklisted[e] {
+                continue;
+            }
+            let free = self.driver_capacity[e].saturating_sub(self.driver_running[e]);
+            if free > 0 {
+                self.free_slots.push((e, free));
+            }
+        }
+    }
+
     /// Assigns pending tasks to live executors with free capacity (driver
     /// view), preferring data-local placement and avoiding executors the
     /// task already failed on.
+    ///
+    /// Executors are swept round-robin, one task per executor per round
+    /// (the pre-index scan's order, preserved exactly); per-executor task
+    /// selection is the indexed queue's amortized-O(1) [`Scheduler::pick`].
+    /// All exits go through the single check at the bottom of the round —
+    /// queue drained, slots exhausted, or nothing assignable.
     fn try_assign(&mut self, _now: f64) {
+        self.rebuild_free_slots();
         loop {
             let mut assigned_any = false;
-            for e in 0..self.cfg.nodes {
-                if !self.driver_sees_alive[e] || self.blacklisted[e] {
+            for i in 0..self.free_slots.len() {
+                if self.sched.is_empty() {
+                    break;
+                }
+                let (e, free) = self.free_slots[i];
+                if free == 0 {
                     continue;
                 }
-                if self.driver_running[e] >= self.driver_capacity[e] {
-                    continue;
-                }
-                if self.pending.is_empty() {
-                    return;
-                }
-                let pos = self
-                    .pending
-                    .iter()
-                    .position(|&t| {
-                        self.tasks[t].preferred_nodes.contains(&e)
-                            && !self.tasks[t].failed_on.contains(&e)
-                    })
-                    .or_else(|| {
-                        self.pending
-                            .iter()
-                            .position(|&t| !self.tasks[t].failed_on.contains(&e))
-                    })
-                    .unwrap_or(0);
-                let task = self.pending.remove(pos);
+                let tasks = &self.tasks;
+                let task = self
+                    .sched
+                    .pick(
+                        e,
+                        |t| tasks[t].preferred_nodes.contains(&e),
+                        |t| tasks[t].failed_on.contains(&e),
+                    )
+                    .expect("non-empty queue always yields a task");
+                self.free_slots[i].1 = free - 1;
                 self.tasks[task].queued = false;
                 self.driver_running[e] += 1;
                 self.send_rpc(Message::AssignTask { task, executor: e });
                 assigned_any = true;
             }
-            if !assigned_any {
+            if self.sched.is_empty() || !assigned_any {
                 return;
             }
         }
@@ -1107,18 +1161,19 @@ impl<'a> Run<'a> {
             let replicas = &self.tasks[task_id].preferred_nodes;
             replicas[self.rng.index(replicas.len())]
         };
-        let fetch_sources: Vec<usize> = if spec.shuffle_in_mb > 0.0 {
+        // Reused scratch: one fetch-source buffer serves every assignment.
+        self.fetch_sources_buf.clear();
+        if spec.shuffle_in_mb > 0.0 {
             let f = self.cfg.fetch_parallelism.min(self.cfg.nodes);
-            (0..f).map(|k| (task_id + k) % self.cfg.nodes).collect()
-        } else {
-            Vec::new()
-        };
+            self.fetch_sources_buf
+                .extend((0..f).map(|k| (task_id + k) % self.cfg.nodes));
+        }
         let cpu_total = spec.cpu_per_mb * spec.processed_mb() + spec.base_cpu_per_task * task_count;
         let plan = TaskPlan {
             read_mb: spec.read_mb / task_count,
             read_source,
             fetch_mb: spec.shuffle_in_mb / task_count,
-            fetch_sources,
+            fetch_sources: &self.fetch_sources_buf,
             cpu_sec: cpu_total / task_count,
             spill_mb: spec.shuffle_out_mb / task_count,
             output_mb: spec.output_mb / task_count,
@@ -1128,7 +1183,8 @@ impl<'a> Run<'a> {
         };
         let speculative = self.tasks[task_id].has_live_attempt();
         let attempt_idx = self.tasks[task_id].attempts.len();
-        let mut attempt = AttemptState::new(executor, plan.build_phases(), now, speculative);
+        let phases = plan.build_phases_with(&mut self.chunk_weights_buf);
+        let mut attempt = AttemptState::new(executor, phases, now, speculative);
         let fail_p = self
             .cfg
             .fault_plan
@@ -1139,6 +1195,12 @@ impl<'a> Run<'a> {
             attempt.fail_after_phase = Some(self.fault_rng.index(phases));
         }
         self.tasks[task_id].attempts.push(attempt);
+        if !speculative && !self.tasks[task_id].speculated {
+            // The task now has exactly one live, non-speculative attempt:
+            // it may become a straggler. (Pruned lazily once it completes
+            // or gets a clone.)
+            self.spec_candidates.insert(task_id);
+        }
         self.executors[executor].pool.task_started();
         self.stage_attempts += 1;
         self.record(TraceEvent::TaskStarted {
@@ -1163,24 +1225,24 @@ impl<'a> Run<'a> {
     }
 
     fn start_phase(&mut self, task_id: usize, attempt: usize, now: f64) {
-        let phase_idx = self.tasks[task_id].attempts[attempt].current_phase;
-        let phase: Phase = self.tasks[task_id].attempts[attempt].phases[phase_idx].clone();
-        self.tasks[task_id].attempts[attempt].outstanding = phase.flows.len();
-        self.tasks[task_id].attempts[attempt].phase_started_at = now;
+        let a = &mut self.tasks[task_id].attempts[attempt];
+        let phase_idx = a.current_phase;
+        a.outstanding = a.phases[phase_idx].flows.len();
+        a.phase_started_at = now;
         // Incast model: register fetch pressure on every serving node; if
         // any source is over the free threshold, the request stalls
         // (TCP retransmission timeouts) before any byte moves. The stall is
         // part of the phase and therefore counts into epoll wait.
         let mut max_pressure = 0usize;
         let mut registered = false;
-        for flow in &phase.flows {
+        for flow in &a.phases[phase_idx].flows {
             if let FlowTarget::ServePath { node } = flow.target {
                 self.serve_pressure[node] += 1;
                 registered = true;
                 max_pressure = max_pressure.max(self.serve_pressure[node]);
             }
         }
-        self.tasks[task_id].attempts[attempt].pressure_registered = registered;
+        a.pressure_registered = registered;
         if max_pressure > self.cfg.incast_free_requests {
             let over = (max_pressure - self.cfg.incast_free_requests) as f64;
             let stall = self.cfg.incast_stall_base * (over / 16.0).powf(1.5);
@@ -1192,7 +1254,7 @@ impl<'a> Run<'a> {
                         attempt,
                     },
                 );
-                self.tasks[task_id].attempts[attempt].stall_timer = Some(timer);
+                a.stall_timer = Some(timer);
                 return;
             }
         }
@@ -1201,9 +1263,12 @@ impl<'a> Run<'a> {
 
     fn start_phase_flows(&mut self, task_id: usize, attempt: usize) {
         let phase_idx = self.tasks[task_id].attempts[attempt].current_phase;
-        let phase: Phase = self.tasks[task_id].attempts[attempt].phases[phase_idx].clone();
         self.tasks[task_id].attempts[attempt].active_flows.clear();
-        for flow in &phase.flows {
+        let nflows = self.tasks[task_id].attempts[attempt].phases[phase_idx]
+            .flows
+            .len();
+        for i in 0..nflows {
+            let flow = self.tasks[task_id].attempts[attempt].phases[phase_idx].flows[i];
             let (resource, class) = self.resolve(flow.target);
             let handle = self.kernel.start_flow(
                 resource,
@@ -1222,13 +1287,13 @@ impl<'a> Run<'a> {
 
     /// Releases the serve-path pressure the attempt's current phase holds.
     fn release_pressure(&mut self, task_id: usize, attempt: usize) {
-        if !self.tasks[task_id].attempts[attempt].pressure_registered {
+        let a = &mut self.tasks[task_id].attempts[attempt];
+        if !a.pressure_registered {
             return;
         }
-        self.tasks[task_id].attempts[attempt].pressure_registered = false;
-        let phase_idx = self.tasks[task_id].attempts[attempt].current_phase;
-        let phase = self.tasks[task_id].attempts[attempt].phases[phase_idx].clone();
-        for flow in &phase.flows {
+        a.pressure_registered = false;
+        let phase_idx = a.current_phase;
+        for flow in &a.phases[phase_idx].flows {
             if let FlowTarget::ServePath { node } = flow.target {
                 debug_assert!(self.serve_pressure[node] > 0);
                 self.serve_pressure[node] -= 1;
@@ -1242,17 +1307,21 @@ impl<'a> Run<'a> {
         if self.tasks[task_id].attempts[attempt].outstanding > 0 {
             return;
         }
-        // Whole phase complete: account it.
+        // Whole phase complete: account it (flows are `Copy`, read in
+        // place — no per-phase clone on this per-event path).
         let executor = self.tasks[task_id].attempts[attempt].executor;
         let phase_idx = self.tasks[task_id].attempts[attempt].current_phase;
-        let phase = self.tasks[task_id].attempts[attempt].phases[phase_idx].clone();
         let phase_duration = now - self.tasks[task_id].attempts[attempt].phase_started_at;
         self.release_pressure(task_id, attempt);
         self.tasks[task_id].attempts[attempt].active_flows.clear();
-        if phase.is_io() {
+        if self.tasks[task_id].attempts[attempt].phases[phase_idx].is_io() {
             self.executors[executor].stats.epoll_wait += phase_duration;
         }
-        for flow in &phase.flows {
+        let nflows = self.tasks[task_id].attempts[attempt].phases[phase_idx]
+            .flows
+            .len();
+        for i in 0..nflows {
+            let flow = self.tasks[task_id].attempts[attempt].phases[phase_idx].flows[i];
             match flow.accounting {
                 Accounting::Cpu => {}
                 Accounting::DiskRead => {
@@ -1379,6 +1448,11 @@ impl<'a> Run<'a> {
     /// of the stage has completed, any attempt running far beyond the
     /// median duration is cloned onto another executor; first finisher
     /// wins, the loser is cancelled.
+    ///
+    /// The median is maintained incrementally ([`RunningMedian`], O(1) per
+    /// query), stragglers come from the candidate index instead of a scan
+    /// over every task, and clone targets come from the same free-slot
+    /// worklist the assignment sweep uses.
     fn maybe_speculate(&mut self, now: f64) {
         let enabled = self.faults_enabled() || self.cfg.fault_tolerance.speculation;
         if !enabled || self.job_done || self.tasks.is_empty() {
@@ -1389,43 +1463,52 @@ impl<'a> Run<'a> {
         if (done as f64) < self.cfg.fault_tolerance.speculation_quantile * total as f64 {
             return;
         }
-        if self.stage_attempt_durations.is_empty() {
+        let Some(median) = self.stage_attempt_durations.median() else {
             return;
-        }
-        let mut durations = self.stage_attempt_durations.clone();
-        durations.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-        let median = durations[durations.len() / 2];
+        };
         let threshold = self.cfg.fault_tolerance.speculation_multiplier * median;
-        for t in 0..total {
-            let task = &self.tasks[t];
-            if task.completed || task.speculated || task.queued {
-                continue;
+        self.rebuild_free_slots();
+        // Candidates in ascending task id — the order the old full scan
+        // visited stragglers in.
+        let mut candidates = std::mem::take(&mut self.spec_scratch);
+        candidates.clear();
+        candidates.extend(self.spec_candidates.iter().copied());
+        for t in candidates.drain(..) {
+            let current = {
+                let task = &self.tasks[t];
+                if task.completed || task.speculated {
+                    // Permanently ineligible: drop from the index.
+                    self.spec_candidates.remove(&t);
+                    continue;
+                }
+                if task.queued {
+                    continue;
+                }
+                let mut live = task.live_attempts();
+                let (Some(a), None) = (live.next(), live.next()) else {
+                    continue;
+                };
+                drop(live);
+                if now - task.attempts[a].started_at <= threshold {
+                    continue;
+                }
+                task.attempts[a].executor
+            };
+            // Clone onto the executor with the most free capacity (lowest
+            // index on ties): first strict maximum over the ascending
+            // worklist, skipping the straggler's own executor.
+            let mut best: Option<usize> = None;
+            let mut best_free = 0usize;
+            for (i, &(e, free)) in self.free_slots.iter().enumerate() {
+                if e != current && free > best_free {
+                    best = Some(i);
+                    best_free = free;
+                }
             }
-            let live: Vec<usize> = task.live_attempts().collect();
-            if live.len() != 1 {
-                continue;
-            }
-            let a = live[0];
-            if now - task.attempts[a].started_at <= threshold {
-                continue;
-            }
-            let current = task.attempts[a].executor;
-            // Clone onto the live, non-blacklisted executor with the most
-            // free capacity (lowest index on ties).
-            let target = (0..self.cfg.nodes)
-                .filter(|&e| {
-                    e != current
-                        && self.driver_sees_alive[e]
-                        && !self.blacklisted[e]
-                        && self.driver_running[e] < self.driver_capacity[e]
-                })
-                .max_by_key(|&e| {
-                    (
-                        self.driver_capacity[e] - self.driver_running[e],
-                        std::cmp::Reverse(e),
-                    )
-                });
-            let Some(target) = target else { continue };
+            let Some(slot) = best else { continue };
+            let target = self.free_slots[slot].0;
+            self.free_slots[slot].1 -= 1;
+            self.spec_candidates.remove(&t);
             self.tasks[t].speculated = true;
             self.stage_spec_launched += 1;
             self.driver_running[target] += 1;
@@ -1434,6 +1517,7 @@ impl<'a> Run<'a> {
                 executor: target,
             });
         }
+        self.spec_scratch = candidates;
     }
 
     /// Fire-and-forget replica writes on other nodes' disks.
@@ -1968,6 +2052,62 @@ mod tests {
         assert!(launched > 0, "stragglers must be speculated");
         let wins: usize = report.stages.iter().map(|s| s.speculative_wins).sum();
         assert_eq!(wins, trace.speculative_wins());
+    }
+
+    // ---- indexed scheduler ----------------------------------------------
+
+    #[test]
+    fn assignment_exits_uniformly_when_queue_drains_mid_sweep() {
+        // One task, two executors with plenty of slots: the queue drains at
+        // the first executor of the very first sweep, so the rest of the
+        // sweep (and every later `try_assign`) must flow through the same
+        // exit path — no hang, no double assignment, and the lone task
+        // lands on executor 0 (sweep order).
+        let job = JobSpec::builder("tiny")
+            .stage(StageSpec::compute("one").with_tasks(1))
+            .build();
+        let (report, trace) = Engine::new(small_config(), ThreadPolicy::Default).run_traced(&job);
+        assert_eq!(report.stages[0].tasks, 1);
+        assert_eq!(report.stages[0].attempts, 1);
+        let per_exec = trace.tasks_started_per_executor(report.nodes);
+        assert_eq!(per_exec, vec![1, 0], "sweep starts at executor 0");
+    }
+
+    #[test]
+    fn indexed_scheduler_matches_reference_fault_free() {
+        let indexed = Engine::new(small_config(), ThreadPolicy::Default).run(&simple_job());
+        let mut cfg = small_config();
+        cfg.reference_scheduler = true;
+        let reference = Engine::new(cfg, ThreadPolicy::Default).run(&simple_job());
+        // `{:?}` of f64 is the shortest round-trip representation, so equal
+        // debug strings mean bit-equal reports.
+        assert_eq!(format!("{indexed:?}"), format!("{reference:?}"));
+    }
+
+    #[test]
+    fn indexed_scheduler_matches_reference_under_faults_and_speculation() {
+        let mut cfg = small_config();
+        cfg.fault_plan = Some(
+            FaultPlan::new(5)
+                .with_task_failures(0.1)
+                .with_crash(1, 3.0, 9.0)
+                .with_message_delay(0.002)
+                .with_heartbeat_loss(0.05),
+        );
+        cfg.fault_tolerance.speculation_multiplier = 1.2;
+        cfg.fault_tolerance.speculation_quantile = 0.5;
+        let (indexed, indexed_trace) = Engine::new(cfg.clone(), ThreadPolicy::Default)
+            .try_run_traced(&simple_job())
+            .expect("survives the plan");
+        let mut ref_cfg = cfg;
+        ref_cfg.reference_scheduler = true;
+        let (reference, reference_trace) = Engine::new(ref_cfg, ThreadPolicy::Default)
+            .try_run_traced(&simple_job())
+            .expect("survives the plan");
+        assert_eq!(format!("{indexed:?}"), format!("{reference:?}"));
+        // Traces pin the full assignment/failure/speculation sequence, not
+        // just the aggregate report.
+        assert_eq!(format!("{indexed_trace:?}"), format!("{reference_trace:?}"));
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod executor;
 mod job;
 mod messages;
 mod report;
+pub mod sched;
 mod task;
 mod trace;
 

@@ -61,8 +61,12 @@ impl Phase {
 }
 
 /// Inputs for building a task's phase list.
+///
+/// Borrows the fetch-source list from the caller: plans are built once per
+/// assignment on the driver's hot path, so the engine hands out a slice of
+/// a reused buffer instead of allocating a `Vec` per task.
 #[derive(Debug, Clone)]
-pub(crate) struct TaskPlan {
+pub(crate) struct TaskPlan<'a> {
     /// DFS bytes this task reads (MB).
     pub read_mb: f64,
     /// Node the read is served from (own node when local).
@@ -70,7 +74,7 @@ pub(crate) struct TaskPlan {
     /// Shuffle bytes this task fetches (MB).
     pub fetch_mb: f64,
     /// Nodes the fetch is served from (concurrently, per chunk).
-    pub fetch_sources: Vec<usize>,
+    pub fetch_sources: &'a [usize],
     /// CPU seconds this task burns.
     pub cpu_sec: f64,
     /// Shuffle bytes this task spills to its local disk (MB).
@@ -90,7 +94,19 @@ pub(crate) struct TaskPlan {
     pub seed: u64,
 }
 
-impl TaskPlan {
+impl TaskPlan<'_> {
+    /// Expands the plan into the task's ordered phase list, using a
+    /// scratch `Vec` for the chunk weights (convenience wrapper around
+    /// [`TaskPlan::build_phases_with`] for tests and one-off callers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is zero or a fetch is requested with no sources.
+    #[cfg(test)]
+    pub fn build_phases(&self) -> Vec<Phase> {
+        self.build_phases_with(&mut Vec::new())
+    }
+
     /// Expands the plan into the task's ordered phase list.
     ///
     /// Each chunk interleaves: read → fetch (parallel serves, then the
@@ -98,22 +114,27 @@ impl TaskPlan {
     /// omitted; a task with no work at all yields a single empty-CPU phase
     /// so it still schedules and completes.
     ///
+    /// `weights` is caller-owned scratch (cleared on entry): the engine
+    /// builds one plan per assignment and reuses a single buffer for the
+    /// chunk-weight computation across all of them.
+    ///
     /// # Panics
     ///
     /// Panics if `chunks` is zero or a fetch is requested with no sources.
-    pub fn build_phases(&self) -> Vec<Phase> {
+    pub fn build_phases_with(&self, weights: &mut Vec<f64>) -> Vec<Phase> {
         assert!(self.chunks > 0, "chunks must be positive");
         let mut rng = sae_sim::rng::DeterministicRng::seed(self.seed);
         // Uneven chunk weights (record-size skew); byte totals are exact.
-        let raw: Vec<f64> = (0..self.chunks)
-            .map(|_| rng.uniform_range(0.6, 1.4))
-            .collect();
-        let total: f64 = raw.iter().sum();
-        let weights: Vec<f64> = raw.iter().map(|w| w / total).collect();
+        weights.clear();
+        weights.extend((0..self.chunks).map(|_| rng.uniform_range(0.6, 1.4)));
+        let total: f64 = weights.iter().sum();
+        for w in weights.iter_mut() {
+            *w /= total;
+        }
         // Mild per-task CPU skew (stragglers).
         let cpu_mult = rng.uniform_range(0.85, 1.15);
         let mut phases = Vec::new();
-        for &weight in &weights {
+        for &weight in weights.iter() {
             let k = 1.0 / weight; // this chunk's share: work / k
             if self.read_mb > 0.0 {
                 let mut flows = vec![FlowSpec {
@@ -329,12 +350,12 @@ impl TaskState {
 mod tests {
     use super::*;
 
-    fn plan() -> TaskPlan {
+    fn plan() -> TaskPlan<'static> {
         TaskPlan {
             read_mb: 128.0,
             read_source: 0,
             fetch_mb: 0.0,
-            fetch_sources: Vec::new(),
+            fetch_sources: &[],
             cpu_sec: 2.0,
             spill_mb: 64.0,
             output_mb: 0.0,
@@ -377,7 +398,7 @@ mod tests {
         p.read_mb = 0.0;
         p.spill_mb = 0.0;
         p.fetch_mb = 100.0;
-        p.fetch_sources = vec![1, 2, 3];
+        p.fetch_sources = &[1, 2, 3];
         p.chunks = 1;
         let phases = p.build_phases();
         // serve phase, net phase, cpu phase
@@ -413,7 +434,7 @@ mod tests {
             read_mb: 0.0,
             read_source: 0,
             fetch_mb: 0.0,
-            fetch_sources: Vec::new(),
+            fetch_sources: &[],
             cpu_sec: 0.0,
             spill_mb: 0.0,
             output_mb: 0.0,
@@ -467,7 +488,7 @@ mod tests {
     fn fetch_without_sources_rejected() {
         let mut p = plan();
         p.fetch_mb = 10.0;
-        p.fetch_sources.clear();
+        p.fetch_sources = &[];
         let _ = p.build_phases();
     }
 }

@@ -1,0 +1,142 @@
+//! Scheduler equivalence: the indexed pending queue must be invisible in
+//! the results. Every run here executes twice — once through the indexed
+//! scheduler, once through the pre-index O(pending)-scan reference
+//! (`reference_scheduler = true`, available under the `reference-impl`
+//! feature) — and both the job report and the full execution trace (every
+//! assignment, failure, blacklist and speculative clone, in order) must be
+//! bit-identical.
+//!
+//! Queue-level operation scripts are pinned separately by the proptests in
+//! `sae_dag::sched`; these tests drive the whole engine, with faults,
+//! blacklisting and speculation enabled, so the free-slot worklist, the
+//! running median and the candidate index are exercised too.
+
+use proptest::prelude::*;
+use sae_core::ThreadPolicy;
+use sae_dag::{Engine, EngineConfig, FaultPlan, JobSpec, StageSpec};
+
+/// A random but valid job: 1–3 stages, the first reading from the DFS,
+/// later stages chained through shuffles. Kept small — every case runs the
+/// engine twice.
+fn arb_job() -> impl Strategy<Value = JobSpec> {
+    (
+        64.0f64..768.0,                           // input MB
+        0.0f64..0.1,                              // cpu per MB
+        prop::collection::vec(0.1f64..1.0, 0..2), // shuffle chain fractions
+        prop::bool::ANY,                          // write output?
+    )
+        .prop_map(|(input, cpu, chain, write)| {
+            let mut builder = JobSpec::builder("equiv-job");
+            let mut first = StageSpec::read("ingest", input).cpu_per_mb(cpu);
+            if let Some(&frac) = chain.first() {
+                first = first.shuffle_out(input * frac);
+            }
+            builder = builder.stage(first);
+            if let Some(&frac) = chain.first() {
+                let mut last = StageSpec::shuffle("sink", input * frac).cpu_per_mb(cpu);
+                if write {
+                    last = last.write_output(input * 0.5);
+                }
+                builder = builder.stage(last);
+            }
+            builder.build()
+        })
+}
+
+/// A random fault plan mixing transient failures (these drive `failed_on`
+/// avoidance and blacklisting), an optional crash, message delays, and
+/// heartbeat loss.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        0u64..1024,
+        prop::option::of(0.01f64..0.2),
+        prop::option::of((0usize..2, 1.0f64..30.0, 1.0f64..20.0)),
+        prop::option::of(0.0f64..0.01),
+        prop::option::of(0.01f64..0.1),
+    )
+        .prop_map(|(seed, failures, crash, delay, hb_loss)| {
+            let mut plan = FaultPlan::new(seed);
+            if let Some(p) = failures {
+                plan = plan.with_task_failures(p);
+            }
+            if let Some((executor, at, downtime)) = crash {
+                plan = plan.with_crash(executor, at, downtime);
+            }
+            if let Some(d) = delay {
+                plan = plan.with_message_delay(d);
+            }
+            if let Some(p) = hb_loss {
+                plan = plan.with_heartbeat_loss(p);
+            }
+            plan
+        })
+}
+
+fn small_cluster() -> EngineConfig {
+    let mut cfg = EngineConfig::four_node_hdd();
+    cfg.nodes = 2;
+    cfg.block_size_mb = 64;
+    cfg
+}
+
+/// Runs the job through both schedulers and asserts bit-identical
+/// outcomes (success or failure alike).
+fn assert_equivalent(cfg: &EngineConfig, job: &JobSpec) -> Result<(), TestCaseError> {
+    let indexed = Engine::new(cfg.clone(), ThreadPolicy::Default).try_run_traced(job);
+    let mut ref_cfg = cfg.clone();
+    ref_cfg.reference_scheduler = true;
+    let reference = Engine::new(ref_cfg, ThreadPolicy::Default).try_run_traced(job);
+    match (indexed, reference) {
+        (Ok((ir, it)), Ok((rr, rt))) => {
+            // `{:?}` of f64 is the shortest round-trip representation, so
+            // equal debug strings mean bit-equal reports.
+            prop_assert_eq!(format!("{ir:?}"), format!("{rr:?}"), "reports diverged");
+            prop_assert_eq!(format!("{it:?}"), format!("{rt:?}"), "traces diverged");
+        }
+        (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+        (a, b) => prop_assert!(false, "outcomes diverged: {a:?} vs {b:?}"),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Fault-free jobs: pure locality + FIFO scheduling.
+    #[test]
+    fn equivalent_fault_free(job in arb_job()) {
+        assert_equivalent(&small_cluster(), &job)?;
+    }
+
+    /// Faulted jobs with speculation enabled: retries, `failed_on`
+    /// avoidance, blacklisting, straggler cloning and the free-slot
+    /// worklist all active.
+    #[test]
+    fn equivalent_under_faults_and_speculation(
+        job in arb_job(),
+        plan in arb_fault_plan(),
+    ) {
+        let mut cfg = small_cluster();
+        cfg.fault_plan = Some(plan);
+        cfg.fault_tolerance.speculation_multiplier = 1.2;
+        cfg.fault_tolerance.speculation_quantile = 0.5;
+        assert_equivalent(&cfg, &job)?;
+    }
+}
+
+/// Remote reads under partial replication force the locality lanes (short
+/// replica lists) and the FIFO fallback into play on a wider cluster.
+#[test]
+fn equivalent_with_partial_replication() {
+    let mut cfg = EngineConfig::four_node_hdd();
+    cfg.block_size_mb = 64;
+    cfg.input_replication = 1; // primaries only: scarce locality
+    let job = JobSpec::builder("remote")
+        .stage(StageSpec::read("ingest", 4096.0).cpu_per_mb(0.002))
+        .build();
+    let indexed = Engine::new(cfg.clone(), ThreadPolicy::Default).run_traced(&job);
+    cfg.reference_scheduler = true;
+    let reference = Engine::new(cfg, ThreadPolicy::Default).run_traced(&job);
+    assert_eq!(format!("{:?}", indexed.0), format!("{:?}", reference.0));
+    assert_eq!(format!("{:?}", indexed.1), format!("{:?}", reference.1));
+}
