@@ -1,0 +1,135 @@
+//! Side-by-side pool-size decision traces: simulated engine vs the live
+//! TCP runtime.
+//!
+//! Both runtimes drive the same MAPE-K controller (`c_min=2`, `c_max=8`)
+//! over the same protocol messages; what differs is everything around it —
+//! virtual time vs wall clock, modelled I/O vs real spill files, in-memory
+//! mailboxes vs loopback sockets. If the reproduction is faithful, the
+//! *shape* of the decision traces should match: every stage resets to
+//! `c_min`, every decision stays within bounds, and the driver's slot
+//! registry ends consistent with the last `PoolSizeChanged` it saw.
+//!
+//! ```sh
+//! cargo run --release -p sae-bench --bin live_vs_sim
+//! ```
+
+use sae_core::{MapeConfig, ThreadPolicy};
+use sae_dag::EngineConfig;
+use sae_live::{terasort, ClusterConfig, LiveCluster, LiveReport};
+use sae_workloads::WorkloadKind;
+
+const EXECUTORS: usize = 3;
+const C_MIN: usize = 2;
+const C_MAX: usize = 8;
+
+fn sim_traces() -> Vec<(String, Vec<Vec<usize>>)> {
+    let cfg = EngineConfig::four_node_hdd().with_nodes(EXECUTORS);
+    let workload = WorkloadKind::Terasort.build();
+    let report = sae_bench::run_workload(
+        &cfg,
+        &workload,
+        ThreadPolicy::Adaptive(MapeConfig::new(C_MIN, C_MAX)),
+    );
+    report
+        .stages
+        .iter()
+        .map(|s| {
+            let mut traces = vec![Vec::new(); EXECUTORS];
+            for e in &s.executors {
+                traces[e.executor] = e.decisions.clone();
+            }
+            (s.name.clone(), traces)
+        })
+        .collect()
+}
+
+fn live_report() -> LiveReport {
+    let mut cluster = LiveCluster::launch(ClusterConfig {
+        executors: EXECUTORS,
+        mape: MapeConfig::new(C_MIN, C_MAX),
+        ..ClusterConfig::default()
+    })
+    .expect("launch live cluster");
+    let report = cluster
+        .run(&terasort(24, 20_000, 2026))
+        .expect("live terasort");
+    cluster.shutdown().expect("executor threads exit cleanly");
+    report
+}
+
+fn trace_shape(trace: &[usize]) -> String {
+    if trace.is_empty() {
+        return "(no adaptation)".into();
+    }
+    let mut s = format!("{:?}", trace);
+    if trace.first() == Some(&C_MIN) {
+        s.push_str("  [starts at c_min]");
+    }
+    s
+}
+
+fn main() {
+    println!("== simulated engine: adaptive Terasort, {EXECUTORS} nodes, MAPE {C_MIN}..{C_MAX} ==");
+    let sim = sim_traces();
+    for (name, traces) in &sim {
+        println!("stage {name}:");
+        for (e, trace) in traces.iter().enumerate() {
+            println!("  executor {e}: {}", trace_shape(trace));
+        }
+    }
+
+    println!();
+    println!(
+        "== live runtime: loopback Terasort (24 tasks x 20k records), {EXECUTORS} executors =="
+    );
+    let live = live_report();
+    for e in 0..EXECUTORS {
+        let trace: Vec<usize> = live
+            .decisions
+            .iter()
+            .filter(|d| d.executor == e)
+            .map(|d| d.size)
+            .collect();
+        println!("  executor {e}: {}", trace_shape(&trace));
+    }
+    println!(
+        "  {} PoolSizeChanged round-trips over {:.2}s; final registry: {:?}",
+        live.decisions.len(),
+        live.runtime_secs,
+        live.registry.iter().map(|s| s.slots).collect::<Vec<_>>()
+    );
+
+    // The faithfulness checks the traces must share.
+    let sim_in_bounds = sim
+        .iter()
+        .flat_map(|(_, ts)| ts.iter().flatten())
+        .all(|&d| (C_MIN..=C_MAX).contains(&d));
+    let live_in_bounds = live
+        .decisions
+        .iter()
+        .all(|d| (C_MIN..=C_MAX).contains(&d.size));
+    let sim_resets = sim
+        .iter()
+        .flat_map(|(_, ts)| ts.iter())
+        .filter(|t| !t.is_empty())
+        .all(|t| t[0] == C_MIN);
+    let live_resets = live.decisions.iter().any(|d| d.size == C_MIN);
+    let registry_consistent = (0..EXECUTORS).all(|e| {
+        live.decisions
+            .iter()
+            .rev()
+            .find(|d| d.executor == e)
+            .is_none_or(|d| live.registry[e].slots == d.size)
+    });
+
+    println!();
+    println!("== agreement ==");
+    println!("decisions within [c_min, c_max]:  sim={sim_in_bounds}  live={live_in_bounds}");
+    println!("stage starts reset to c_min:      sim={sim_resets}  live={live_resets}");
+    println!("live registry == last decision per executor: {registry_consistent}");
+    assert!(
+        sim_in_bounds && live_in_bounds && sim_resets && live_resets && registry_consistent,
+        "decision traces diverged structurally"
+    );
+    println!("OK: both runtimes show the same adaptation shape");
+}

@@ -4,10 +4,14 @@
 //! executor was launched with and how many are free; the paper extends the
 //! protocol with a message that lets executors report pool-size changes so
 //! the scheduler's view stays consistent (§5.4). Messages travel through
-//! the simulated RPC fabric with a configurable one-way latency.
+//! the simulated RPC fabric with a configurable one-way latency; the live
+//! runtime (`sae-live`) carries the same values over real TCP using the
+//! hand-rolled frame format in [`crate::codec`].
+
+use serde::{Deserialize, Serialize};
 
 /// A message on the driver↔executor channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Message {
     /// Driver → executor: run `task`.
     AssignTask {

@@ -1,0 +1,141 @@
+//! Property-based tests for the wire codec: round-trips for every
+//! [`Message`] variant, streaming reassembly, and totality on malformed
+//! input (errors, never panics).
+
+use proptest::prelude::*;
+use sae_dag::codec::{self, FrameError, LEN_PREFIX, MAX_BODY_LEN};
+use sae_dag::Message;
+
+/// Any protocol message, with fields across the whole `usize` domain the
+/// codec must carry (the driver uses dense indices, but the wire format
+/// must not silently wrap large values).
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        0u8..4,
+        0usize..=usize::MAX,
+        0usize..=usize::MAX,
+        0usize..=usize::MAX,
+    )
+        .prop_map(|(variant, a, b, c)| match variant {
+            0 => Message::AssignTask {
+                task: a,
+                executor: b,
+            },
+            1 => Message::PoolSizeChanged {
+                executor: a,
+                size: b,
+            },
+            2 => Message::Heartbeat { executor: a },
+            _ => Message::TaskFailed {
+                task: a,
+                executor: b,
+                attempt: c,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// encode → decode is the identity, and consumes the exact frame.
+    #[test]
+    fn round_trip(msg in arb_message()) {
+        let mut buf = Vec::new();
+        codec::encode_frame(&msg, &mut buf);
+        let (decoded, consumed) = codec::decode_frame(&buf)
+            .expect("own encoding decodes")
+            .expect("complete frame");
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    /// A concatenated stream of frames decodes back to the same sequence,
+    /// regardless of how the byte stream is chunked.
+    #[test]
+    fn stream_reassembly(msgs in prop::collection::vec(arb_message(), 1..20)) {
+        let mut buf = Vec::new();
+        for m in &msgs {
+            codec::encode_frame(m, &mut buf);
+        }
+        let mut offset = 0;
+        let mut decoded = Vec::new();
+        while let Some((m, consumed)) = codec::decode_frame(&buf[offset..]).unwrap() {
+            decoded.push(m);
+            offset += consumed;
+        }
+        prop_assert_eq!(offset, buf.len());
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    /// Every strict prefix of a valid frame reports "incomplete", not an
+    /// error and not a bogus message.
+    #[test]
+    fn prefixes_are_incomplete(msg in arb_message(), cut_frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        codec::encode_frame(&msg, &mut buf);
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        let cut = cut.min(buf.len() - 1);
+        prop_assert_eq!(codec::decode_frame(&buf[..cut]).unwrap(), None);
+    }
+
+    /// Decoding arbitrary bytes is total: it returns Ok or Err but never
+    /// panics, and any successfully decoded frame re-encodes to the same
+    /// body it was decoded from.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..64)) {
+        if let Ok(Some((msg, consumed))) = codec::decode_frame(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+            let mut re = Vec::new();
+            codec::encode_frame(&msg, &mut re);
+            prop_assert_eq!(&re[..], &bytes[..consumed]);
+        }
+    }
+
+    /// A frame whose declared body length is shorter or longer than the
+    /// variant's layout is rejected with the precise error class.
+    #[test]
+    fn mismatched_length_rejected(msg in arb_message(), delta in 1usize..8) {
+        let mut buf = Vec::new();
+        codec::encode_frame(&msg, &mut buf);
+        let body_len = buf.len() - LEN_PREFIX;
+
+        // Truncated: chop `delta` bytes off the body and fix the prefix.
+        let shorter = body_len - delta.min(body_len - 1);
+        let mut truncated = ((shorter as u32).to_be_bytes()).to_vec();
+        truncated.extend_from_slice(&buf[LEN_PREFIX..LEN_PREFIX + shorter]);
+        prop_assert!(matches!(
+            codec::decode_frame(&truncated),
+            Err(FrameError::Truncated { .. })
+        ));
+
+        // Oversized declared length beyond the cap.
+        let mut oversized = (((MAX_BODY_LEN + delta) as u32).to_be_bytes()).to_vec();
+        oversized.extend_from_slice(&buf[LEN_PREFIX..]);
+        prop_assert!(matches!(
+            codec::decode_frame(&oversized),
+            Err(FrameError::Oversized { .. })
+        ));
+
+        // Trailing garbage inside the declared body.
+        let mut padded_body = buf[LEN_PREFIX..].to_vec();
+        padded_body.extend(std::iter::repeat_n(0xAB, delta));
+        let mut trailing = ((padded_body.len() as u32).to_be_bytes()).to_vec();
+        trailing.extend_from_slice(&padded_body);
+        prop_assert!(matches!(
+            codec::decode_frame(&trailing),
+            Err(FrameError::TrailingBytes { .. })
+        ));
+    }
+
+    /// Corrupting the tag byte of a valid frame yields UnknownTag (for tag
+    /// values outside the defined space), never a panic.
+    #[test]
+    fn corrupt_tag_rejected(msg in arb_message(), tag in 4u8..=255) {
+        let mut buf = Vec::new();
+        codec::encode_frame(&msg, &mut buf);
+        buf[LEN_PREFIX] = tag;
+        // Tag determines expected length, so either the length no longer
+        // matches (Truncated/Trailing) or the tag is unknown.
+        prop_assert!(codec::decode_frame(&buf).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! One-call setup of a whole loopback cluster: driver + N executors +
+//! a shared scratch directory for spills.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use sae_core::MapeConfig;
+
+use crate::driver::{Driver, DriverConfig, LiveError, LiveReport, PoolDecision, SlotInfo};
+use crate::executor::{LiveExecutor, LiveExecutorConfig};
+use crate::job::LiveJob;
+
+/// Cluster-level configuration: driver knobs plus what every executor
+/// shares.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of executors to launch.
+    pub executors: usize,
+    /// MAPE-K bounds for every executor's pool.
+    pub mape: MapeConfig,
+    /// Executor heartbeat period.
+    pub heartbeat_interval: Duration,
+    /// Driver silence threshold before declaring an executor lost.
+    pub heartbeat_timeout: Duration,
+    /// Driver event-loop wakeup period.
+    pub check_interval: Duration,
+    /// Per-task attempt budget.
+    pub max_task_attempts: usize,
+    /// Per-stage executor failure budget before blacklisting.
+    pub blacklist_after: usize,
+    /// Wall-clock bound on the whole job.
+    pub deadline: Duration,
+    /// Fault injection: `(executor, n)` makes that executor go silent
+    /// after completing `n` tasks.
+    pub kill_after_tasks: Vec<(usize, usize)>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            executors: 3,
+            mape: MapeConfig::new(2, 8),
+            heartbeat_interval: Duration::from_millis(100),
+            heartbeat_timeout: Duration::from_millis(800),
+            check_interval: Duration::from_millis(50),
+            max_task_attempts: 4,
+            blacklist_after: 3,
+            deadline: Duration::from_secs(120),
+            kill_after_tasks: Vec::new(),
+        }
+    }
+}
+
+/// A scratch directory removed on drop. Hand-rolled (no `tempfile`
+/// dependency): uniqueness comes from the pid plus a process-wide counter.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh directory under the system temp dir.
+    pub fn new(prefix: &str) -> io::Result<Self> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("{prefix}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path)?;
+        Ok(Self { path })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// A running loopback cluster.
+///
+/// # Examples
+///
+/// ```no_run
+/// use sae_live::{ClusterConfig, LiveCluster};
+///
+/// let mut cluster = LiveCluster::launch(ClusterConfig::default()).unwrap();
+/// let report = cluster.run(&sae_live::terasort(12, 5_000, 1)).unwrap();
+/// assert_eq!(report.stages.len(), 2);
+/// cluster.shutdown().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct LiveCluster {
+    driver: Option<Driver>,
+    executors: Vec<LiveExecutor>,
+    _scratch: TempDir,
+}
+
+impl LiveCluster {
+    /// Binds a driver and launches `cfg.executors` executors against it.
+    pub fn launch(cfg: ClusterConfig) -> io::Result<Self> {
+        let scratch = TempDir::new("sae-live")?;
+        let driver = Driver::bind(DriverConfig {
+            executors: cfg.executors,
+            heartbeat_timeout: cfg.heartbeat_timeout,
+            check_interval: cfg.check_interval,
+            max_task_attempts: cfg.max_task_attempts,
+            blacklist_after: cfg.blacklist_after,
+            deadline: cfg.deadline,
+        })?;
+        let addr = driver.addr()?;
+        let executors = (0..cfg.executors)
+            .map(|id| {
+                let mut ecfg = LiveExecutorConfig::new(id, scratch.path().to_path_buf());
+                ecfg.mape = cfg.mape;
+                ecfg.heartbeat_interval = cfg.heartbeat_interval;
+                ecfg.kill_after_tasks = cfg
+                    .kill_after_tasks
+                    .iter()
+                    .find(|&&(e, _)| e == id)
+                    .map(|&(_, n)| n);
+                LiveExecutor::launch(addr, ecfg)
+            })
+            .collect();
+        Ok(Self {
+            driver: Some(driver),
+            executors,
+            _scratch: scratch,
+        })
+    }
+
+    /// Runs one job on the cluster's driver. The driver is single-shot:
+    /// a second call reports [`LiveError::AlreadyRan`].
+    pub fn run(&mut self, job: &LiveJob) -> Result<LiveReport, LiveError> {
+        self.run_with_observer(job, |_, _| {})
+    }
+
+    /// Like [`LiveCluster::run`] with a `PoolSizeChanged` observer.
+    pub fn run_with_observer(
+        &mut self,
+        job: &LiveJob,
+        observer: impl FnMut(&PoolDecision, &[SlotInfo]),
+    ) -> Result<LiveReport, LiveError> {
+        self.driver
+            .take()
+            .ok_or(LiveError::AlreadyRan)?
+            .run_with_observer(job, observer)
+    }
+
+    /// Makes executor `id` go silent (see [`LiveExecutor::kill`]).
+    pub fn kill_executor(&self, id: usize) {
+        if let Some(ex) = self.executors.get(id) {
+            ex.kill();
+        }
+    }
+
+    /// Joins every executor thread; the scratch directory is removed when
+    /// the cluster drops.
+    pub fn shutdown(self) -> io::Result<()> {
+        let mut first_err = None;
+        for ex in self.executors {
+            if let Err(e) = ex.join() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temp_dirs_are_unique_and_cleaned_up() {
+        let a = TempDir::new("sae-live-test").unwrap();
+        let b = TempDir::new("sae-live-test").unwrap();
+        assert_ne!(a.path(), b.path());
+        let path = a.path().to_path_buf();
+        assert!(path.is_dir());
+        drop(a);
+        assert!(!path.exists());
+        assert!(b.path().is_dir());
+    }
+}

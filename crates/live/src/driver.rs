@@ -1,0 +1,722 @@
+//! The live driver: a TCP server running the paper's driver-side protocol.
+//!
+//! Responsibilities mirror the simulated engine's driver exactly, but over
+//! real sockets and wall-clock time:
+//!
+//! * accept executor connections and their [`Frame::Register`] handshakes;
+//! * schedule pending tasks through the *same* locality-aware
+//!   [`PendingQueue`] the simulator uses, respecting per-executor free
+//!   slots;
+//! * apply `PoolSizeChanged` messages to the slot registry (§5.4) so
+//!   scheduling always reflects each executor's current pool size;
+//! * track heartbeats, declare executors lost after
+//!   [`DriverConfig::heartbeat_timeout`] of silence, requeue their running
+//!   tasks with the failure recorded against the lost executor, and give
+//!   up with [`LiveError::MaxAttemptsExceeded`] when a task keeps dying;
+//! * blacklist executors that fail too many tasks in one stage (while at
+//!   least one other usable executor remains).
+//!
+//! The driver is single-threaded over an event channel: per-connection
+//! reader threads translate socket frames into events, and the main loop
+//! owns every piece of mutable state — the same structure as the
+//! simulator's event loop, with `recv_timeout` standing in for the virtual
+//! clock.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use sae_dag::sched::PendingQueue;
+use sae_dag::Message;
+
+use crate::job::LiveJob;
+use crate::wire::{Frame, FrameReader, FrameWriter, Next};
+
+/// Driver tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Executors expected to register.
+    pub executors: usize,
+    /// Silence longer than this declares an executor lost.
+    pub heartbeat_timeout: Duration,
+    /// Event-loop wakeup period for heartbeat and deadline checks.
+    pub check_interval: Duration,
+    /// A task failing this many attempts aborts the job.
+    pub max_task_attempts: usize,
+    /// An executor failing this many tasks in one stage is blacklisted
+    /// (unless it is the last usable executor).
+    pub blacklist_after: usize,
+    /// Wall-clock bound on the whole job.
+    pub deadline: Duration,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self {
+            executors: 2,
+            heartbeat_timeout: Duration::from_millis(800),
+            check_interval: Duration::from_millis(50),
+            max_task_attempts: 4,
+            blacklist_after: 3,
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// One `PoolSizeChanged` round-trip as witnessed by the driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolDecision {
+    /// Seconds since the job started.
+    pub at: f64,
+    /// Executor whose pool resized.
+    pub executor: usize,
+    /// The new pool size, now also the executor's slot count.
+    pub size: usize,
+}
+
+/// Snapshot of one executor's slot-registry entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotInfo {
+    /// Whether the executor ever registered.
+    pub registered: bool,
+    /// Whether the driver currently believes it alive.
+    pub alive: bool,
+    /// Whether it was blacklisted for repeated failures.
+    pub blacklisted: bool,
+    /// Total slots (the executor's last announced pool size).
+    pub slots: usize,
+    /// Slots not currently running a task.
+    pub free: usize,
+}
+
+/// Per-stage outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveStageReport {
+    /// Stage name from the job spec.
+    pub name: String,
+    /// Tasks in the stage.
+    pub tasks: usize,
+    /// Task attempts launched (>= tasks when retries happened).
+    pub attempts: usize,
+    /// Attempts that failed or were lost with their executor.
+    pub failed_attempts: usize,
+    /// Wall-clock stage duration in seconds.
+    pub duration_secs: f64,
+}
+
+/// The driver's account of a completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveReport {
+    /// Job name.
+    pub job: String,
+    /// Wall-clock job runtime in seconds.
+    pub runtime_secs: f64,
+    /// Per-stage outcomes, in order.
+    pub stages: Vec<LiveStageReport>,
+    /// Every `PoolSizeChanged` round-trip, in arrival order — the live
+    /// decision trace compared against the simulator by `live_vs_sim`.
+    pub decisions: Vec<PoolDecision>,
+    /// Final slot registry, indexed by executor id.
+    pub registry: Vec<SlotInfo>,
+    /// Executors declared lost, in detection order.
+    pub lost_executors: Vec<usize>,
+}
+
+/// Why a live job did not complete.
+#[derive(Debug)]
+pub enum LiveError {
+    /// A socket or listener operation failed.
+    Io(io::Error),
+    /// The job exceeded [`DriverConfig::deadline`].
+    DeadlineExceeded,
+    /// A task failed [`DriverConfig::max_task_attempts`] times.
+    MaxAttemptsExceeded {
+        /// The task that kept dying.
+        task: usize,
+    },
+    /// Every registered executor is lost or blacklisted with work pending.
+    NoUsableExecutors,
+    /// [`crate::LiveCluster::run`] was called twice.
+    AlreadyRan,
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Io(e) => write!(f, "live runtime I/O error: {e}"),
+            LiveError::DeadlineExceeded => write!(f, "live job exceeded its deadline"),
+            LiveError::MaxAttemptsExceeded { task } => {
+                write!(f, "task {task} exceeded its attempt budget")
+            }
+            LiveError::NoUsableExecutors => {
+                write!(f, "no usable executors remain with tasks pending")
+            }
+            LiveError::AlreadyRan => write!(f, "this cluster's driver already ran a job"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LiveError {
+    fn from(e: io::Error) -> Self {
+        LiveError::Io(e)
+    }
+}
+
+/// Events the per-connection reader threads feed the driver loop.
+enum Ev {
+    /// An executor completed its Register handshake.
+    Registered { executor: usize, slots: usize },
+    /// A frame arrived on an executor's connection.
+    Frame { executor: usize, frame: Frame },
+    /// An executor's connection closed or broke.
+    Gone { executor: usize },
+}
+
+/// Driver-side view of one executor.
+struct ExecState {
+    registered: bool,
+    alive: bool,
+    blacklisted: bool,
+    slots: usize,
+    running: usize,
+    failures_in_stage: usize,
+    last_heartbeat: Instant,
+}
+
+impl ExecState {
+    fn usable(&self) -> bool {
+        self.registered && self.alive && !self.blacklisted
+    }
+}
+
+/// Mutable state of the stage currently running.
+struct StageState {
+    done: Vec<bool>,
+    assigned_to: Vec<Option<usize>>,
+    failures: Vec<usize>,
+    failed_on: Vec<Vec<usize>>,
+    remaining: usize,
+    attempts: usize,
+    failed_attempts: usize,
+    started: Instant,
+}
+
+impl StageState {
+    fn new(tasks: usize) -> Self {
+        Self {
+            done: vec![false; tasks],
+            assigned_to: vec![None; tasks],
+            failures: vec![0; tasks],
+            failed_on: vec![Vec::new(); tasks],
+            remaining: tasks,
+            attempts: 0,
+            failed_attempts: 0,
+            started: Instant::now(),
+        }
+    }
+}
+
+/// A live driver bound to a loopback port, ready to run one job.
+#[derive(Debug)]
+pub struct Driver {
+    listener: TcpListener,
+    cfg: DriverConfig,
+}
+
+impl Driver {
+    /// Binds an ephemeral loopback port.
+    pub fn bind(cfg: DriverConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Ok(Self { listener, cfg })
+    }
+
+    /// The address executors should connect to.
+    pub fn addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs `job` to completion (or failure), consuming the driver.
+    pub fn run(self, job: &LiveJob) -> Result<LiveReport, LiveError> {
+        self.run_with_observer(job, |_, _| {})
+    }
+
+    /// Like [`Driver::run`], calling `observer` with each [`PoolDecision`]
+    /// and the slot registry as updated by it — the hook the
+    /// `live_cluster` example uses to print registry evolution.
+    pub fn run_with_observer(
+        self,
+        job: &LiveJob,
+        observer: impl FnMut(&PoolDecision, &[SlotInfo]),
+    ) -> Result<LiveReport, LiveError> {
+        let addr = self.addr()?;
+        let (tx, rx) = unbounded();
+        let writers: Arc<Mutex<HashMap<usize, FrameWriter>>> = Arc::default();
+        let stop_accepting = Arc::new(AtomicBool::new(false));
+        spawn_acceptor(
+            self.listener.try_clone()?,
+            self.cfg.executors,
+            tx.clone(),
+            Arc::clone(&writers),
+            Arc::clone(&stop_accepting),
+        );
+        let mut run = Run::new(&self.cfg, job, Arc::clone(&writers), observer);
+        let result = run.drive(&rx);
+        // Tell executors the job is over (best-effort) and unblock the
+        // acceptor if some executors never connected.
+        run.broadcast(&Frame::Shutdown);
+        stop_accepting.store(true, Ordering::Relaxed);
+        for _ in 0..self.cfg.executors {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(100));
+        }
+        drop(tx);
+        result.map(|()| run.into_report())
+    }
+}
+
+/// Accepts up to `n` executor connections, one reader thread each.
+fn spawn_acceptor(
+    listener: TcpListener,
+    n: usize,
+    tx: Sender<Ev>,
+    writers: Arc<Mutex<HashMap<usize, FrameWriter>>>,
+    stop: Arc<AtomicBool>,
+) {
+    std::thread::spawn(move || {
+        for _ in 0..n {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    spawn_reader(stream, tx.clone(), Arc::clone(&writers));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+}
+
+/// Reads frames off one executor connection and forwards them as events.
+///
+/// The first frame must be a [`Frame::Register`]; anything else abandons
+/// the connection. After registration the stream's write half is published
+/// in the shared writer map under the executor's id.
+fn spawn_reader(
+    stream: TcpStream,
+    tx: Sender<Ev>,
+    writers: Arc<Mutex<HashMap<usize, FrameWriter>>>,
+) {
+    std::thread::spawn(move || {
+        let _ = stream.set_nodelay(true);
+        let read_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let mut reader = FrameReader::new(read_half);
+        let (executor, slots) = match reader.next_frame() {
+            Ok(Next::Frame(Frame::Register { executor, slots })) => (executor, slots),
+            _ => return,
+        };
+        writers.lock().insert(executor, FrameWriter::new(stream));
+        if tx.send(Ev::Registered { executor, slots }).is_err() {
+            return;
+        }
+        loop {
+            match reader.next_frame() {
+                Ok(Next::Frame(frame)) => {
+                    if tx.send(Ev::Frame { executor, frame }).is_err() {
+                        return;
+                    }
+                }
+                Ok(Next::Idle) => {}
+                Ok(Next::Eof) | Err(_) => {
+                    let _ = tx.send(Ev::Gone { executor });
+                    return;
+                }
+            }
+        }
+    });
+}
+
+/// All mutable state of one job run, driven by the event loop.
+struct Run<'j, Obs> {
+    cfg: DriverConfig,
+    job: &'j LiveJob,
+    writers: Arc<Mutex<HashMap<usize, FrameWriter>>>,
+    execs: Vec<ExecState>,
+    queue: PendingQueue,
+    st: StageState,
+    stage_idx: usize,
+    decisions: Vec<PoolDecision>,
+    lost: Vec<usize>,
+    stage_reports: Vec<LiveStageReport>,
+    started: Instant,
+    finished: bool,
+    observer: Obs,
+}
+
+impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
+    fn new(
+        cfg: &DriverConfig,
+        job: &'j LiveJob,
+        writers: Arc<Mutex<HashMap<usize, FrameWriter>>>,
+        observer: Obs,
+    ) -> Self {
+        let now = Instant::now();
+        let execs = (0..cfg.executors)
+            .map(|_| ExecState {
+                registered: false,
+                alive: false,
+                blacklisted: false,
+                slots: 0,
+                running: 0,
+                failures_in_stage: 0,
+                last_heartbeat: now,
+            })
+            .collect();
+        Self {
+            cfg: cfg.clone(),
+            job,
+            writers,
+            execs,
+            queue: PendingQueue::new(),
+            st: StageState::new(0),
+            stage_idx: 0,
+            decisions: Vec::new(),
+            lost: Vec::new(),
+            stage_reports: Vec::new(),
+            started: now,
+            finished: false,
+            observer,
+        }
+    }
+
+    /// The main event loop: pump events, check timers, until the job
+    /// completes or dies.
+    fn drive(&mut self, rx: &Receiver<Ev>) -> Result<(), LiveError> {
+        if self.job.stages.is_empty() {
+            return Ok(());
+        }
+        self.begin_stage();
+        loop {
+            match rx.recv_timeout(self.cfg.check_interval) {
+                Ok(ev) => self.handle(ev)?,
+                Err(RecvTimeoutError::Timeout) => {}
+                // All reader threads hung up; timers below still decide.
+                Err(RecvTimeoutError::Disconnected) => {}
+            }
+            self.check_heartbeats()?;
+            self.try_assign()?;
+            if self.finished {
+                return Ok(());
+            }
+            if self.started.elapsed() > self.cfg.deadline {
+                return Err(LiveError::DeadlineExceeded);
+            }
+            if self.execs.iter().any(|e| e.registered)
+                && !self.execs.iter().any(|e| e.usable())
+                && self.st.remaining > 0
+            {
+                return Err(LiveError::NoUsableExecutors);
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) -> Result<(), LiveError> {
+        match ev {
+            Ev::Registered { executor, slots } => {
+                if executor >= self.execs.len() {
+                    return Ok(()); // id outside the configured cluster
+                }
+                let ex = &mut self.execs[executor];
+                ex.registered = true;
+                ex.alive = true;
+                ex.slots = slots;
+                ex.running = 0;
+                ex.last_heartbeat = Instant::now();
+                // Late joiners still need the current stage announcement.
+                let spec = &self.job.stages[self.stage_idx];
+                let frame = Frame::StageStart {
+                    stage: self.stage_idx,
+                    kind: spec.kind,
+                    tasks: spec.tasks,
+                    records_per_task: spec.records_per_task,
+                    seed: spec.seed,
+                    hint: self.stage_hint(),
+                };
+                self.send(executor, &frame);
+            }
+            Ev::Frame { executor, frame } => {
+                if executor >= self.execs.len() || !self.execs[executor].alive {
+                    return Ok(()); // stale traffic from a declared-lost peer
+                }
+                self.handle_frame(executor, frame)?;
+            }
+            Ev::Gone { executor } => {
+                // A broken/closed socket is immediate evidence of loss —
+                // faster than waiting out the heartbeat timeout.
+                if executor < self.execs.len() && self.execs[executor].alive && !self.finished {
+                    self.declare_lost(executor)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_frame(&mut self, from: usize, frame: Frame) -> Result<(), LiveError> {
+        match frame {
+            Frame::Core(Message::Heartbeat { executor }) if executor == from => {
+                self.execs[from].last_heartbeat = Instant::now();
+            }
+            Frame::Core(Message::PoolSizeChanged { executor, size }) if executor == from => {
+                // §5.4: fold the executor's new pool size into the slot
+                // registry so scheduling matches its real capacity.
+                self.execs[from].last_heartbeat = Instant::now();
+                self.execs[from].slots = size;
+                let decision = PoolDecision {
+                    at: self.started.elapsed().as_secs_f64(),
+                    executor: from,
+                    size,
+                };
+                self.decisions.push(decision);
+                let registry = self.registry();
+                (self.observer)(&decision, &registry);
+            }
+            Frame::Core(Message::TaskFailed { task, .. }) => {
+                self.execs[from].last_heartbeat = Instant::now();
+                self.task_failed(from, task)?;
+            }
+            Frame::TaskFinished { task, .. } => {
+                self.execs[from].last_heartbeat = Instant::now();
+                self.task_finished(from, task);
+            }
+            // A mis-addressed core message, a duplicate Register, or a
+            // driver-only frame echoed back: ignore, the protocol is
+            // defensive against confused peers.
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Seeds the queue for stage `self.stage_idx` and announces it.
+    fn begin_stage(&mut self) {
+        let spec = &self.job.stages[self.stage_idx];
+        self.st = StageState::new(spec.tasks);
+        self.queue.reset(spec.tasks, self.cfg.executors);
+        for t in 0..spec.tasks {
+            let preferred = self.preferred(t);
+            self.queue.push(t, &preferred);
+        }
+        for ex in &mut self.execs {
+            ex.failures_in_stage = 0;
+            ex.running = 0;
+        }
+        let frame = Frame::StageStart {
+            stage: self.stage_idx,
+            kind: spec.kind,
+            tasks: spec.tasks,
+            records_per_task: spec.records_per_task,
+            seed: spec.seed,
+            hint: self.stage_hint(),
+        };
+        self.broadcast(&frame);
+    }
+
+    /// The per-executor task-count hint for the current stage (what the
+    /// simulated engine passes to `stage_started`).
+    fn stage_hint(&self) -> usize {
+        let tasks = self.job.stages[self.stage_idx].tasks;
+        (tasks / self.cfg.executors.max(1)).max(1)
+    }
+
+    /// A task's preferred executors: round-robin "data locality", the same
+    /// placement rule the engine-scale benchmarks use for map stages.
+    fn preferred(&self, task: usize) -> [usize; 1] {
+        [task % self.cfg.executors.max(1)]
+    }
+
+    /// Hands queued tasks to free slots until nothing more can move.
+    fn try_assign(&mut self) -> Result<(), LiveError> {
+        loop {
+            let mut progress = false;
+            let mut broken: Vec<usize> = Vec::new();
+            for e in 0..self.execs.len() {
+                if !self.execs[e].usable() || self.execs[e].running >= self.execs[e].slots {
+                    continue;
+                }
+                let failed_on = &self.st.failed_on;
+                if let Some(task) = self.queue.pick(e, |t| failed_on[t].contains(&e)) {
+                    self.st.assigned_to[task] = Some(e);
+                    self.st.attempts += 1;
+                    self.execs[e].running += 1;
+                    let ok = self.send(e, &Frame::Core(Message::AssignTask { task, executor: e }));
+                    if !ok {
+                        broken.push(e);
+                    }
+                    progress = true;
+                }
+            }
+            for e in broken {
+                if self.execs[e].alive {
+                    self.declare_lost(e)?;
+                }
+            }
+            if !progress {
+                return Ok(());
+            }
+        }
+    }
+
+    fn check_heartbeats(&mut self) -> Result<(), LiveError> {
+        let now = Instant::now();
+        for e in 0..self.execs.len() {
+            let ex = &self.execs[e];
+            if ex.registered
+                && ex.alive
+                && now.duration_since(ex.last_heartbeat) > self.cfg.heartbeat_timeout
+            {
+                self.declare_lost(e)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The executor went silent or its socket broke: blacklist it for the
+    /// job and recover every attempt it was running — the live analogue of
+    /// the simulated engine's executor-lost path.
+    fn declare_lost(&mut self, executor: usize) -> Result<(), LiveError> {
+        self.execs[executor].alive = false;
+        self.execs[executor].running = 0;
+        self.lost.push(executor);
+        self.writers.lock().remove(&executor);
+        for task in 0..self.st.done.len() {
+            if self.st.assigned_to[task] == Some(executor) && !self.st.done[task] {
+                self.st.assigned_to[task] = None;
+                self.record_failure(task, executor)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Books one failed attempt of `task` on `executor` and requeues it.
+    fn record_failure(&mut self, task: usize, executor: usize) -> Result<(), LiveError> {
+        self.st.failures[task] += 1;
+        self.st.failed_attempts += 1;
+        if !self.st.failed_on[task].contains(&executor) {
+            self.st.failed_on[task].push(executor);
+        }
+        if self.st.failures[task] >= self.cfg.max_task_attempts {
+            return Err(LiveError::MaxAttemptsExceeded { task });
+        }
+        if !self.queue.contains(task) {
+            let preferred = self.preferred(task);
+            self.queue.push(task, &preferred);
+        }
+        Ok(())
+    }
+
+    fn task_failed(&mut self, executor: usize, task: usize) -> Result<(), LiveError> {
+        if task >= self.st.done.len()
+            || self.st.done[task]
+            || self.st.assigned_to[task] != Some(executor)
+        {
+            return Ok(()); // stale or duplicate report
+        }
+        self.st.assigned_to[task] = None;
+        self.execs[executor].running = self.execs[executor].running.saturating_sub(1);
+        self.execs[executor].failures_in_stage += 1;
+        if self.execs[executor].failures_in_stage >= self.cfg.blacklist_after
+            && !self.execs[executor].blacklisted
+            && self.execs.iter().filter(|e| e.usable()).count() > 1
+        {
+            self.execs[executor].blacklisted = true;
+        }
+        self.record_failure(task, executor)
+    }
+
+    fn task_finished(&mut self, executor: usize, task: usize) {
+        if task >= self.st.done.len()
+            || self.st.done[task]
+            || self.st.assigned_to[task] != Some(executor)
+        {
+            return; // duplicate or stale completion
+        }
+        self.st.done[task] = true;
+        self.st.assigned_to[task] = None;
+        self.st.remaining -= 1;
+        self.execs[executor].running = self.execs[executor].running.saturating_sub(1);
+        if self.st.remaining == 0 {
+            self.finish_stage();
+        }
+    }
+
+    fn finish_stage(&mut self) {
+        let spec = &self.job.stages[self.stage_idx];
+        self.stage_reports.push(LiveStageReport {
+            name: spec.name.clone(),
+            tasks: spec.tasks,
+            attempts: self.st.attempts,
+            failed_attempts: self.st.failed_attempts,
+            duration_secs: self.st.started.elapsed().as_secs_f64(),
+        });
+        self.stage_idx += 1;
+        if self.stage_idx == self.job.stages.len() {
+            self.finished = true;
+        } else {
+            self.begin_stage();
+        }
+    }
+
+    /// Sends `frame` to `executor`; `false` means the write half broke.
+    fn send(&self, executor: usize, frame: &Frame) -> bool {
+        match self.writers.lock().get_mut(&executor) {
+            Some(w) => w.send(frame).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Best-effort send to every connected executor.
+    fn broadcast(&self, frame: &Frame) {
+        for w in self.writers.lock().values_mut() {
+            let _ = w.send(frame);
+        }
+    }
+
+    fn registry(&self) -> Vec<SlotInfo> {
+        self.execs
+            .iter()
+            .map(|e| SlotInfo {
+                registered: e.registered,
+                alive: e.alive,
+                blacklisted: e.blacklisted,
+                slots: e.slots,
+                free: e.slots.saturating_sub(e.running),
+            })
+            .collect()
+    }
+
+    fn into_report(self) -> LiveReport {
+        LiveReport {
+            job: self.job.name.clone(),
+            runtime_secs: self.started.elapsed().as_secs_f64(),
+            registry: self.registry(),
+            stages: self.stage_reports,
+            decisions: self.decisions,
+            lost_executors: self.lost,
+        }
+    }
+}

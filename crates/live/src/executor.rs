@@ -1,0 +1,280 @@
+//! The live executor: an [`AdaptivePool`] behind a TCP connection.
+//!
+//! Each executor connects to the driver, registers, and then services
+//! `AssignTask` messages by running real Terasort tasks on its adaptive
+//! pool. The §5.4 protocol extension is wired through the pool's resize
+//! hook: every effective pool-size change — the reset at a stage boundary
+//! and every MAPE-K decision — emits a `PoolSizeChanged` frame, which is
+//! what keeps the driver's slot registry consistent.
+//!
+//! The pool's I/O probe is the live runtime's *shared probe*: an explicit
+//! per-task [`CounterProbe`] (tasks record the bytes they moved and the
+//! wall time they were blocked) combined with the process-wide procfs
+//! stage probe. The explicit half is what makes multi-executor
+//! single-process runs attributable; the procfs half catches traffic the
+//! tasks did not account for.
+//!
+//! [`LiveExecutor::kill`] makes the executor *silent*, not disconnected:
+//! heartbeats stop, outcome reports are suppressed, assignments are
+//! swallowed, but the socket stays open. The driver therefore has to
+//! detect the failure from heartbeat silence — the scenario the paper's
+//! engine handles with executor-lost bookkeeping — rather than getting a
+//! convenient EOF.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sae_core::MapeConfig;
+use sae_dag::Message;
+use sae_pool::procfs::proc_stage_probe;
+use sae_pool::{combined_probe, AdaptivePool, CounterProbe};
+
+use crate::job::LiveStageKind;
+use crate::task::run_task;
+use crate::wire::{Frame, FrameReader, FrameWriter, Next};
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct LiveExecutorConfig {
+    /// Executor id (dense, `0..n`, unique per cluster).
+    pub id: usize,
+    /// MAPE-K controller bounds for the adaptive pool.
+    pub mape: MapeConfig,
+    /// Heartbeat period; keep well under the driver's timeout.
+    pub heartbeat_interval: Duration,
+    /// Directory spill partitions live in (shared across the cluster —
+    /// sort tasks read partitions any executor wrote).
+    pub spill_dir: PathBuf,
+    /// Deterministic fault injection: go silent after completing this
+    /// many tasks, with work still assigned.
+    pub kill_after_tasks: Option<usize>,
+    /// How long to retry connecting to the driver.
+    pub connect_timeout: Duration,
+}
+
+impl LiveExecutorConfig {
+    /// Sensible defaults for loopback testing.
+    pub fn new(id: usize, spill_dir: PathBuf) -> Self {
+        Self {
+            id,
+            mape: MapeConfig::new(2, 8),
+            heartbeat_interval: Duration::from_millis(100),
+            spill_dir,
+            kill_after_tasks: None,
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Handle to an executor thread.
+#[derive(Debug)]
+pub struct LiveExecutor {
+    kill: Arc<AtomicBool>,
+    handle: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl LiveExecutor {
+    /// Connects to the driver at `addr` and starts serving on a thread.
+    pub fn launch(addr: SocketAddr, cfg: LiveExecutorConfig) -> Self {
+        let kill = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&kill);
+        let handle = std::thread::spawn(move || run_executor(addr, cfg, flag));
+        Self {
+            kill,
+            handle: Some(handle),
+        }
+    }
+
+    /// Makes the executor go silent immediately (see the module docs).
+    pub fn kill(&self) {
+        self.kill.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits for the executor thread to exit.
+    pub fn join(mut self) -> io::Result<()> {
+        match self.handle.take() {
+            Some(h) => h
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("executor thread panicked"))),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Connects to the driver, retrying briefly while it binds/accepts.
+fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn run_executor(
+    addr: SocketAddr,
+    cfg: LiveExecutorConfig,
+    kill: Arc<AtomicBool>,
+) -> io::Result<()> {
+    let stream = connect_with_retry(addr, cfg.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    // The read timeout bounds how stale the kill flag can get.
+    stream.set_read_timeout(Some(Duration::from_millis(25)))?;
+    let writer = Arc::new(Mutex::new(FrameWriter::new(stream.try_clone()?)));
+    let mut reader = FrameReader::new(stream);
+
+    // The shared probe: explicit per-task accounting + procfs per stage.
+    let task_io = CounterProbe::new();
+    let stage_probe = proc_stage_probe();
+    let pool = AdaptivePool::new(
+        cfg.mape,
+        combined_probe(task_io.as_probe(), stage_probe.as_probe()),
+    );
+    {
+        // §5.4: every pool resize becomes a protocol message.
+        let writer = Arc::clone(&writer);
+        let kill = Arc::clone(&kill);
+        let id = cfg.id;
+        pool.set_resize_hook(move |size| {
+            if kill.load(Ordering::Relaxed) {
+                return;
+            }
+            let _ = writer.lock().send(&Frame::Core(Message::PoolSizeChanged {
+                executor: id,
+                size,
+            }));
+        });
+    }
+    writer.lock().send(&Frame::Register {
+        executor: cfg.id,
+        slots: pool.current_threads(),
+    })?;
+
+    let heartbeat_stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = {
+        let writer = Arc::clone(&writer);
+        let kill = Arc::clone(&kill);
+        let stop = Arc::clone(&heartbeat_stop);
+        let id = cfg.id;
+        let interval = cfg.heartbeat_interval;
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) && !kill.load(Ordering::Relaxed) {
+                if writer
+                    .lock()
+                    .send(&Frame::Core(Message::Heartbeat { executor: id }))
+                    .is_err()
+                {
+                    break;
+                }
+                std::thread::sleep(interval);
+            }
+        })
+    };
+
+    let completed = Arc::new(AtomicUsize::new(0));
+    let mut current_stage: Option<(LiveStageKind, usize, u64)> = None;
+    let result = serve(
+        &cfg,
+        &mut reader,
+        &writer,
+        &pool,
+        &task_io,
+        &stage_probe,
+        &kill,
+        &completed,
+        &mut current_stage,
+    );
+    heartbeat_stop.store(true, Ordering::Relaxed);
+    pool.shutdown();
+    let _ = heartbeat.join();
+    result
+}
+
+/// The executor's frame loop, split out so cleanup in [`run_executor`]
+/// runs on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    cfg: &LiveExecutorConfig,
+    reader: &mut FrameReader,
+    writer: &Arc<Mutex<FrameWriter>>,
+    pool: &AdaptivePool,
+    task_io: &CounterProbe,
+    stage_probe: &sae_pool::procfs::StageIoProbe,
+    kill: &Arc<AtomicBool>,
+    completed: &Arc<AtomicUsize>,
+    current_stage: &mut Option<(LiveStageKind, usize, u64)>,
+) -> io::Result<()> {
+    loop {
+        if kill.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let frame = match reader.next_frame()? {
+            Next::Idle => continue,
+            Next::Eof => return Ok(()),
+            Next::Frame(frame) => frame,
+        };
+        match frame {
+            Frame::Shutdown => return Ok(()),
+            Frame::StageStart {
+                kind,
+                records_per_task,
+                seed,
+                hint,
+                ..
+            } => {
+                task_io.reset();
+                stage_probe.rebase();
+                pool.stage_started(Some(hint));
+                *current_stage = Some((kind, records_per_task, seed));
+            }
+            Frame::Core(Message::AssignTask { task, .. }) => {
+                let Some((kind, records_per_task, seed)) = *current_stage else {
+                    continue; // assignment before any stage: confused peer
+                };
+                let writer = Arc::clone(writer);
+                let kill = Arc::clone(kill);
+                let completed = Arc::clone(completed);
+                let task_io = task_io.clone();
+                let dir = cfg.spill_dir.clone();
+                let id = cfg.id;
+                let kill_after = cfg.kill_after_tasks;
+                pool.submit(move || {
+                    if kill.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let outcome = run_task(kind, task, records_per_task, seed, &dir, &task_io);
+                    if kill.load(Ordering::Relaxed) {
+                        return; // died mid-task: no report, just silence
+                    }
+                    let frame = match outcome {
+                        Ok(()) => Frame::TaskFinished {
+                            task,
+                            executor: id,
+                            attempt: 0,
+                        },
+                        Err(_) => Frame::Core(Message::TaskFailed {
+                            task,
+                            executor: id,
+                            attempt: 0,
+                        }),
+                    };
+                    let _ = writer.lock().send(&frame);
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if kill_after.is_some_and(|n| done >= n) {
+                        kill.store(true, Ordering::Relaxed);
+                    }
+                });
+            }
+            // Driver-only frames echoed at us: ignore.
+            _ => {}
+        }
+    }
+}

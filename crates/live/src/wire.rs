@@ -1,0 +1,441 @@
+//! The live runtime's control envelope over the `sae-dag` frame codec.
+//!
+//! Core protocol traffic ([`Message`]) is carried verbatim: a [`Frame::Core`]
+//! body is one envelope tag byte followed by exactly the bytes
+//! [`sae_dag::codec::encode_body`] produces, so the §5.4 messages have one
+//! encoding whether they travel through the simulator's mailboxes or a TCP
+//! socket. The envelope adds only what a real cluster needs around them —
+//! executor registration, stage dissemination, task completion, shutdown —
+//! in the same `[tag u8][u64 BE]*` style, framed by the same
+//! `[u32 BE length]` prefix ([`sae_dag::codec::split_frame`]).
+//!
+//! Like the core codec, decoding is total: malformed bytes produce a
+//! [`FrameError`], never a panic, and a partial buffer reports "need more
+//! bytes" so [`FrameReader`] can keep streaming.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use sae_dag::codec::{self, FrameError, LEN_PREFIX};
+use sae_dag::Message;
+
+use crate::job::LiveStageKind;
+
+/// Envelope tag: a core [`Message`] body follows.
+const TAG_CORE: u8 = 0x10;
+/// Envelope tag: executor registration.
+const TAG_REGISTER: u8 = 0x11;
+/// Envelope tag: stage dissemination from the driver.
+const TAG_STAGE_START: u8 = 0x12;
+/// Envelope tag: successful task completion.
+const TAG_TASK_FINISHED: u8 = 0x13;
+/// Envelope tag: driver tells executors the job is over.
+const TAG_SHUTDOWN: u8 = 0x14;
+
+/// One unit of driver↔executor traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame {
+    /// A core protocol message, exactly as the simulated engine sends it.
+    Core(Message),
+    /// First frame on every executor connection: who I am, how many slots
+    /// I start with (the pool's initial thread count).
+    Register {
+        /// Executor id (dense, `0..n`).
+        executor: usize,
+        /// Initial slot count.
+        slots: usize,
+    },
+    /// The driver announces a stage; executors reset probes and pools.
+    StageStart {
+        /// Stage index within the job.
+        stage: usize,
+        /// What the stage's tasks do.
+        kind: LiveStageKind,
+        /// Number of tasks in the stage.
+        tasks: usize,
+        /// Records each task generates or sorts.
+        records_per_task: usize,
+        /// Base RNG seed for the stage's data.
+        seed: u64,
+        /// Per-executor task-count hint fed to the MAPE-K controller.
+        hint: usize,
+    },
+    /// An executor reports a task attempt succeeded.
+    TaskFinished {
+        /// Task id.
+        task: usize,
+        /// Reporting executor.
+        executor: usize,
+        /// Attempt ordinal (0-based).
+        attempt: usize,
+    },
+    /// The driver is done; executors drain and exit.
+    Shutdown,
+}
+
+impl Frame {
+    /// Appends this frame, length prefix included, to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let len_at = out.len();
+        out.extend_from_slice(&[0; LEN_PREFIX]);
+        self.encode_body(out);
+        let body_len = out.len() - len_at - LEN_PREFIX;
+        out[len_at..len_at + LEN_PREFIX].copy_from_slice(&(body_len as u32).to_be_bytes());
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match *self {
+            Frame::Core(msg) => {
+                out.push(TAG_CORE);
+                codec::encode_body(&msg, out);
+            }
+            Frame::Register { executor, slots } => {
+                out.push(TAG_REGISTER);
+                codec::put_u64(out, executor as u64);
+                codec::put_u64(out, slots as u64);
+            }
+            Frame::StageStart {
+                stage,
+                kind,
+                tasks,
+                records_per_task,
+                seed,
+                hint,
+            } => {
+                out.push(TAG_STAGE_START);
+                codec::put_u64(out, stage as u64);
+                codec::put_u64(out, kind.to_wire());
+                codec::put_u64(out, tasks as u64);
+                codec::put_u64(out, records_per_task as u64);
+                codec::put_u64(out, seed);
+                codec::put_u64(out, hint as u64);
+            }
+            Frame::TaskFinished {
+                task,
+                executor,
+                attempt,
+            } => {
+                out.push(TAG_TASK_FINISHED);
+                codec::put_u64(out, task as u64);
+                codec::put_u64(out, executor as u64);
+                codec::put_u64(out, attempt as u64);
+            }
+            Frame::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+    }
+
+    /// Decodes the first complete frame in `buf`, returning it and the
+    /// bytes consumed, or `Ok(None)` when more bytes are needed.
+    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
+        match codec::split_frame(buf)? {
+            Some((body, consumed)) => Ok(Some((Self::decode_body(body)?, consumed))),
+            None => Ok(None),
+        }
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+        let &tag = body
+            .first()
+            .ok_or(FrameError::Truncated { needed: 1, got: 0 })?;
+        match tag {
+            TAG_CORE => Ok(Frame::Core(codec::decode_body(&body[1..])?)),
+            TAG_REGISTER => {
+                expect_len(body, 2)?;
+                Ok(Frame::Register {
+                    executor: codec::get_usize(body, 1)?,
+                    slots: codec::get_usize(body, 9)?,
+                })
+            }
+            TAG_STAGE_START => {
+                expect_len(body, 6)?;
+                Ok(Frame::StageStart {
+                    stage: codec::get_usize(body, 1)?,
+                    kind: LiveStageKind::from_wire(codec::get_u64(body, 9)?)?,
+                    tasks: codec::get_usize(body, 17)?,
+                    records_per_task: codec::get_usize(body, 25)?,
+                    seed: codec::get_u64(body, 33)?,
+                    hint: codec::get_usize(body, 41)?,
+                })
+            }
+            TAG_TASK_FINISHED => {
+                expect_len(body, 3)?;
+                Ok(Frame::TaskFinished {
+                    task: codec::get_usize(body, 1)?,
+                    executor: codec::get_usize(body, 9)?,
+                    attempt: codec::get_usize(body, 17)?,
+                })
+            }
+            TAG_SHUTDOWN => {
+                expect_len(body, 0)?;
+                Ok(Frame::Shutdown)
+            }
+            other => Err(FrameError::UnknownTag(other)),
+        }
+    }
+}
+
+/// Checks that an envelope body is exactly `1 + 8 * fields` bytes.
+fn expect_len(body: &[u8], fields: usize) -> Result<(), FrameError> {
+    let needed = 1 + 8 * fields;
+    match body.len() {
+        got if got < needed => Err(FrameError::Truncated { needed, got }),
+        got if got > needed => Err(FrameError::TrailingBytes {
+            extra: got - needed,
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// Writes frames to a socket. Not internally synchronised — wrap in a
+/// mutex when several threads (heartbeat, workers, control) share it.
+#[derive(Debug)]
+pub struct FrameWriter {
+    stream: TcpStream,
+    scratch: Vec<u8>,
+}
+
+impl FrameWriter {
+    /// Wraps a connected stream.
+    pub fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            scratch: Vec::with_capacity(64),
+        }
+    }
+
+    /// Encodes and sends one frame.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.scratch.clear();
+        frame.encode(&mut self.scratch);
+        self.stream.write_all(&self.scratch)
+    }
+}
+
+/// What a [`FrameReader::next`] call produced.
+#[derive(Debug)]
+pub enum Next {
+    /// A complete frame arrived.
+    Frame(Frame),
+    /// The peer closed the connection.
+    Eof,
+    /// The read timed out with no complete frame — the caller's chance to
+    /// check deadlines and kill flags before blocking again.
+    Idle,
+}
+
+/// Buffered frame reader over a socket.
+///
+/// Honours the stream's read timeout: a `WouldBlock`/`TimedOut` read
+/// surfaces as [`Next::Idle`] rather than an error, so callers can poll
+/// control state between frames. Malformed bytes surface as
+/// `InvalidData` errors (the connection is unusable once framing is lost).
+#[derive(Debug)]
+pub struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameReader {
+    /// Wraps a connected stream.
+    pub fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::with_capacity(1024),
+            start: 0,
+        }
+    }
+
+    /// Reads until one frame, EOF, or a read timeout.
+    pub fn next_frame(&mut self) -> io::Result<Next> {
+        loop {
+            match Frame::decode(&self.buf[self.start..]) {
+                Ok(Some((frame, consumed))) => {
+                    self.start += consumed;
+                    if self.start == self.buf.len() {
+                        self.buf.clear();
+                        self.start = 0;
+                    } else if self.start > 8192 {
+                        self.buf.drain(..self.start);
+                        self.start = 0;
+                    }
+                    return Ok(Next::Frame(frame));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(Next::Eof),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Next::Idle);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Core(Message::AssignTask {
+                task: 3,
+                executor: 1,
+            }),
+            Frame::Core(Message::PoolSizeChanged {
+                executor: 2,
+                size: 4,
+            }),
+            Frame::Core(Message::Heartbeat { executor: 0 }),
+            Frame::Core(Message::TaskFailed {
+                task: 9,
+                executor: 1,
+                attempt: 2,
+            }),
+            Frame::Register {
+                executor: 1,
+                slots: 8,
+            },
+            Frame::StageStart {
+                stage: 1,
+                kind: LiveStageKind::Sort,
+                tasks: 24,
+                records_per_task: 20_000,
+                seed: 0xDEAD_BEEF,
+                hint: 8,
+            },
+            Frame::StageStart {
+                stage: 0,
+                kind: LiveStageKind::Spill,
+                tasks: 24,
+                records_per_task: 20_000,
+                seed: 7,
+                hint: 8,
+            },
+            Frame::TaskFinished {
+                task: 5,
+                executor: 2,
+                attempt: 0,
+            },
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn envelope_round_trips_every_variant() {
+        for frame in all_frames() {
+            let mut buf = Vec::new();
+            frame.encode(&mut buf);
+            let (decoded, consumed) = Frame::decode(&buf).unwrap().unwrap();
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, buf.len());
+        }
+    }
+
+    #[test]
+    fn envelope_stream_decodes_in_order() {
+        let mut buf = Vec::new();
+        for frame in all_frames() {
+            frame.encode(&mut buf);
+        }
+        let mut offset = 0;
+        let mut decoded = Vec::new();
+        while let Some((frame, consumed)) = Frame::decode(&buf[offset..]).unwrap() {
+            decoded.push(frame);
+            offset += consumed;
+        }
+        assert_eq!(decoded, all_frames());
+        assert_eq!(offset, buf.len());
+    }
+
+    #[test]
+    fn every_prefix_is_incomplete_not_an_error() {
+        let mut buf = Vec::new();
+        Frame::StageStart {
+            stage: 0,
+            kind: LiveStageKind::Spill,
+            tasks: 4,
+            records_per_task: 100,
+            seed: 1,
+            hint: 2,
+        }
+        .encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(matches!(Frame::decode(&buf[..cut]), Ok(None)), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_envelope_tag_rejected() {
+        let body = [0xEEu8; 9];
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        assert_eq!(Frame::decode(&buf), Err(FrameError::UnknownTag(0xEE)));
+    }
+
+    #[test]
+    fn bad_stage_kind_rejected() {
+        let mut buf = Vec::new();
+        Frame::StageStart {
+            stage: 0,
+            kind: LiveStageKind::Sort,
+            tasks: 1,
+            records_per_task: 1,
+            seed: 0,
+            hint: 1,
+        }
+        .encode(&mut buf);
+        // Corrupt the kind field (bytes 9..17 of the body, after the prefix
+        // and envelope tag) to an undefined discriminant.
+        let kind_at = LEN_PREFIX + 1 + 8;
+        buf[kind_at..kind_at + 8].copy_from_slice(&99u64.to_be_bytes());
+        assert!(Frame::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        // A Shutdown body with surplus bytes.
+        let body = [TAG_SHUTDOWN, 0, 0];
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        assert_eq!(
+            Frame::decode(&buf),
+            Err(FrameError::TrailingBytes { extra: 2 })
+        );
+        // A Register body missing its second field.
+        let mut body = vec![TAG_REGISTER];
+        body.extend_from_slice(&1u64.to_be_bytes());
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        assert_eq!(
+            Frame::decode(&buf),
+            Err(FrameError::Truncated { needed: 17, got: 9 })
+        );
+    }
+
+    #[test]
+    fn core_bodies_are_bit_identical_to_the_dag_codec() {
+        // The live envelope must not re-encode core messages differently:
+        // Frame::Core's body is one tag byte + the sae-dag body, verbatim.
+        let msg = Message::PoolSizeChanged {
+            executor: 3,
+            size: 6,
+        };
+        let mut envelope = Vec::new();
+        Frame::Core(msg).encode(&mut envelope);
+        let mut dag_body = Vec::new();
+        codec::encode_body(&msg, &mut dag_body);
+        assert_eq!(&envelope[LEN_PREFIX + 1..], &dag_body[..]);
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end loopback cluster tests: the acceptance gates of the live
+//! runtime.
+//!
+//! * A clean 3-executor Terasort completes with at least one
+//!   `PoolSizeChanged` round-trip reflected in the driver's slot registry.
+//! * A run with one executor killed mid-stage still completes, via
+//!   heartbeat-silence detection and task retry.
+//!
+//! Timers are tightened well below the library defaults so the failure
+//! test stays fast; every run is additionally bounded by the driver's
+//! internal deadline, so a wedged protocol fails the test instead of
+//! hanging the suite.
+
+use std::time::Duration;
+
+use sae_core::MapeConfig;
+use sae_live::{terasort, ClusterConfig, LiveCluster};
+
+fn test_cfg(executors: usize) -> ClusterConfig {
+    ClusterConfig {
+        executors,
+        mape: MapeConfig::new(2, 8),
+        heartbeat_interval: Duration::from_millis(50),
+        heartbeat_timeout: Duration::from_millis(600),
+        check_interval: Duration::from_millis(25),
+        max_task_attempts: 4,
+        blacklist_after: 3,
+        deadline: Duration::from_secs(90),
+        kill_after_tasks: Vec::new(),
+    }
+}
+
+#[test]
+fn clean_terasort_completes_with_pool_size_round_trip() {
+    let mut cluster = LiveCluster::launch(test_cfg(3)).unwrap();
+    let job = terasort(24, 20_000, 2026);
+    let report = cluster.run(&job).unwrap();
+    cluster.shutdown().unwrap();
+
+    assert_eq!(report.stages.len(), 2, "both Terasort stages must run");
+    for stage in &report.stages {
+        assert_eq!(stage.tasks, 24);
+        assert!(stage.attempts >= stage.tasks);
+        assert_eq!(stage.failed_attempts, 0, "clean run must not retry");
+    }
+    assert!(report.lost_executors.is_empty());
+
+    // ≥1 PoolSizeChanged made the round trip: 24 tasks over 3 executors
+    // is 8 per executor, above min_stage_tasks (6), so every stage start
+    // resets each pool from c_max=8 to c_min=2 — and that resize must
+    // arrive as a protocol message.
+    assert!(
+        !report.decisions.is_empty(),
+        "no PoolSizeChanged round-trips were observed"
+    );
+    assert!(
+        report.decisions.iter().any(|d| d.size == 2),
+        "the stage-start reset to c_min never arrived: {:?}",
+        report.decisions
+    );
+
+    // ...and the registry reflects the round trips: each executor's slot
+    // count equals the size in its last observed decision.
+    for (e, slot) in report.registry.iter().enumerate() {
+        assert!(slot.registered && slot.alive && !slot.blacklisted);
+        if let Some(last) = report.decisions.iter().rev().find(|d| d.executor == e) {
+            assert_eq!(
+                slot.slots, last.size,
+                "executor {e}: registry slots diverge from its last PoolSizeChanged"
+            );
+        }
+        assert!(slot.slots >= 2 && slot.slots <= 8);
+    }
+}
+
+#[test]
+fn killed_executor_mid_stage_is_detected_and_its_work_retried() {
+    let mut cfg = test_cfg(3);
+    // Executor 2 goes silent after finishing one task, with more tasks
+    // assigned: mid-stage, not between stages.
+    cfg.kill_after_tasks = vec![(2, 1)];
+    let mut cluster = LiveCluster::launch(cfg).unwrap();
+    let job = terasort(24, 20_000, 7);
+    let report = cluster.run(&job).unwrap();
+    cluster.shutdown().unwrap();
+
+    // The job still completed every stage...
+    assert_eq!(report.stages.len(), 2);
+    // ...the silent executor was detected and declared lost...
+    assert!(
+        report.lost_executors.contains(&2),
+        "executor 2 was never declared lost: {:?}",
+        report.lost_executors
+    );
+    assert!(!report.registry[2].alive);
+    assert!(report.registry[0].alive && report.registry[1].alive);
+    // ...and its in-flight work was recovered through retries.
+    let failed: usize = report.stages.iter().map(|s| s.failed_attempts).sum();
+    let attempts: usize = report.stages.iter().map(|s| s.attempts).sum();
+    assert!(
+        failed >= 1,
+        "losing an executor mid-stage must cost retries"
+    );
+    assert_eq!(
+        attempts,
+        48 + failed,
+        "every failed attempt must be retried exactly once"
+    );
+}
+
+#[test]
+fn observer_sees_registry_updates_as_decisions_arrive() {
+    let mut cluster = LiveCluster::launch(test_cfg(2)).unwrap();
+    let job = terasort(12, 5_000, 99);
+    let mut observed = Vec::new();
+    let report = cluster
+        .run_with_observer(&job, |decision, registry| {
+            observed.push((decision.executor, decision.size, registry.to_vec()));
+        })
+        .unwrap();
+    cluster.shutdown().unwrap();
+
+    assert_eq!(observed.len(), report.decisions.len());
+    for (executor, size, registry) in &observed {
+        // The registry snapshot already folds the decision in.
+        assert_eq!(registry[*executor].slots, *size);
+    }
+}

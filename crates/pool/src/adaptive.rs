@@ -51,7 +51,12 @@ pub struct AdaptivePool {
     controller: Arc<Mutex<AdaptiveController>>,
     probe: IoProbe,
     epoch: std::time::Instant,
+    /// Observer of effective pool-size changes — the live runtime's hook
+    /// for emitting `PoolSizeChanged` protocol messages (§5.4).
+    on_resize: Arc<Mutex<Option<ResizeHook>>>,
 }
+
+type ResizeHook = Box<dyn Fn(usize) + Send + Sync>;
 
 impl std::fmt::Debug for AdaptivePool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -71,6 +76,24 @@ impl AdaptivePool {
             controller: Arc::new(Mutex::new(AdaptiveController::new(config))),
             probe,
             epoch: std::time::Instant::now(),
+            on_resize: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Installs an observer called with the new size whenever the pool's
+    /// maximum changes — at stage starts and on controller decisions.
+    ///
+    /// The hook runs on whichever thread effected the change (the caller
+    /// of [`AdaptivePool::stage_started`], or a pool worker completing the
+    /// task that closed a monitoring interval), so it must be cheap and
+    /// must not call back into the pool.
+    pub fn set_resize_hook(&self, hook: impl Fn(usize) + Send + Sync + 'static) {
+        *self.on_resize.lock() = Some(Box::new(hook));
+    }
+
+    fn notify_resize(on_resize: &Mutex<Option<ResizeHook>>, size: usize) {
+        if let Some(hook) = on_resize.lock().as_ref() {
+            hook(size);
         }
     }
 
@@ -78,8 +101,12 @@ impl AdaptivePool {
     pub fn stage_started(&self, task_hint: Option<usize>) {
         let now = self.epoch.elapsed().as_secs_f64();
         let threads = self.controller.lock().stage_started(now, task_hint);
+        let previous = self.pool.max_pool_size();
         let mut pool = self.pool.clone();
         pool.set_max_pool_size(threads);
+        if threads != previous {
+            Self::notify_resize(&self.on_resize, threads);
+        }
     }
 
     /// Submits a task; its completion feeds the MAPE-K monitor.
@@ -88,6 +115,7 @@ impl AdaptivePool {
         let probe = Arc::clone(&self.probe);
         let pool = self.pool.clone();
         let epoch = self.epoch;
+        let on_resize = Arc::clone(&self.on_resize);
         self.pool.submit(move || {
             job();
             let (epoll, bytes) = probe();
@@ -96,6 +124,7 @@ impl AdaptivePool {
             if let Some(threads) = decision {
                 let mut pool = pool.clone();
                 pool.set_max_pool_size(threads);
+                Self::notify_resize(&on_resize, threads);
             }
         });
     }
@@ -176,6 +205,29 @@ mod tests {
         assert_eq!(pool.current_threads(), 8);
         assert!(pool.settled());
         pool.shutdown();
+    }
+
+    #[test]
+    fn resize_hook_sees_stage_start_and_decisions() {
+        use std::sync::Mutex as StdMutex;
+
+        let pool = AdaptivePool::new(MapeConfig::new(2, 8), Arc::new(|| (0.0, 0.0)));
+        let seen: Arc<StdMutex<Vec<usize>>> = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        pool.set_resize_hook(move |size| sink.lock().unwrap().push(size));
+        // c_max -> c_min at the stage boundary fires the hook...
+        pool.stage_started(Some(500));
+        assert_eq!(*seen.lock().unwrap(), vec![2]);
+        // ...and the CPU-bound jump to c_max fires it from a worker.
+        for _ in 0..50 {
+            pool.submit(|| {
+                std::hint::black_box(1 + 1);
+            });
+        }
+        pool.shutdown();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.first(), Some(&2));
+        assert!(seen.contains(&8), "decision not observed: {seen:?}");
     }
 
     #[test]

@@ -38,7 +38,9 @@
 
 mod adaptive;
 mod dynamic;
+pub mod probe;
 pub mod procfs;
 
 pub use adaptive::{AdaptivePool, IoProbe};
 pub use dynamic::{DynamicThreadPool, PoolMetrics};
+pub use probe::{combined_probe, CounterProbe};

@@ -55,6 +55,21 @@ impl ProcIo {
     pub fn total_mb(&self) -> f64 {
         (self.read_bytes + self.write_bytes) as f64 / (1024.0 * 1024.0)
     }
+
+    /// The traffic accumulated since `earlier`, clamped at zero.
+    ///
+    /// Kernel counters can be observed going backwards — `/proc/<pid>/io`
+    /// subtracts `cancelled_write_bytes` on truncation, and a probe may be
+    /// rebased across a process restart. A negative delta must not reach
+    /// the controller: negative µ would flip the sign of the congestion
+    /// index ζ and corrupt the hill climb, so each field saturates at zero
+    /// independently.
+    pub fn saturating_delta(&self, earlier: &ProcIo) -> ProcIo {
+        ProcIo {
+            read_bytes: self.read_bytes.saturating_sub(earlier.read_bytes),
+            write_bytes: self.write_bytes.saturating_sub(earlier.write_bytes),
+        }
+    }
 }
 
 /// Extracts `delayacct_blkio_ticks` (field 42) from `/proc/<pid>/stat` and
@@ -86,6 +101,85 @@ pub fn proc_self_probe() -> IoProbe {
             .unwrap_or(0.0);
         (epoll, io.total_mb())
     })
+}
+
+/// A probe that reports counters *relative to the last stage boundary*,
+/// clamped so they never run backwards.
+///
+/// The MAPE-K monitor expects cumulative-since-stage-start counters; the
+/// kernel's are cumulative since process start and (rarely) non-monotone.
+/// `StageIoProbe` rebases an inner probe at every [`StageIoProbe::rebase`]
+/// call and clamps each sample at zero, so counters observed going
+/// backwards can never produce negative ε or µ.
+///
+/// # Examples
+///
+/// ```
+/// use sae_pool::procfs::StageIoProbe;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let ticks = Arc::new(AtomicU64::new(7));
+/// let inner = {
+///     let ticks = Arc::clone(&ticks);
+///     Arc::new(move || {
+///         let t = ticks.load(Ordering::Relaxed) as f64;
+///         (t * 0.1, t * 2.0)
+///     })
+/// };
+/// let probe = StageIoProbe::new(inner);
+/// probe.rebase(); // stage boundary: everything before is forgotten
+/// ticks.store(9, Ordering::Relaxed);
+/// let (wait, mb) = probe.sample();
+/// assert!((wait - 0.2).abs() < 1e-9);
+/// assert!((mb - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Clone)]
+pub struct StageIoProbe {
+    inner: IoProbe,
+    base: Arc<parking_lot::Mutex<(f64, f64)>>,
+}
+
+impl std::fmt::Debug for StageIoProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let base = *self.base.lock();
+        f.debug_struct("StageIoProbe").field("base", &base).finish()
+    }
+}
+
+impl StageIoProbe {
+    /// Wraps `inner`, with the baseline taken at construction time.
+    pub fn new(inner: IoProbe) -> Self {
+        let base = inner();
+        Self {
+            inner,
+            base: Arc::new(parking_lot::Mutex::new(base)),
+        }
+    }
+
+    /// Re-baselines at the current counters (call at stage start).
+    pub fn rebase(&self) {
+        *self.base.lock() = (self.inner)();
+    }
+
+    /// Counters accumulated since the last rebase, each clamped at zero.
+    pub fn sample(&self) -> (f64, f64) {
+        let (base_wait, base_mb) = *self.base.lock();
+        let (wait, mb) = (self.inner)();
+        ((wait - base_wait).max(0.0), (mb - base_mb).max(0.0))
+    }
+
+    /// Adapts to the closure shape [`crate::AdaptivePool`] consumes.
+    pub fn as_probe(&self) -> IoProbe {
+        let this = self.clone();
+        Arc::new(move || this.sample())
+    }
+}
+
+/// A stage-rebased, clamped probe over the calling process's real
+/// `/proc` counters — the probe live executors feed their pools with.
+pub fn proc_stage_probe() -> StageIoProbe {
+    StageIoProbe::new(proc_self_probe())
 }
 
 #[cfg(test)]
@@ -129,6 +223,79 @@ mod tests {
     fn malformed_stat_returns_none() {
         assert_eq!(parse_blkio_delay_seconds("", 100.0), None);
         assert_eq!(parse_blkio_delay_seconds("1 (x) 2 3", 100.0), None);
+    }
+
+    #[test]
+    fn missing_fields_default_to_zero() {
+        // A /proc/<pid>/io without the block-device counters (e.g. a
+        // kernel built without CONFIG_TASK_IO_ACCOUNTING) parses cleanly.
+        let io = ProcIo::parse("rchar: 100\nwchar: 50\nsyscr: 3\n");
+        assert_eq!(io, ProcIo::default());
+        // And one with only a single counter keeps the other at zero.
+        let io = ProcIo::parse("write_bytes: 4096\n");
+        assert_eq!(io.read_bytes, 0);
+        assert_eq!(io.write_bytes, 4096);
+    }
+
+    #[test]
+    fn wraparound_delta_is_clamped() {
+        // Counters observed going backwards (cancelled writes, rebased
+        // process) must produce a zero delta, not an underflowed huge one.
+        let earlier = ProcIo {
+            read_bytes: 1000,
+            write_bytes: 5000,
+        };
+        let later = ProcIo {
+            read_bytes: 1500,
+            write_bytes: 4000, // went backwards
+        };
+        let delta = later.saturating_delta(&earlier);
+        assert_eq!(delta.read_bytes, 500);
+        assert_eq!(delta.write_bytes, 0);
+        // Full wraparound in both fields.
+        let zero = ProcIo::default().saturating_delta(&later);
+        assert_eq!(zero, ProcIo::default());
+    }
+
+    #[test]
+    fn stage_probe_clamps_backward_counters() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let raw = Arc::new(AtomicU64::new(100));
+        let inner: IoProbe = {
+            let raw = Arc::clone(&raw);
+            Arc::new(move || {
+                let v = raw.load(Ordering::Relaxed) as f64;
+                (v * 0.01, v)
+            })
+        };
+        let probe = StageIoProbe::new(inner);
+        assert_eq!(probe.sample(), (0.0, 0.0));
+        raw.store(150, Ordering::Relaxed);
+        let (wait, mb) = probe.sample();
+        assert!((wait - 0.5).abs() < 1e-9);
+        assert!((mb - 50.0).abs() < 1e-9);
+        // The source runs backwards below the baseline: clamp to zero
+        // instead of reporting negative ε/µ.
+        raw.store(40, Ordering::Relaxed);
+        assert_eq!(probe.sample(), (0.0, 0.0));
+        // Rebasing at the lower value restores forward progress.
+        probe.rebase();
+        raw.store(90, Ordering::Relaxed);
+        let (wait, mb) = probe.sample();
+        assert!((wait - 0.5).abs() < 1e-9);
+        assert!((mb - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_probe_rebase_forgets_history() {
+        let probe = proc_stage_probe();
+        probe.rebase();
+        let (wait, mb) = probe.sample();
+        // Immediately after a rebase the stage-relative counters are ~0
+        // (and never negative, even if the kernel counters moved).
+        assert!(wait >= 0.0);
+        assert!(mb >= 0.0);
     }
 
     #[test]

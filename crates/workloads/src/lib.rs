@@ -36,6 +36,7 @@
 mod catalog;
 pub mod datagen;
 mod ml;
+pub mod spill;
 mod sql;
 mod terasort;
 mod web;

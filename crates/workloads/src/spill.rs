@@ -1,0 +1,122 @@
+//! File-backed record spills: the real I/O behind the live runtime's
+//! Terasort stages.
+//!
+//! The simulator *models* disk traffic; the live runtime must actually
+//! block on it, so its map stage writes generated records to spill files
+//! and its sort stage reads them back — through these helpers, which fix
+//! the on-disk format (records packed back to back, 100 bytes each, no
+//! header) and reject corrupt files instead of mis-sorting silently.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::datagen::{TeraRecord, KEY_BYTES, VALUE_BYTES};
+
+/// On-disk size of one record in bytes.
+pub const RECORD_BYTES: usize = KEY_BYTES + VALUE_BYTES;
+
+/// Writes `records` to `path` (truncating any previous file — a retried
+/// attempt must overwrite its predecessor's partial output) and returns
+/// the number of bytes written.
+pub fn write_records(path: &Path, records: &[TeraRecord]) -> io::Result<u64> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for r in records {
+        out.write_all(&r.key)?;
+        out.write_all(&r.value)?;
+    }
+    out.flush()?;
+    Ok((records.len() * RECORD_BYTES) as u64)
+}
+
+/// Reads a spill file written by [`write_records`] back into memory.
+///
+/// A file whose length is not a multiple of [`RECORD_BYTES`] — a spill
+/// interrupted by a crash mid-record — is rejected with
+/// [`io::ErrorKind::InvalidData`] so the caller retries the producing
+/// task instead of sorting garbage.
+pub fn read_records(path: &Path) -> io::Result<Vec<TeraRecord>> {
+    let file = File::open(path)?;
+    let len = file.metadata()?.len();
+    if len % RECORD_BYTES as u64 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("spill file {path:?} has a trailing partial record ({len} bytes)"),
+        ));
+    }
+    let mut reader = BufReader::new(file);
+    let mut records = Vec::with_capacity((len / RECORD_BYTES as u64) as usize);
+    let mut buf = [0u8; RECORD_BYTES];
+    loop {
+        match reader.read_exact(&mut buf) {
+            Ok(()) => {
+                let mut key = [0u8; KEY_BYTES];
+                let mut value = [0u8; VALUE_BYTES];
+                key.copy_from_slice(&buf[..KEY_BYTES]);
+                value.copy_from_slice(&buf[KEY_BYTES..]);
+                records.push(TeraRecord { key, value });
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::teragen;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sae-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let records = teragen(1000, 42);
+        let path = temp_path("roundtrip.spill");
+        let written = write_records(&path, &records).unwrap();
+        assert_eq!(written, 1000 * RECORD_BYTES as u64);
+        assert_eq!(read_records(&path).unwrap(), records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_spill_round_trips() {
+        let path = temp_path("empty.spill");
+        write_records(&path, &[]).unwrap();
+        assert!(read_records(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rewrite_truncates_previous_attempt() {
+        let path = temp_path("rewrite.spill");
+        write_records(&path, &teragen(500, 1)).unwrap();
+        let second = teragen(20, 2);
+        write_records(&path, &second).unwrap();
+        assert_eq!(read_records(&path).unwrap(), second);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn partial_record_rejected() {
+        let path = temp_path("partial.spill");
+        write_records(&path, &teragen(3, 7)).unwrap();
+        // Simulate a crash mid-record: chop 10 bytes off the end.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let err = read_records(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reports_not_found() {
+        let err = read_records(Path::new("/nonexistent/sae.spill")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

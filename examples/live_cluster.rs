@@ -1,0 +1,74 @@
+//! A live loopback cluster: one driver, three executors, real TCP, real
+//! spill files — printing the driver's slot registry every time a
+//! `PoolSizeChanged` message arrives (the §5.4 protocol extension made
+//! visible).
+//!
+//! ```sh
+//! cargo run --release --example live_cluster
+//! ```
+
+use sae::core::MapeConfig;
+use sae::live::{terasort, ClusterConfig, LiveCluster, SlotInfo};
+
+fn render_registry(registry: &[SlotInfo]) -> String {
+    registry
+        .iter()
+        .enumerate()
+        .map(|(e, s)| {
+            let state = if !s.registered {
+                "absent"
+            } else if !s.alive {
+                "LOST"
+            } else if s.blacklisted {
+                "blacklisted"
+            } else {
+                "alive"
+            };
+            format!("e{e}[{}/{} {state}]", s.free, s.slots)
+        })
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+fn main() {
+    let mut cluster = LiveCluster::launch(ClusterConfig {
+        executors: 3,
+        mape: MapeConfig::new(2, 8),
+        ..ClusterConfig::default()
+    })
+    .expect("bind driver and launch executors");
+
+    let job = terasort(24, 20_000, 42);
+    println!(
+        "running {} on 3 live executors over loopback TCP\n",
+        job.name
+    );
+    println!("slot registry after each PoolSizeChanged round-trip:");
+
+    let report = cluster
+        .run_with_observer(&job, |decision, registry| {
+            println!(
+                "  t={:6.3}s  executor {} -> {} threads   {}",
+                decision.at,
+                decision.executor,
+                decision.size,
+                render_registry(registry)
+            );
+        })
+        .expect("live terasort completes");
+    cluster.shutdown().expect("executors exit cleanly");
+
+    println!();
+    for stage in &report.stages {
+        println!(
+            "stage {:>14}: {} tasks, {} attempts ({} failed), {:.3}s",
+            stage.name, stage.tasks, stage.attempts, stage.failed_attempts, stage.duration_secs
+        );
+    }
+    println!(
+        "job {} finished in {:.3}s with {} pool-size round-trips",
+        report.job,
+        report.runtime_secs,
+        report.decisions.len()
+    );
+}

@@ -9,12 +9,11 @@
 //! cargo run --release --example real_terasort
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sae::core::MapeConfig;
-use sae::pool::AdaptivePool;
+use sae::pool::{AdaptivePool, CounterProbe};
 use sae::workloads::datagen::{teragen, RangePartitioner, TeraRecord};
 
 fn main() {
@@ -29,13 +28,11 @@ fn main() {
     let partitioner = RangePartitioner::from_sample(&records[..10_000], 64);
     let buckets = partitioner.split(&records);
 
-    // Stage 1: sort each partition on the adaptive pool.
-    let bytes = Arc::new(AtomicU64::new(0));
-    let probe_bytes = Arc::clone(&bytes);
-    let pool = AdaptivePool::new(
-        MapeConfig::new(2, 8),
-        Arc::new(move || (0.0, probe_bytes.load(Ordering::Relaxed) as f64 / 1e6)),
-    );
+    // Stage 1: sort each partition on the adaptive pool, with the shared
+    // per-task probe the live runtime uses: tasks record the bytes they
+    // touched (and, were they blocking on disk, the time spent waiting).
+    let probe = CounterProbe::new();
+    let pool = AdaptivePool::new(MapeConfig::new(2, 8), probe.as_probe());
     pool.stage_started(Some(buckets.len()));
     println!("pool starts at {} threads", pool.current_threads());
 
@@ -44,11 +41,13 @@ fn main() {
     let started = Instant::now();
     for (i, mut bucket) in buckets.into_iter().enumerate() {
         let sorted = Arc::clone(&sorted);
-        let bytes = Arc::clone(&bytes);
+        let probe = probe.clone();
         pool.submit(move || {
             let volume = bucket.len() as u64 * 100;
             bucket.sort_unstable();
-            bytes.fetch_add(volume, Ordering::Relaxed);
+            // Purely in-memory sorting: bytes moved, zero blocked time —
+            // which is exactly why the controller reads it as CPU-bound.
+            probe.record(volume, Duration::ZERO);
             sorted.lock().unwrap()[i] = Some(bucket);
         });
     }

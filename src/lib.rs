@@ -16,6 +16,7 @@
 pub use sae_cluster as cluster;
 pub use sae_core as core;
 pub use sae_dag as dag;
+pub use sae_live as live;
 pub use sae_metrics as metrics;
 pub use sae_net as net;
 pub use sae_pool as pool;
