@@ -188,6 +188,14 @@ impl HillClimbAnalyzer {
         self.settled
     }
 
+    /// The `(threads, score)` pair the next interval will be compared
+    /// against, if any interval has been accepted this stage. Exposed so
+    /// the controller can phrase its decision rationale in terms of the
+    /// actual comparison.
+    pub fn previous(&self) -> Option<(usize, f64)> {
+        self.previous
+    }
+
     /// Resets the climb for a new stage.
     pub fn reset(&mut self) {
         self.previous = None;

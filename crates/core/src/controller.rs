@@ -1,6 +1,7 @@
 //! The complete MAPE-K loop glued together: one controller per executor.
 
 use crate::analyzer::{Analysis, ClimbDirection, CongestionSignal, HillClimbAnalyzer};
+use crate::journal::{DecisionAction, DecisionJournal, DecisionRecord};
 use crate::monitor::{IntervalReport, Monitor, ProbeSnapshot};
 use crate::planner::Planner;
 
@@ -86,6 +87,22 @@ pub struct AdaptiveController {
     history: Vec<IntervalReport>,
     current_threads: usize,
     adapting: bool,
+    /// Decision journal: one record per closed interval plus a terminal
+    /// record for every stage (see [`crate::DecisionRecord`]).
+    journal: DecisionJournal,
+    /// Id stamped into journal records (set via
+    /// [`AdaptiveController::with_executor`]).
+    executor: usize,
+    /// Adaptation episode of the stage in progress (counts stage starts).
+    stage: usize,
+    /// Total stage starts seen; `stage` of the *next* stage.
+    stages_started: usize,
+    /// Interval index `j` within the current stage.
+    interval_idx: usize,
+    /// Whether a terminal journal record was emitted for the current
+    /// stage. Starts `true`: there is nothing to finalize before the
+    /// first stage.
+    finalized: bool,
 }
 
 impl AdaptiveController {
@@ -102,7 +119,31 @@ impl AdaptiveController {
             history: Vec::new(),
             current_threads: config.c_max,
             adapting: false,
+            journal: DecisionJournal::new(),
+            executor: 0,
+            stage: 0,
+            stages_started: 0,
+            interval_idx: 0,
+            finalized: true,
         }
+    }
+
+    /// Sets the executor id stamped into journal records.
+    pub fn with_executor(mut self, executor: usize) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The decision journal this controller appends to. The handle is
+    /// shared: clone it to drain or render records from outside.
+    pub fn journal(&self) -> &DecisionJournal {
+        &self.journal
+    }
+
+    /// Replaces the journal handle, so several components can funnel into
+    /// one shared journal. Call before the first stage starts.
+    pub fn set_journal(&mut self, journal: DecisionJournal) {
+        self.journal = journal;
     }
 
     /// The configuration in use.
@@ -117,19 +158,78 @@ impl AdaptiveController {
     /// Adaptation starts at `c_min`; stages too short to measure run at
     /// `c_max` unadapted.
     pub fn stage_started(&mut self, now: f64, task_hint: Option<usize>) -> usize {
+        self.finalize_stage(now);
         self.history.clear();
         self.analyzer.reset();
         self.monitor.stop();
-        if task_hint.is_some_and(|t| t < self.config.min_stage_tasks) {
+        self.stage = self.stages_started;
+        self.stages_started += 1;
+        self.interval_idx = 0;
+        if let Some(tasks) = task_hint.filter(|t| *t < self.config.min_stage_tasks) {
+            let pool_before = self.current_threads;
             self.adapting = false;
             self.current_threads = self.config.c_max;
+            self.finalized = true;
+            self.journal.push(DecisionRecord {
+                stage: self.stage,
+                executor: self.executor,
+                interval: 0,
+                at: now,
+                threads: self.current_threads,
+                epoll_wait_s: 0.0,
+                throughput_bps: 0.0,
+                zeta: 0.0,
+                pool_before,
+                pool_after: self.current_threads,
+                action: DecisionAction::Hold,
+                rationale: format!(
+                    "stage of {tasks} tasks is below min_stage_tasks={}: too short to \
+                     complete two monitoring intervals, run unadapted at c_max={}",
+                    self.config.min_stage_tasks, self.config.c_max
+                ),
+            });
             return self.current_threads;
         }
         self.adapting = true;
+        self.finalized = false;
         self.current_threads = self.analyzer.start_point();
         self.monitor
             .begin_interval(self.current_threads, now, ProbeSnapshot::default());
         self.current_threads
+    }
+
+    /// Declares the current stage over at time `now`.
+    ///
+    /// If the hill climb was still open — the stage ran out of tasks
+    /// before the analyzer reached a verdict — a terminal
+    /// [`DecisionAction::Hold`] record is journaled, so every stage's
+    /// journal ends with a terminal action. Idempotent; also called
+    /// implicitly by the next [`AdaptiveController::stage_started`].
+    pub fn finalize_stage(&mut self, now: f64) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        self.adapting = false;
+        self.monitor.stop();
+        self.journal.push(DecisionRecord {
+            stage: self.stage,
+            executor: self.executor,
+            interval: self.interval_idx,
+            at: now,
+            threads: self.current_threads,
+            epoll_wait_s: 0.0,
+            throughput_bps: 0.0,
+            zeta: 0.0,
+            pool_before: self.current_threads,
+            pool_after: self.current_threads,
+            action: DecisionAction::Hold,
+            rationale: format!(
+                "stage ended after {} clean interval(s) with the climb still open: \
+                 hold at {} threads",
+                self.interval_idx, self.current_threads
+            ),
+        });
     }
 
     /// Records a task completion at `now`, with the executor's epoll-wait
@@ -150,14 +250,12 @@ impl AdaptiveController {
         }
         let report = self.monitor.task_finished(now, snapshot)?;
         self.history.push(report);
-        let io_fraction = if report.duration > 0.0 {
-            report.epoll_wait / (report.threads as f64 * report.duration)
-        } else {
-            1.0
-        };
-        let analysis = if !self.analyzer.settled()
-            && (report.throughput < NO_IO_THROUGHPUT || io_fraction < self.config.min_io_fraction)
-        {
+        let io_fraction = self.io_fraction(&report);
+        let low_io = !self.analyzer.settled()
+            && (report.throughput < NO_IO_THROUGHPUT || io_fraction < self.config.min_io_fraction);
+        // The comparison baseline, captured before `analyze` replaces it.
+        let prev = self.analyzer.previous();
+        let analysis = if low_io {
             // Not enough I/O evidence to justify throttling (L3): the stage
             // is CPU-bound, so jump straight to the CPU-friendly maximum
             // instead of paying for the doubling climb.
@@ -173,6 +271,7 @@ impl AdaptiveController {
         };
         let plan = self.planner.plan(analysis, self.current_threads);
         let target = plan.target_size();
+        self.journal_interval(now, &report, low_io, prev, analysis, target, plan.terminal);
         if plan.terminal {
             self.adapting = false;
             self.monitor.stop();
@@ -185,6 +284,115 @@ impl AdaptiveController {
             Some(next)
         } else {
             None
+        }
+    }
+
+    /// Appends the journal record explaining the decision for one closed
+    /// interval.
+    #[allow(clippy::too_many_arguments)]
+    fn journal_interval(
+        &mut self,
+        now: f64,
+        report: &IntervalReport,
+        low_io: bool,
+        prev: Option<(usize, f64)>,
+        analysis: Analysis,
+        target: Option<usize>,
+        terminal: bool,
+    ) {
+        let score = self.config.signal.score(report);
+        let label = match self.config.signal {
+            CongestionSignal::ZetaIndex => "zeta",
+            CongestionSignal::DiskUtilization => "1-disk_util",
+        };
+        let tol_pct = self.config.rollback_tolerance * 100.0;
+        let (action, rationale) = if low_io {
+            let evidence =
+                format!(
+                "mu={:.2} MB/s, I/O wait fraction {:.3} (floors: mu >= {NO_IO_THROUGHPUT} MB/s, \
+                 fraction >= {:.2})",
+                report.throughput, self.io_fraction(report), self.config.min_io_fraction
+            );
+            match analysis {
+                Analysis::Ascend { next } => (
+                    DecisionAction::Ascend,
+                    format!(
+                        "{evidence}: not enough I/O evidence to throttle (L3), \
+                         jump straight to c_max={next}"
+                    ),
+                ),
+                _ => (
+                    DecisionAction::Hold,
+                    format!(
+                        "{evidence}: CPU-bound stage already at c_max={}, hold",
+                        self.config.c_max
+                    ),
+                ),
+            }
+        } else {
+            match analysis {
+                Analysis::Ascend { next } => (
+                    DecisionAction::Ascend,
+                    match prev {
+                        None => format!(
+                            "first interval at {} threads ({label}={score:.4}): \
+                             no baseline yet, climb to {next}",
+                            report.threads
+                        ),
+                        Some((pt, ps)) => format!(
+                            "{label}={score:.4} at {} threads within {tol_pct:.0}% of \
+                             {label}={ps:.4} at {pt}: climb to {next}",
+                            report.threads
+                        ),
+                    },
+                ),
+                Analysis::Rollback { to } => {
+                    let (pt, ps) = prev.expect("rollback implies a baseline");
+                    (
+                        DecisionAction::RollBack,
+                        format!(
+                            "{label}={score:.4} at {} threads regressed more than \
+                             {tol_pct:.0}% past {label}={ps:.4} at {pt}: roll back to {to} and hold",
+                            report.threads
+                        ),
+                    )
+                }
+                Analysis::SettleAtMax => (
+                    DecisionAction::Hold,
+                    format!(
+                        "still improving at the climb boundary ({} threads, {label}={score:.4}): \
+                         hold for the rest of the stage",
+                        report.threads
+                    ),
+                ),
+            }
+        };
+        self.journal.push(DecisionRecord {
+            stage: self.stage,
+            executor: self.executor,
+            interval: self.interval_idx,
+            at: now,
+            threads: report.threads,
+            epoll_wait_s: report.epoll_wait,
+            throughput_bps: report.throughput * 1024.0 * 1024.0,
+            zeta: report.zeta,
+            pool_before: self.current_threads,
+            pool_after: target.unwrap_or(self.current_threads),
+            action,
+            rationale,
+        });
+        self.interval_idx += 1;
+        if terminal {
+            self.finalized = true;
+        }
+    }
+
+    /// Fraction of thread-time the interval spent blocked on I/O.
+    fn io_fraction(&self, report: &IntervalReport) -> f64 {
+        if report.duration > 0.0 {
+            report.epoll_wait / (report.threads as f64 * report.duration)
+        } else {
+            1.0
         }
     }
 
@@ -376,6 +584,108 @@ mod tests {
         ctl.interval_disturbed(1.0, crate::ProbeSnapshot::default());
         assert!(ctl.settled());
         assert_eq!(ctl.task_finished(2.0, 0.0, 0.0), None);
+    }
+
+    #[test]
+    fn journal_records_one_entry_per_interval_plus_terminal() {
+        use crate::journal::DecisionAction;
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32)).with_executor(3);
+        run_synthetic(&mut ctl, 300, 100.0, 0.01);
+        assert!(ctl.settled());
+        let records = ctl.journal().records();
+        assert_eq!(records.len(), ctl.history().len());
+        for (j, r) in records.iter().enumerate() {
+            assert_eq!(r.interval, j);
+            assert_eq!(r.executor, 3);
+            assert_eq!(r.stage, 0);
+            assert!(!r.rationale.is_empty());
+        }
+        // Contention growth ends in a rollback, which is terminal.
+        let last = records.last().unwrap();
+        assert_eq!(last.action, DecisionAction::RollBack);
+        assert!(last.pool_after < last.pool_before);
+    }
+
+    #[test]
+    fn journal_interval_measurements_match_history() {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 16));
+        run_synthetic(&mut ctl, 200, 100.0, 0.005);
+        let records = ctl.journal().records();
+        for (r, h) in records.iter().zip(ctl.history()) {
+            assert_eq!(r.threads, h.threads);
+            assert_eq!(r.epoll_wait_s, h.epoll_wait);
+            assert_eq!(r.zeta, h.zeta);
+            assert_eq!(r.throughput_bps, h.throughput * 1024.0 * 1024.0);
+        }
+    }
+
+    #[test]
+    fn short_stage_journals_a_terminal_hold() {
+        use crate::journal::DecisionAction;
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        let _ = ctl.stage_started(0.0, Some(3));
+        let records = ctl.journal().records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].action, DecisionAction::Hold);
+        assert_eq!(records[0].pool_after, 32);
+        assert!(records[0].rationale.contains("min_stage_tasks"));
+    }
+
+    #[test]
+    fn finalize_mid_climb_emits_terminal_hold() {
+        use crate::journal::DecisionAction;
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        let _ = ctl.stage_started(0.0, Some(300));
+        // Close exactly one interval (2 completions at 2 threads), leaving
+        // the climb open.
+        let _ = ctl.task_finished(1.0, 0.6, 100.0);
+        let _ = ctl.task_finished(2.0, 1.2, 200.0);
+        assert!(!ctl.settled());
+        ctl.finalize_stage(3.0);
+        assert!(ctl.settled());
+        let records = ctl.journal().records();
+        let last = records.last().unwrap();
+        assert_eq!(last.action, DecisionAction::Hold);
+        assert!(last.action.is_terminal());
+        assert_eq!(last.pool_before, last.pool_after);
+        // Finalizing again is a no-op.
+        ctl.finalize_stage(4.0);
+        assert_eq!(ctl.journal().len(), records.len());
+    }
+
+    #[test]
+    fn next_stage_finalizes_the_previous_episode() {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        let _ = ctl.stage_started(0.0, Some(300));
+        let _ = ctl.task_finished(1.0, 0.6, 100.0);
+        let _ = ctl.stage_started(10.0, Some(300));
+        // The open stage-0 episode was closed with a terminal Hold.
+        let records = ctl.journal().records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].stage, 0);
+        assert!(records[0].action.is_terminal());
+        // New records land in episode 1.
+        let _ = ctl.task_finished(11.0, 0.6, 100.0);
+        let _ = ctl.task_finished(12.0, 1.2, 200.0);
+        let records = ctl.journal().records();
+        assert_eq!(records.last().unwrap().stage, 1);
+    }
+
+    #[test]
+    fn every_episode_ends_terminal() {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 8));
+        for stage in 0..4 {
+            run_synthetic(&mut ctl, 100, 80.0, 0.002 * stage as f64);
+        }
+        ctl.finalize_stage(1e6);
+        let records = ctl.journal().records();
+        for stage in 0..4 {
+            let last = records.iter().rfind(|r| r.stage == stage);
+            assert!(
+                last.is_some_and(|r| r.action.is_terminal()),
+                "episode {stage} does not end terminal: {records:?}"
+            );
+        }
     }
 
     #[test]

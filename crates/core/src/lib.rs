@@ -61,6 +61,7 @@
 mod analyzer;
 mod congestion;
 mod controller;
+mod journal;
 mod monitor;
 mod planner;
 mod policy;
@@ -69,6 +70,9 @@ mod traits;
 pub use analyzer::{Analysis, ClimbDirection, CongestionSignal, HillClimbAnalyzer};
 pub use congestion::{congestion_index, IntervalMeasurement};
 pub use controller::{AdaptiveController, MapeConfig};
+pub use journal::{
+    parse_jsonl, to_jsonl, zeta_explain, DecisionAction, DecisionJournal, DecisionRecord,
+};
 pub use monitor::{IntervalReport, Monitor, ProbeSnapshot};
 pub use planner::{apply_plan, Action, Plan, Planner};
 pub use policy::{BestFitTable, StageInfo, StageKind, StaticPolicy, ThreadPolicy};

@@ -291,9 +291,11 @@ impl<'a> Run<'a> {
             }
         }
         let executors = (0..cfg.nodes)
-            .map(|_| {
+            .map(|e| {
                 let controller = match policy {
-                    ThreadPolicy::Adaptive(mape) => Some(AdaptiveController::new(*mape)),
+                    ThreadPolicy::Adaptive(mape) => {
+                        Some(AdaptiveController::new(*mape).with_executor(e))
+                    }
                     _ => None,
                 };
                 ExecutorState::new(cfg.default_threads(), controller)
@@ -966,6 +968,14 @@ impl<'a> Run<'a> {
             disk_util += util;
         }
 
+        // Close every controller's adaptation episode before reading its
+        // journal: a stage that ran out of tasks mid-climb still gets a
+        // terminal Hold record.
+        for e in 0..self.cfg.nodes {
+            if let Some(c) = self.executors[e].controller.as_mut() {
+                c.finalize_stage(now);
+            }
+        }
         let executors: Vec<ExecutorStageReport> = (0..self.cfg.nodes)
             .map(|e| {
                 let state = &self.executors[e];
@@ -982,6 +992,13 @@ impl<'a> Run<'a> {
                         .controller
                         .as_ref()
                         .map(|c| c.history().iter().map(|&r| r.into()).collect())
+                        .unwrap_or_default(),
+                    // Drain (journals accumulate across stages; each stage
+                    // report keeps only its own records).
+                    journal: state
+                        .controller
+                        .as_ref()
+                        .map(|c| c.journal().take())
                         .unwrap_or_default(),
                 }
             })
@@ -1587,10 +1604,26 @@ impl<'a> Run<'a> {
             io_bytes: stats.io_bytes,
             disk_busy,
         };
-        let decision = self.executors[executor]
-            .controller
-            .as_mut()
-            .and_then(|c| c.task_finished_probe(now, snapshot));
+        let (decision, closed_interval) = match self.executors[executor].controller.as_mut() {
+            Some(c) => {
+                let before = c.history().len();
+                let decision = c.task_finished_probe(now, snapshot);
+                let closed = (c.history().len() > before)
+                    .then(|| c.history().last().copied())
+                    .flatten();
+                (decision, closed)
+            }
+            None => (None, None),
+        };
+        if let Some(interval) = closed_interval {
+            // The ζ_j counter-track sample behind the (possible) resize.
+            self.record(TraceEvent::IntervalClosed {
+                executor,
+                threads: interval.threads,
+                zeta: interval.zeta,
+                at: now,
+            });
+        }
         if let Some(new_size) = decision {
             // Execute locally, then notify the driver over RPC (§5.4).
             self.record(TraceEvent::PoolResized {

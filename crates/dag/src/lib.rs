@@ -57,4 +57,4 @@ pub use executor::{ExecutorStats, SlotPool};
 pub use job::{JobSpec, JobSpecBuilder, Operator, StageSpec};
 pub use messages::Message;
 pub use report::{ExecutorStageReport, JobReport, StageReport};
-pub use trace::{ExecutionTrace, TraceEvent};
+pub use trace::{append_chrome_entries, ExecutionTrace, TraceEvent};

@@ -54,6 +54,10 @@ pub struct ExecutorStageReport {
     /// The controller's interval history (empty for non-adaptive runs) —
     /// Figure 7's data.
     pub intervals: Vec<IntervalRecord>,
+    /// The controller's decision journal for the stage (empty for
+    /// non-adaptive runs): one record per interval plus the terminal
+    /// verdict, with the measurements and rationale behind each move.
+    pub journal: Vec<sae_core::DecisionRecord>,
 }
 
 /// Per-stage outcome.
@@ -153,6 +157,23 @@ impl JobReport {
     /// Returns `None` when the job read no input.
     pub fn io_amplification(&self) -> Option<f64> {
         (self.input_mb > 0.0).then(|| self.total_disk_io_mb() / self.input_mb)
+    }
+
+    /// The job's full decision journal: every executor's records, in stage
+    /// order and executor order within a stage. Empty unless the run used
+    /// the adaptive policy.
+    pub fn decision_journal(&self) -> Vec<sae_core::DecisionRecord> {
+        self.stages
+            .iter()
+            .flat_map(|s| s.executors.iter())
+            .flat_map(|e| e.journal.iter().cloned())
+            .collect()
+    }
+
+    /// The decision journal serialized as JSONL (see
+    /// [`sae_core::to_jsonl`]).
+    pub fn decision_journal_jsonl(&self) -> String {
+        sae_core::to_jsonl(&self.decision_journal())
     }
 }
 

@@ -99,6 +99,19 @@ pub enum TraceEvent {
         /// Simulated time.
         at: f64,
     },
+    /// A MAPE-K monitoring interval `I_j` closed on an executor: the
+    /// sample behind the next pool-size decision. Exported as a `ζ_j`
+    /// counter track.
+    IntervalClosed {
+        /// Executor (= node).
+        executor: usize,
+        /// Thread count the interval ran with.
+        threads: usize,
+        /// Congestion index `ζ_j` measured over the interval.
+        zeta: f64,
+        /// Simulated time.
+        at: f64,
+    },
 }
 
 impl TraceEvent {
@@ -114,7 +127,8 @@ impl TraceEvent {
             | TraceEvent::ExecutorFailed { at, .. }
             | TraceEvent::ExecutorRecovered { at, .. }
             | TraceEvent::ExecutorBlacklisted { at, .. }
-            | TraceEvent::SpeculativeWon { at, .. } => at,
+            | TraceEvent::SpeculativeWon { at, .. }
+            | TraceEvent::IntervalClosed { at, .. } => at,
         }
     }
 }
@@ -229,91 +243,122 @@ impl ExecutionTrace {
     ///
     /// Stages become duration events on a "driver" row; tasks become
     /// duration events per executor row; resizes and failures become
-    /// instant events. Open the output in `chrome://tracing` or Perfetto.
+    /// instant events; pool sizes and `ζ_j` become counter tracks
+    /// (`ph:"C"`). Open the output in `chrome://tracing` or Perfetto.
     pub fn to_chrome_trace(&self) -> String {
-        fn esc(name: &str) -> String {
-            name.replace('"', "'")
-        }
         let mut entries: Vec<String> = Vec::with_capacity(self.events.len());
-        let us = |t: f64| (t * 1e6).round() as i64;
         for e in &self.events {
-            let entry = match *e {
-                TraceEvent::StageStarted { stage, at } => format!(
-                    r#"{{"name":"stage-{stage}","ph":"B","ts":{},"pid":0,"tid":0}}"#,
-                    us(at)
-                ),
-                TraceEvent::StageFinished { stage, at } => format!(
-                    r#"{{"name":"stage-{stage}","ph":"E","ts":{},"pid":0,"tid":0}}"#,
-                    us(at)
-                ),
-                TraceEvent::TaskStarted {
-                    task,
-                    attempt,
-                    executor,
-                    at,
-                    ..
-                } => format!(
-                    r#"{{"name":"task-{task}.{attempt}","ph":"B","ts":{},"pid":1,"tid":{executor}}}"#,
-                    us(at)
-                ),
-                TraceEvent::TaskFinished {
-                    task,
-                    attempt,
-                    executor,
-                    at,
-                } => format!(
-                    r#"{{"name":"task-{task}.{attempt}","ph":"E","ts":{},"pid":1,"tid":{executor}}}"#,
-                    us(at)
-                ),
-                TraceEvent::TaskFailed {
-                    task,
-                    attempt,
-                    executor,
-                    at,
-                } => {
-                    // Close the attempt's duration slice, then mark the
-                    // failure as an instant.
-                    entries.push(format!(
-                        r#"{{"name":"task-{task}.{attempt}","ph":"E","ts":{},"pid":1,"tid":{executor}}}"#,
-                        us(at)
-                    ));
-                    format!(
-                        r#"{{"name":"task-failed","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"t"}}"#,
-                        us(at)
-                    )
-                }
-                TraceEvent::PoolResized { executor, to, at } => format!(
-                    r#"{{"name":"{}","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"t"}}"#,
-                    esc(&format!("resize->{to}")),
-                    us(at)
-                ),
-                TraceEvent::ExecutorFailed { executor, at } => format!(
-                    r#"{{"name":"executor-failed","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"p"}}"#,
-                    us(at)
-                ),
-                TraceEvent::ExecutorRecovered { executor, at } => format!(
-                    r#"{{"name":"executor-recovered","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"p"}}"#,
-                    us(at)
-                ),
-                TraceEvent::ExecutorBlacklisted { executor, at } => format!(
-                    r#"{{"name":"executor-blacklisted","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"p"}}"#,
-                    us(at)
-                ),
-                TraceEvent::SpeculativeWon {
-                    task,
-                    attempt,
-                    executor,
-                    at,
-                } => format!(
-                    r#"{{"name":"{}","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"t"}}"#,
-                    esc(&format!("speculative-won-task-{task}.{attempt}")),
-                    us(at)
-                ),
-            };
-            entries.push(entry);
+            append_chrome_entries(e, &mut entries);
         }
         format!("[{}]", entries.join(","))
     }
+}
+
+/// Appends the Chrome trace-event JSON object(s) for one [`TraceEvent`] to
+/// `entries`.
+///
+/// Public so other runtimes (the live flight recorder) can serialize the
+/// same event vocabulary identically — a merged sim/live overlay only
+/// works if both sides agree on names, rows and phases. One event can
+/// expand to several entries: a `TaskFailed` closes its duration slice
+/// before marking the failure, and a `PoolResized` also feeds the
+/// per-executor `pool-size` counter track.
+pub fn append_chrome_entries(event: &TraceEvent, entries: &mut Vec<String>) {
+    fn esc(name: &str) -> String {
+        name.replace('"', "'")
+    }
+    let us = |t: f64| (t * 1e6).round() as i64;
+    let entry = match *event {
+        TraceEvent::StageStarted { stage, at } => format!(
+            r#"{{"name":"stage-{stage}","ph":"B","ts":{},"pid":0,"tid":0}}"#,
+            us(at)
+        ),
+        TraceEvent::StageFinished { stage, at } => format!(
+            r#"{{"name":"stage-{stage}","ph":"E","ts":{},"pid":0,"tid":0}}"#,
+            us(at)
+        ),
+        TraceEvent::TaskStarted {
+            task,
+            attempt,
+            executor,
+            at,
+            ..
+        } => format!(
+            r#"{{"name":"task-{task}.{attempt}","ph":"B","ts":{},"pid":1,"tid":{executor}}}"#,
+            us(at)
+        ),
+        TraceEvent::TaskFinished {
+            task,
+            attempt,
+            executor,
+            at,
+        } => format!(
+            r#"{{"name":"task-{task}.{attempt}","ph":"E","ts":{},"pid":1,"tid":{executor}}}"#,
+            us(at)
+        ),
+        TraceEvent::TaskFailed {
+            task,
+            attempt,
+            executor,
+            at,
+        } => {
+            // Close the attempt's duration slice, then mark the
+            // failure as an instant.
+            entries.push(format!(
+                r#"{{"name":"task-{task}.{attempt}","ph":"E","ts":{},"pid":1,"tid":{executor}}}"#,
+                us(at)
+            ));
+            format!(
+                r#"{{"name":"task-failed","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"t"}}"#,
+                us(at)
+            )
+        }
+        TraceEvent::PoolResized { executor, to, at } => {
+            // The counter track gives Perfetto a step plot of the pool
+            // size; the instant keeps the event visible on the row.
+            entries.push(format!(
+                r#"{{"name":"pool-size-exec{executor}","ph":"C","ts":{},"pid":1,"tid":{executor},"args":{{"size":{to}}}}}"#,
+                us(at)
+            ));
+            format!(
+                r#"{{"name":"{}","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"t"}}"#,
+                esc(&format!("resize->{to}")),
+                us(at)
+            )
+        }
+        TraceEvent::ExecutorFailed { executor, at } => format!(
+            r#"{{"name":"executor-failed","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"p"}}"#,
+            us(at)
+        ),
+        TraceEvent::ExecutorRecovered { executor, at } => format!(
+            r#"{{"name":"executor-recovered","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"p"}}"#,
+            us(at)
+        ),
+        TraceEvent::ExecutorBlacklisted { executor, at } => format!(
+            r#"{{"name":"executor-blacklisted","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"p"}}"#,
+            us(at)
+        ),
+        TraceEvent::SpeculativeWon {
+            task,
+            attempt,
+            executor,
+            at,
+        } => format!(
+            r#"{{"name":"{}","ph":"i","ts":{},"pid":1,"tid":{executor},"s":"t"}}"#,
+            esc(&format!("speculative-won-task-{task}.{attempt}")),
+            us(at)
+        ),
+        TraceEvent::IntervalClosed {
+            executor, zeta, at, ..
+        } => {
+            let zeta = if zeta.is_finite() { zeta } else { 0.0 };
+            format!(
+                r#"{{"name":"zeta-exec{executor}","ph":"C","ts":{},"pid":1,"tid":{executor},"args":{{"zeta":{zeta:?}}}}}"#,
+                us(at)
+            )
+        }
+    };
+    entries.push(entry);
 }
 
 #[cfg(test)]
@@ -382,6 +427,28 @@ mod tests {
     #[test]
     fn empty_trace_exports_empty_array() {
         assert_eq!(ExecutionTrace::new().to_chrome_trace(), "[]");
+    }
+
+    #[test]
+    fn pool_resize_emits_a_counter_track_sample() {
+        let json = sample().to_chrome_trace();
+        assert!(json.contains(r#""name":"pool-size-exec1","ph":"C""#));
+        assert!(json.contains(r#""args":{"size":4}"#));
+    }
+
+    #[test]
+    fn interval_closed_emits_a_zeta_counter_sample() {
+        let mut t = ExecutionTrace::new();
+        t.record(TraceEvent::IntervalClosed {
+            executor: 2,
+            threads: 4,
+            zeta: 0.125,
+            at: 1.5,
+        });
+        let json = t.to_chrome_trace();
+        assert!(json.contains(r#""name":"zeta-exec2","ph":"C""#));
+        assert!(json.contains(r#""args":{"zeta":0.125}"#));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

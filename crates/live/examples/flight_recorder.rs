@@ -1,0 +1,64 @@
+//! The observability quick start: one loopback Terasort, three artifacts.
+//!
+//! Runs a traced 3-executor cluster and leaves behind
+//!
+//! * `trace.json`    — the merged Chrome/Perfetto flight-recorder trace
+//!   (open in `ui.perfetto.dev` or `chrome://tracing`);
+//! * `journal.jsonl` — the MAPE-K decision journal, one record per
+//!   adaptation interval per executor;
+//! * `metrics.prom`  — the final metric registry in Prometheus text
+//!   exposition, plus `metrics.jsonl` with the periodic snapshots.
+//!
+//! then prints the ζ-explain table so the adaptation story is readable
+//! without any external tool:
+//!
+//! ```sh
+//! cargo run --release -p sae-live --example flight_recorder
+//! ```
+
+use std::time::Duration;
+
+use sae_core::MapeConfig;
+use sae_live::{terasort, ClusterConfig, LiveCluster};
+
+fn main() {
+    // Artifacts must outlive the process for the user to open them, so
+    // they go to a fixed directory under the system temp dir, not an
+    // auto-removed scratch dir.
+    let out = std::env::temp_dir().join("sae-flight-recorder-artifacts");
+    std::fs::create_dir_all(&out).expect("artifact dir");
+
+    let trace = out.join("trace.json");
+    let journal = out.join("journal.jsonl");
+    let prom = out.join("metrics.prom");
+    let snapshots = out.join("metrics.jsonl");
+
+    let mut cluster = LiveCluster::launch(ClusterConfig {
+        executors: 3,
+        mape: MapeConfig::new(2, 8),
+        trace_out: Some(trace.clone()),
+        journal_out: Some(journal.clone()),
+        metrics_out: Some(prom.clone()),
+        metrics_jsonl: Some(snapshots.clone()),
+        metrics_interval: Duration::from_millis(100),
+        ..ClusterConfig::default()
+    })
+    .expect("launch live cluster");
+
+    let report = cluster.run(&terasort(24, 20_000, 2026)).expect("terasort");
+    let records = cluster.journal_records();
+    cluster.shutdown().expect("clean shutdown");
+
+    println!(
+        "ran {} stages in {:.2}s with {} PoolSizeChanged round-trips\n",
+        report.stages.len(),
+        report.runtime_secs,
+        report.decisions.len()
+    );
+    println!("{}", sae_core::zeta_explain(&records));
+    println!("artifacts:");
+    for path in [&trace, &journal, &prom, &snapshots] {
+        let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        println!("  {:>8} bytes  {}", len, path.display());
+    }
+}

@@ -1,16 +1,32 @@
 //! One-call setup of a whole loopback cluster: driver + N executors +
-//! a shared scratch directory for spills.
+//! a shared scratch directory for spills — plus the cluster's shared
+//! observability plane: one [`FlightRecorder`], one [`MetricRegistry`]
+//! and one [`DecisionJournal`] per executor, all on one clock.
+//!
+//! Artifacts: set [`ClusterConfig::trace_out`] to get the merged Chrome
+//! trace on shutdown, [`ClusterConfig::journal_out`] for the decision
+//! journal as JSONL, [`ClusterConfig::metrics_out`] for a Prometheus text
+//! exposition, and [`ClusterConfig::metrics_jsonl`] for a periodic
+//! snapshot stream sampled every [`ClusterConfig::metrics_interval`].
+//! When a job *fails*, the flight recorder is dumped immediately (to
+//! `trace_out`, or a fresh file under the system temp dir) so the
+//! post-mortem survives even if shutdown never happens.
 
-use std::io;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
-use sae_core::MapeConfig;
+use sae_core::{DecisionJournal, DecisionRecord, MapeConfig};
+use sae_metrics::{render_prometheus, snapshot_jsonl_line, MetricRegistry};
 
 use crate::driver::{Driver, DriverConfig, LiveError, LiveReport, PoolDecision, SlotInfo};
 use crate::executor::{LiveExecutor, LiveExecutorConfig};
 use crate::job::LiveJob;
+use crate::log::Logger;
+use crate::recorder::FlightRecorder;
 
 /// Cluster-level configuration: driver knobs plus what every executor
 /// shares.
@@ -35,6 +51,21 @@ pub struct ClusterConfig {
     /// Fault injection: `(executor, n)` makes that executor go silent
     /// after completing `n` tasks.
     pub kill_after_tasks: Vec<(usize, usize)>,
+    /// Flight-recorder ring capacity in events; 0 disables recording.
+    pub recorder_capacity: usize,
+    /// Where to write the merged Chrome trace on shutdown (and
+    /// immediately on job failure).
+    pub trace_out: Option<PathBuf>,
+    /// Where to write every executor's decision journal as JSONL on
+    /// shutdown.
+    pub journal_out: Option<PathBuf>,
+    /// Where to write the final Prometheus text exposition on shutdown.
+    pub metrics_out: Option<PathBuf>,
+    /// Where to append periodic metric snapshots as JSONL while the
+    /// cluster is up.
+    pub metrics_jsonl: Option<PathBuf>,
+    /// Sampling period of the JSONL metrics sink.
+    pub metrics_interval: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -49,6 +80,12 @@ impl Default for ClusterConfig {
             blacklist_after: 3,
             deadline: Duration::from_secs(120),
             kill_after_tasks: Vec::new(),
+            recorder_capacity: 16_384,
+            trace_out: None,
+            journal_out: None,
+            metrics_out: None,
+            metrics_jsonl: None,
+            metrics_interval: Duration::from_millis(250),
         }
     }
 }
@@ -99,12 +136,25 @@ pub struct LiveCluster {
     driver: Option<Driver>,
     executors: Vec<LiveExecutor>,
     _scratch: TempDir,
+    cfg: ClusterConfig,
+    recorder: FlightRecorder,
+    metrics: MetricRegistry,
+    journals: Vec<DecisionJournal>,
+    log: Logger,
+    sampler_stop: Arc<AtomicBool>,
+    sampler: Option<JoinHandle<()>>,
+    last_trace_path: Option<PathBuf>,
 }
 
 impl LiveCluster {
     /// Binds a driver and launches `cfg.executors` executors against it.
     pub fn launch(cfg: ClusterConfig) -> io::Result<Self> {
         let scratch = TempDir::new("sae-live")?;
+        // One recorder, one registry, one clock for the whole cluster.
+        let recorder = FlightRecorder::new(cfg.recorder_capacity);
+        let metrics = MetricRegistry::new();
+        let journals: Vec<DecisionJournal> =
+            (0..cfg.executors).map(|_| DecisionJournal::new()).collect();
         let driver = Driver::bind(DriverConfig {
             executors: cfg.executors,
             heartbeat_timeout: cfg.heartbeat_timeout,
@@ -112,6 +162,8 @@ impl LiveCluster {
             max_task_attempts: cfg.max_task_attempts,
             blacklist_after: cfg.blacklist_after,
             deadline: cfg.deadline,
+            recorder: recorder.clone(),
+            metrics: metrics.clone(),
         })?;
         let addr = driver.addr()?;
         let executors = (0..cfg.executors)
@@ -124,14 +176,62 @@ impl LiveCluster {
                     .iter()
                     .find(|&&(e, _)| e == id)
                     .map(|&(_, n)| n);
+                ecfg.recorder = recorder.clone();
+                ecfg.metrics = metrics.clone();
+                ecfg.journal = journals[id].clone();
                 LiveExecutor::launch(addr, ecfg)
             })
             .collect();
+        let sampler_stop = Arc::new(AtomicBool::new(false));
+        let sampler = cfg.metrics_jsonl.clone().map(|path| {
+            spawn_metrics_sampler(
+                path,
+                metrics.clone(),
+                recorder.clone(),
+                cfg.metrics_interval,
+                Arc::clone(&sampler_stop),
+            )
+        });
+        let log = Logger::new("cluster", recorder.clone());
         Ok(Self {
             driver: Some(driver),
             executors,
             _scratch: scratch,
+            cfg,
+            recorder,
+            metrics,
+            journals,
+            log,
+            sampler_stop,
+            sampler,
+            last_trace_path: None,
         })
+    }
+
+    /// The cluster's shared metric registry.
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+
+    /// The cluster's shared flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Per-executor decision journals (shared handles; complete once
+    /// [`LiveCluster::shutdown`] has joined the executors).
+    pub fn journals(&self) -> &[DecisionJournal] {
+        &self.journals
+    }
+
+    /// Every executor's journal records, executor order then record order.
+    pub fn journal_records(&self) -> Vec<DecisionRecord> {
+        self.journals.iter().flat_map(|j| j.records()).collect()
+    }
+
+    /// Where the last flight-recorder dump was written, if any.
+    pub fn last_trace_path(&self) -> Option<&Path> {
+        self.last_trace_path.as_deref()
     }
 
     /// Runs one job on the cluster's driver. The driver is single-shot:
@@ -146,10 +246,20 @@ impl LiveCluster {
         job: &LiveJob,
         observer: impl FnMut(&PoolDecision, &[SlotInfo]),
     ) -> Result<LiveReport, LiveError> {
-        self.driver
+        let result = self
+            .driver
             .take()
             .ok_or(LiveError::AlreadyRan)?
-            .run_with_observer(job, observer)
+            .run_with_observer(job, observer);
+        if let Err(e) = &result {
+            // Post-mortem: dump the black box while the evidence is hot.
+            let why = e.to_string();
+            if let Some(path) = self.dump_trace() {
+                self.log
+                    .error(|| format!("job failed ({why}); flight recorder dumped to {path:?}"));
+            }
+        }
+        result
     }
 
     /// Makes executor `id` go silent (see [`LiveExecutor::kill`]).
@@ -159,12 +269,51 @@ impl LiveCluster {
         }
     }
 
-    /// Joins every executor thread; the scratch directory is removed when
-    /// the cluster drops.
-    pub fn shutdown(self) -> io::Result<()> {
+    /// Writes the merged Chrome trace to [`ClusterConfig::trace_out`] (or
+    /// a fresh file under the system temp dir) and returns the path.
+    fn dump_trace(&mut self) -> Option<PathBuf> {
+        if !self.recorder.enabled() && self.cfg.trace_out.is_none() {
+            return None;
+        }
+        let path = self.cfg.trace_out.clone().unwrap_or_else(|| {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            std::env::temp_dir().join(format!("sae-live-flight-{}-{n}.json", std::process::id()))
+        });
+        match std::fs::write(&path, self.recorder.chrome_trace()) {
+            Ok(()) => {
+                self.last_trace_path = Some(path.clone());
+                Some(path)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Joins every executor thread, then writes the configured artifacts:
+    /// the merged Chrome trace, the decision-journal JSONL and the final
+    /// Prometheus exposition. The scratch directory is removed when the
+    /// cluster drops.
+    pub fn shutdown(mut self) -> io::Result<()> {
         let mut first_err = None;
-        for ex in self.executors {
+        for ex in self.executors.drain(..) {
             if let Err(e) = ex.join() {
+                first_err.get_or_insert(e);
+            }
+        }
+        // Executors are drained: journals carry their terminal records and
+        // the recorder holds the replayed ζ samples. Now the artifacts.
+        self.sampler_stop.store(true, Ordering::Relaxed);
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
+        }
+        self.dump_trace();
+        if let Some(path) = self.cfg.journal_out.clone() {
+            if let Err(e) = std::fs::write(&path, sae_core::to_jsonl(&self.journal_records())) {
+                first_err.get_or_insert(e);
+            }
+        }
+        if let Some(path) = self.cfg.metrics_out.clone() {
+            if let Err(e) = std::fs::write(&path, render_prometheus(&self.metrics)) {
                 first_err.get_or_insert(e);
             }
         }
@@ -173,6 +322,36 @@ impl LiveCluster {
             None => Ok(()),
         }
     }
+}
+
+/// Appends one metric snapshot as JSONL every `interval` until stopped,
+/// plus a final snapshot on the way out.
+fn spawn_metrics_sampler(
+    path: PathBuf,
+    metrics: MetricRegistry,
+    recorder: FlightRecorder,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let Ok(mut out) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        else {
+            return;
+        };
+        loop {
+            let line = snapshot_jsonl_line(&metrics.snapshot(), recorder.now());
+            if writeln!(out, "{line}").is_err() {
+                return;
+            }
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(interval);
+        }
+    })
 }
 
 #[cfg(test)]

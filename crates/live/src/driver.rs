@@ -32,9 +32,12 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use sae_dag::sched::PendingQueue;
-use sae_dag::Message;
+use sae_dag::{Message, TraceEvent};
+use sae_metrics::{Counter, Gauge, Histogram, MetricRegistry, RegistrySnapshot};
 
 use crate::job::LiveJob;
+use crate::log::Logger;
+use crate::recorder::{FlightRecorder, LiveEvent};
 use crate::wire::{Frame, FrameReader, FrameWriter, Next};
 
 /// Driver tuning knobs.
@@ -53,6 +56,12 @@ pub struct DriverConfig {
     pub blacklist_after: usize,
     /// Wall-clock bound on the whole job.
     pub deadline: Duration,
+    /// The cluster's shared flight recorder; event timestamps use its
+    /// epoch, so driver and executor events land on one timeline.
+    pub recorder: FlightRecorder,
+    /// The cluster's shared metric registry (task counts, retries, wire
+    /// traffic, heartbeat gaps, queue depth).
+    pub metrics: MetricRegistry,
 }
 
 impl Default for DriverConfig {
@@ -64,6 +73,8 @@ impl Default for DriverConfig {
             max_task_attempts: 4,
             blacklist_after: 3,
             deadline: Duration::from_secs(120),
+            recorder: FlightRecorder::disabled(),
+            metrics: MetricRegistry::new(),
         }
     }
 }
@@ -125,6 +136,8 @@ pub struct LiveReport {
     pub registry: Vec<SlotInfo>,
     /// Executors declared lost, in detection order.
     pub lost_executors: Vec<usize>,
+    /// Final snapshot of the cluster's shared metric registry.
+    pub metrics: RegistrySnapshot,
 }
 
 /// Why a live job did not complete.
@@ -181,7 +194,12 @@ enum Ev {
     /// An executor completed its Register handshake.
     Registered { executor: usize, slots: usize },
     /// A frame arrived on an executor's connection.
-    Frame { executor: usize, frame: Frame },
+    Frame {
+        executor: usize,
+        frame: Frame,
+        /// Wire size of the frame, length prefix included.
+        bytes: usize,
+    },
     /// An executor's connection closed or broke.
     Gone { executor: usize },
 }
@@ -338,7 +356,15 @@ fn spawn_reader(
         loop {
             match reader.next_frame() {
                 Ok(Next::Frame(frame)) => {
-                    if tx.send(Ev::Frame { executor, frame }).is_err() {
+                    let bytes = reader.last_frame_len();
+                    if tx
+                        .send(Ev::Frame {
+                            executor,
+                            frame,
+                            bytes,
+                        })
+                        .is_err()
+                    {
                         return;
                     }
                 }
@@ -350,6 +376,50 @@ fn spawn_reader(
             }
         }
     });
+}
+
+/// The driver's cached metric handles; names follow the
+/// `live.driver.*{executor="N"}` label convention the Prometheus renderer
+/// parses back into label sets.
+struct DriverMetrics {
+    frames_sent: Counter,
+    bytes_sent: Counter,
+    frames_received: Counter,
+    bytes_received: Counter,
+    retries: Counter,
+    executors_lost: Counter,
+    heartbeat_gap_s: Histogram,
+    queue_depth: Gauge,
+    tasks_started: Vec<Counter>,
+    tasks_finished: Vec<Counter>,
+    tasks_failed: Vec<Counter>,
+    pool_size: Vec<Gauge>,
+}
+
+impl DriverMetrics {
+    fn new(registry: &MetricRegistry, executors: usize) -> Self {
+        let per_counter = |name: &str| -> Vec<Counter> {
+            (0..executors)
+                .map(|e| registry.counter(&format!("live.driver.{name}{{executor=\"{e}\"}}")))
+                .collect()
+        };
+        Self {
+            frames_sent: registry.counter("live.driver.frames_sent"),
+            bytes_sent: registry.counter("live.driver.bytes_sent"),
+            frames_received: registry.counter("live.driver.frames_received"),
+            bytes_received: registry.counter("live.driver.bytes_received"),
+            retries: registry.counter("live.driver.retries"),
+            executors_lost: registry.counter("live.driver.executors_lost"),
+            heartbeat_gap_s: registry.histogram("live.driver.heartbeat_gap_s"),
+            queue_depth: registry.gauge("live.driver.queue_depth"),
+            tasks_started: per_counter("tasks_started"),
+            tasks_finished: per_counter("tasks_finished"),
+            tasks_failed: per_counter("tasks_failed"),
+            pool_size: (0..executors)
+                .map(|e| registry.gauge(&format!("live.driver.pool_size{{executor=\"{e}\"}}")))
+                .collect(),
+        }
+    }
 }
 
 /// All mutable state of one job run, driven by the event loop.
@@ -367,6 +437,9 @@ struct Run<'j, Obs> {
     started: Instant,
     finished: bool,
     observer: Obs,
+    recorder: FlightRecorder,
+    metrics: DriverMetrics,
+    log: Logger,
 }
 
 impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
@@ -402,7 +475,21 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
             started: now,
             finished: false,
             observer,
+            recorder: cfg.recorder.clone(),
+            metrics: DriverMetrics::new(&cfg.metrics, cfg.executors),
+            log: Logger::new("driver", cfg.recorder.clone()),
         }
+    }
+
+    /// Records the driver's view of one executor's slot-registry entry.
+    fn record_slots(&self, executor: usize) {
+        let ex = &self.execs[executor];
+        self.recorder.push(LiveEvent::SlotRegistryChanged {
+            executor,
+            slots: ex.slots,
+            free: ex.slots.saturating_sub(ex.running),
+            at: self.recorder.now(),
+        });
     }
 
     /// The main event loop: pump events, check timers, until the job
@@ -448,6 +535,9 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
                 ex.slots = slots;
                 ex.running = 0;
                 ex.last_heartbeat = Instant::now();
+                self.log
+                    .info(|| format!("executor {executor} registered with {slots} slots"));
+                self.record_slots(executor);
                 // Late joiners still need the current stage announcement.
                 let spec = &self.job.stages[self.stage_idx];
                 let frame = Frame::StageStart {
@@ -460,10 +550,22 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
                 };
                 self.send(executor, &frame);
             }
-            Ev::Frame { executor, frame } => {
+            Ev::Frame {
+                executor,
+                frame,
+                bytes,
+            } => {
                 if executor >= self.execs.len() || !self.execs[executor].alive {
                     return Ok(()); // stale traffic from a declared-lost peer
                 }
+                self.metrics.frames_received.inc();
+                self.metrics.bytes_received.add(bytes as u64);
+                self.recorder.push(LiveEvent::FrameReceived {
+                    executor,
+                    kind: frame.kind_str(),
+                    bytes,
+                    at: self.recorder.now(),
+                });
                 self.handle_frame(executor, frame)?;
             }
             Ev::Gone { executor } => {
@@ -480,13 +582,33 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
     fn handle_frame(&mut self, from: usize, frame: Frame) -> Result<(), LiveError> {
         match frame {
             Frame::Core(Message::Heartbeat { executor }) if executor == from => {
-                self.execs[from].last_heartbeat = Instant::now();
+                let now = Instant::now();
+                let gap = now
+                    .duration_since(self.execs[from].last_heartbeat)
+                    .as_secs_f64();
+                self.execs[from].last_heartbeat = now;
+                self.metrics.heartbeat_gap_s.record(gap);
+                self.recorder.push(LiveEvent::Heartbeat {
+                    executor: from,
+                    gap,
+                    at: self.recorder.now(),
+                });
             }
             Frame::Core(Message::PoolSizeChanged { executor, size }) if executor == from => {
                 // §5.4: fold the executor's new pool size into the slot
                 // registry so scheduling matches its real capacity.
                 self.execs[from].last_heartbeat = Instant::now();
                 self.execs[from].slots = size;
+                self.metrics.pool_size[from].set(size as f64);
+                self.recorder
+                    .push(LiveEvent::Trace(TraceEvent::PoolResized {
+                        executor: from,
+                        to: size,
+                        at: self.recorder.now(),
+                    }));
+                self.record_slots(from);
+                self.log
+                    .debug(|| format!("executor {from} resized its pool to {size}"));
                 let decision = PoolDecision {
                     at: self.started.elapsed().as_secs_f64(),
                     executor: from,
@@ -515,6 +637,19 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
     /// Seeds the queue for stage `self.stage_idx` and announces it.
     fn begin_stage(&mut self) {
         let spec = &self.job.stages[self.stage_idx];
+        self.recorder
+            .push(LiveEvent::Trace(TraceEvent::StageStarted {
+                stage: self.stage_idx,
+                at: self.recorder.now(),
+            }));
+        self.log.info(|| {
+            format!(
+                "stage {} ({}) started: {} tasks",
+                self.stage_idx,
+                self.job.stages[self.stage_idx].name,
+                self.job.stages[self.stage_idx].tasks
+            )
+        });
         self.st = StageState::new(spec.tasks);
         self.queue.reset(spec.tasks, self.cfg.executors);
         for t in 0..spec.tasks {
@@ -563,6 +698,15 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
                     self.st.assigned_to[task] = Some(e);
                     self.st.attempts += 1;
                     self.execs[e].running += 1;
+                    self.metrics.tasks_started[e].inc();
+                    self.recorder
+                        .push(LiveEvent::Trace(TraceEvent::TaskStarted {
+                            task,
+                            attempt: self.st.failures[task],
+                            executor: e,
+                            speculative: false,
+                            at: self.recorder.now(),
+                        }));
                     let ok = self.send(e, &Frame::Core(Message::AssignTask { task, executor: e }));
                     if !ok {
                         broken.push(e);
@@ -576,6 +720,7 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
                 }
             }
             if !progress {
+                self.metrics.queue_depth.set(self.queue.len() as f64);
                 return Ok(());
             }
         }
@@ -602,6 +747,15 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
         self.execs[executor].alive = false;
         self.execs[executor].running = 0;
         self.lost.push(executor);
+        self.metrics.executors_lost.inc();
+        self.recorder
+            .push(LiveEvent::Trace(TraceEvent::ExecutorFailed {
+                executor,
+                at: self.recorder.now(),
+            }));
+        self.record_slots(executor);
+        self.log
+            .error(|| format!("executor {executor} declared lost; requeueing its work"));
         self.writers.lock().remove(&executor);
         for task in 0..self.st.done.len() {
             if self.st.assigned_to[task] == Some(executor) && !self.st.done[task] {
@@ -616,15 +770,25 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
     fn record_failure(&mut self, task: usize, executor: usize) -> Result<(), LiveError> {
         self.st.failures[task] += 1;
         self.st.failed_attempts += 1;
+        self.metrics.tasks_failed[executor].inc();
+        self.recorder.push(LiveEvent::Trace(TraceEvent::TaskFailed {
+            task,
+            attempt: self.st.failures[task] - 1,
+            executor,
+            at: self.recorder.now(),
+        }));
         if !self.st.failed_on[task].contains(&executor) {
             self.st.failed_on[task].push(executor);
         }
         if self.st.failures[task] >= self.cfg.max_task_attempts {
+            self.log
+                .error(|| format!("task {task} exceeded its attempt budget"));
             return Err(LiveError::MaxAttemptsExceeded { task });
         }
         if !self.queue.contains(task) {
             let preferred = self.preferred(task);
             self.queue.push(task, &preferred);
+            self.metrics.retries.inc();
         }
         Ok(())
     }
@@ -644,6 +808,17 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
             && self.execs.iter().filter(|e| e.usable()).count() > 1
         {
             self.execs[executor].blacklisted = true;
+            self.recorder
+                .push(LiveEvent::Trace(TraceEvent::ExecutorBlacklisted {
+                    executor,
+                    at: self.recorder.now(),
+                }));
+            self.log.error(|| {
+                format!(
+                    "executor {executor} blacklisted after {} failures this stage",
+                    self.execs[executor].failures_in_stage
+                )
+            });
         }
         self.record_failure(task, executor)
     }
@@ -659,6 +834,14 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
         self.st.assigned_to[task] = None;
         self.st.remaining -= 1;
         self.execs[executor].running = self.execs[executor].running.saturating_sub(1);
+        self.metrics.tasks_finished[executor].inc();
+        self.recorder
+            .push(LiveEvent::Trace(TraceEvent::TaskFinished {
+                task,
+                attempt: self.st.failures[task],
+                executor,
+                at: self.recorder.now(),
+            }));
         if self.st.remaining == 0 {
             self.finish_stage();
         }
@@ -666,6 +849,17 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
 
     fn finish_stage(&mut self) {
         let spec = &self.job.stages[self.stage_idx];
+        self.recorder
+            .push(LiveEvent::Trace(TraceEvent::StageFinished {
+                stage: self.stage_idx,
+                at: self.recorder.now(),
+            }));
+        self.log.info(|| {
+            format!(
+                "stage {} ({}) finished: {} attempts, {} failed",
+                self.stage_idx, spec.name, self.st.attempts, self.st.failed_attempts
+            )
+        });
         self.stage_reports.push(LiveStageReport {
             name: spec.name.clone(),
             tasks: spec.tasks,
@@ -684,15 +878,37 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
     /// Sends `frame` to `executor`; `false` means the write half broke.
     fn send(&self, executor: usize, frame: &Frame) -> bool {
         match self.writers.lock().get_mut(&executor) {
-            Some(w) => w.send(frame).is_ok(),
+            Some(w) => match w.send(frame) {
+                Ok(bytes) => {
+                    self.metrics.frames_sent.inc();
+                    self.metrics.bytes_sent.add(bytes as u64);
+                    self.recorder.push(LiveEvent::FrameSent {
+                        executor,
+                        kind: frame.kind_str(),
+                        bytes,
+                        at: self.recorder.now(),
+                    });
+                    true
+                }
+                Err(_) => false,
+            },
             None => false,
         }
     }
 
     /// Best-effort send to every connected executor.
     fn broadcast(&self, frame: &Frame) {
-        for w in self.writers.lock().values_mut() {
-            let _ = w.send(frame);
+        for (&executor, w) in self.writers.lock().iter_mut() {
+            if let Ok(bytes) = w.send(frame) {
+                self.metrics.frames_sent.inc();
+                self.metrics.bytes_sent.add(bytes as u64);
+                self.recorder.push(LiveEvent::FrameSent {
+                    executor,
+                    kind: frame.kind_str(),
+                    bytes,
+                    at: self.recorder.now(),
+                });
+            }
         }
     }
 
@@ -717,6 +933,7 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
             stages: self.stage_reports,
             decisions: self.decisions,
             lost_executors: self.lost,
+            metrics: self.cfg.metrics.snapshot(),
         }
     }
 }

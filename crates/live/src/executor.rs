@@ -14,6 +14,14 @@
 //! single-process runs attributable; the procfs half catches traffic the
 //! tasks did not account for.
 //!
+//! Observability rides the same shared handles the driver uses: every
+//! frame sent or received updates the `live.executor.*{executor="N"}`
+//! metrics and lands on the cluster's [`FlightRecorder`], the MAPE-K
+//! controller appends to a [`DecisionJournal`] the cluster can read, and
+//! at shutdown the journal's ζ samples are replayed onto the recorder so
+//! the merged Chrome trace gains a per-executor `zeta-exec{N}` counter
+//! track.
+//!
 //! [`LiveExecutor::kill`] makes the executor *silent*, not disconnected:
 //! heartbeats stop, outcome reports are suppressed, assignments are
 //! swallowed, but the socket stays open. The driver therefore has to
@@ -30,12 +38,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use sae_core::MapeConfig;
-use sae_dag::Message;
+use sae_core::{DecisionJournal, MapeConfig};
+use sae_dag::{Message, TraceEvent};
+use sae_metrics::{Counter, FloatCounter, MetricRegistry};
 use sae_pool::procfs::proc_stage_probe;
 use sae_pool::{combined_probe, AdaptivePool, CounterProbe};
 
 use crate::job::LiveStageKind;
+use crate::log::Logger;
+use crate::recorder::{FlightRecorder, LiveEvent};
 use crate::task::run_task;
 use crate::wire::{Frame, FrameReader, FrameWriter, Next};
 
@@ -56,6 +67,15 @@ pub struct LiveExecutorConfig {
     pub kill_after_tasks: Option<usize>,
     /// How long to retry connecting to the driver.
     pub connect_timeout: Duration,
+    /// The cluster's shared flight recorder; its epoch is also the
+    /// adaptive pool's time base, keeping journal timestamps and trace
+    /// timestamps on one clock.
+    pub recorder: FlightRecorder,
+    /// The cluster's shared metric registry.
+    pub metrics: MetricRegistry,
+    /// The journal the executor's MAPE-K controller appends to; keep a
+    /// clone to read the decisions after the run.
+    pub journal: DecisionJournal,
 }
 
 impl LiveExecutorConfig {
@@ -68,6 +88,9 @@ impl LiveExecutorConfig {
             spill_dir,
             kill_after_tasks: None,
             connect_timeout: Duration::from_secs(10),
+            recorder: FlightRecorder::disabled(),
+            metrics: MetricRegistry::new(),
+            journal: DecisionJournal::new(),
         }
     }
 }
@@ -76,6 +99,7 @@ impl LiveExecutorConfig {
 #[derive(Debug)]
 pub struct LiveExecutor {
     kill: Arc<AtomicBool>,
+    journal: DecisionJournal,
     handle: Option<JoinHandle<io::Result<()>>>,
 }
 
@@ -84,9 +108,11 @@ impl LiveExecutor {
     pub fn launch(addr: SocketAddr, cfg: LiveExecutorConfig) -> Self {
         let kill = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&kill);
+        let journal = cfg.journal.clone();
         let handle = std::thread::spawn(move || run_executor(addr, cfg, flag));
         Self {
             kill,
+            journal,
             handle: Some(handle),
         }
     }
@@ -94,6 +120,12 @@ impl LiveExecutor {
     /// Makes the executor go silent immediately (see the module docs).
     pub fn kill(&self) {
         self.kill.store(true, Ordering::Relaxed);
+    }
+
+    /// The executor's decision journal (a shared handle; complete once
+    /// the executor has been joined).
+    pub fn journal(&self) -> DecisionJournal {
+        self.journal.clone()
     }
 
     /// Waits for the executor thread to exit.
@@ -119,6 +151,53 @@ fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStre
     }
 }
 
+/// The executor's write path: every frame sent also updates the wire
+/// metrics and lands on the flight recorder.
+struct Link {
+    writer: Mutex<FrameWriter>,
+    frames_sent: Counter,
+    bytes_sent: Counter,
+    recorder: FlightRecorder,
+    id: usize,
+}
+
+impl Link {
+    fn send(&self, frame: &Frame) -> io::Result<()> {
+        let bytes = self.writer.lock().send(frame)?;
+        self.frames_sent.inc();
+        self.bytes_sent.add(bytes as u64);
+        self.recorder.push(LiveEvent::FrameSent {
+            executor: self.id,
+            kind: frame.kind_str(),
+            bytes,
+            at: self.recorder.now(),
+        });
+        Ok(())
+    }
+}
+
+/// The executor's cached metric handles (`live.executor.*{executor="N"}`).
+struct ExecMetrics {
+    frames_received: Counter,
+    bytes_received: Counter,
+    tasks_finished: Counter,
+    tasks_failed: Counter,
+    io_mb: FloatCounter,
+}
+
+impl ExecMetrics {
+    fn new(registry: &MetricRegistry, id: usize) -> Self {
+        let name = |n: &str| format!("live.executor.{n}{{executor=\"{id}\"}}");
+        Self {
+            frames_received: registry.counter(&name("frames_received")),
+            bytes_received: registry.counter(&name("bytes_received")),
+            tasks_finished: registry.counter(&name("tasks_finished")),
+            tasks_failed: registry.counter(&name("tasks_failed")),
+            io_mb: registry.float_counter(&name("io_mb")),
+        }
+    }
+}
+
 fn run_executor(
     addr: SocketAddr,
     cfg: LiveExecutorConfig,
@@ -128,47 +207,72 @@ fn run_executor(
     stream.set_nodelay(true)?;
     // The read timeout bounds how stale the kill flag can get.
     stream.set_read_timeout(Some(Duration::from_millis(25)))?;
-    let writer = Arc::new(Mutex::new(FrameWriter::new(stream.try_clone()?)));
+    let recorder = cfg.recorder.clone();
+    let metrics = ExecMetrics::new(&cfg.metrics, cfg.id);
+    let log = Logger::new(format!("executor-{}", cfg.id), recorder.clone());
+    let link = Arc::new(Link {
+        writer: Mutex::new(FrameWriter::new(stream.try_clone()?)),
+        frames_sent: cfg.metrics.counter(&format!(
+            "live.executor.frames_sent{{executor=\"{}\"}}",
+            cfg.id
+        )),
+        bytes_sent: cfg.metrics.counter(&format!(
+            "live.executor.bytes_sent{{executor=\"{}\"}}",
+            cfg.id
+        )),
+        recorder: recorder.clone(),
+        id: cfg.id,
+    });
     let mut reader = FrameReader::new(stream);
 
     // The shared probe: explicit per-task accounting + procfs per stage.
     let task_io = CounterProbe::new();
     let stage_probe = proc_stage_probe();
-    let pool = AdaptivePool::new(
+    // The recorder epoch is the pool's time base too: decision-journal
+    // timestamps and flight-recorder timestamps share one clock.
+    let pool = AdaptivePool::new_at(
         cfg.mape,
         combined_probe(task_io.as_probe(), stage_probe.as_probe()),
+        recorder.epoch(),
     );
+    pool.set_executor(cfg.id);
+    pool.set_journal(cfg.journal.clone());
     {
         // §5.4: every pool resize becomes a protocol message.
-        let writer = Arc::clone(&writer);
+        let link = Arc::clone(&link);
         let kill = Arc::clone(&kill);
         let id = cfg.id;
         pool.set_resize_hook(move |size| {
             if kill.load(Ordering::Relaxed) {
                 return;
             }
-            let _ = writer.lock().send(&Frame::Core(Message::PoolSizeChanged {
+            let _ = link.send(&Frame::Core(Message::PoolSizeChanged {
                 executor: id,
                 size,
             }));
         });
     }
-    writer.lock().send(&Frame::Register {
+    link.send(&Frame::Register {
         executor: cfg.id,
         slots: pool.current_threads(),
     })?;
+    log.info(|| {
+        format!(
+            "connected and registered with {} slots",
+            pool.current_threads()
+        )
+    });
 
     let heartbeat_stop = Arc::new(AtomicBool::new(false));
     let heartbeat = {
-        let writer = Arc::clone(&writer);
+        let link = Arc::clone(&link);
         let kill = Arc::clone(&kill);
         let stop = Arc::clone(&heartbeat_stop);
         let id = cfg.id;
         let interval = cfg.heartbeat_interval;
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) && !kill.load(Ordering::Relaxed) {
-                if writer
-                    .lock()
+                if link
                     .send(&Frame::Core(Message::Heartbeat { executor: id }))
                     .is_err()
                 {
@@ -184,16 +288,37 @@ fn run_executor(
     let result = serve(
         &cfg,
         &mut reader,
-        &writer,
+        &link,
         &pool,
         &task_io,
         &stage_probe,
         &kill,
         &completed,
         &mut current_stage,
+        &metrics,
+        &log,
     );
     heartbeat_stop.store(true, Ordering::Relaxed);
     pool.shutdown();
+    // Book the final stage's I/O and replay the journal's ζ samples onto
+    // the recorder: the merged trace gains its zeta-exec{N} counter track.
+    let (_, mb) = (task_io.as_probe())();
+    metrics.io_mb.add(mb);
+    for rec in pool.journal().records() {
+        recorder.push(LiveEvent::Trace(TraceEvent::IntervalClosed {
+            executor: rec.executor,
+            threads: rec.threads,
+            zeta: rec.zeta,
+            at: rec.at,
+        }));
+    }
+    log.info(|| {
+        format!(
+            "exiting after {} tasks, {} journal records",
+            completed.load(Ordering::Relaxed),
+            pool.journal().len()
+        )
+    });
     let _ = heartbeat.join();
     result
 }
@@ -204,16 +329,20 @@ fn run_executor(
 fn serve(
     cfg: &LiveExecutorConfig,
     reader: &mut FrameReader,
-    writer: &Arc<Mutex<FrameWriter>>,
+    link: &Arc<Link>,
     pool: &AdaptivePool,
     task_io: &CounterProbe,
     stage_probe: &sae_pool::procfs::StageIoProbe,
     kill: &Arc<AtomicBool>,
     completed: &Arc<AtomicUsize>,
     current_stage: &mut Option<(LiveStageKind, usize, u64)>,
+    metrics: &ExecMetrics,
+    log: &Logger,
 ) -> io::Result<()> {
+    let io_reading = task_io.as_probe();
     loop {
         if kill.load(Ordering::Relaxed) {
+            log.error(|| "killed: going silent with the socket open".into());
             return Ok(());
         }
         let frame = match reader.next_frame()? {
@@ -221,31 +350,47 @@ fn serve(
             Next::Eof => return Ok(()),
             Next::Frame(frame) => frame,
         };
+        metrics.frames_received.inc();
+        metrics.bytes_received.add(reader.last_frame_len() as u64);
+        link.recorder.push(LiveEvent::FrameReceived {
+            executor: cfg.id,
+            kind: frame.kind_str(),
+            bytes: reader.last_frame_len(),
+            at: link.recorder.now(),
+        });
         match frame {
             Frame::Shutdown => return Ok(()),
             Frame::StageStart {
+                stage,
                 kind,
                 records_per_task,
                 seed,
                 hint,
                 ..
             } => {
+                // Book the finished stage's explicit I/O before the reset.
+                let (_, mb) = io_reading();
+                metrics.io_mb.add(mb);
                 task_io.reset();
                 stage_probe.rebase();
                 pool.stage_started(Some(hint));
+                log.info(|| format!("stage {stage} announced: pool reset, hint {hint}"));
                 *current_stage = Some((kind, records_per_task, seed));
             }
             Frame::Core(Message::AssignTask { task, .. }) => {
                 let Some((kind, records_per_task, seed)) = *current_stage else {
                     continue; // assignment before any stage: confused peer
                 };
-                let writer = Arc::clone(writer);
+                let link = Arc::clone(link);
                 let kill = Arc::clone(kill);
                 let completed = Arc::clone(completed);
                 let task_io = task_io.clone();
                 let dir = cfg.spill_dir.clone();
                 let id = cfg.id;
                 let kill_after = cfg.kill_after_tasks;
+                let tasks_finished = metrics.tasks_finished.clone();
+                let tasks_failed = metrics.tasks_failed.clone();
+                let log = log.clone();
                 pool.submit(move || {
                     if kill.load(Ordering::Relaxed) {
                         return;
@@ -255,18 +400,25 @@ fn serve(
                         return; // died mid-task: no report, just silence
                     }
                     let frame = match outcome {
-                        Ok(()) => Frame::TaskFinished {
-                            task,
-                            executor: id,
-                            attempt: 0,
-                        },
-                        Err(_) => Frame::Core(Message::TaskFailed {
-                            task,
-                            executor: id,
-                            attempt: 0,
-                        }),
+                        Ok(()) => {
+                            tasks_finished.inc();
+                            Frame::TaskFinished {
+                                task,
+                                executor: id,
+                                attempt: 0,
+                            }
+                        }
+                        Err(_) => {
+                            tasks_failed.inc();
+                            log.error(|| format!("task {task} failed"));
+                            Frame::Core(Message::TaskFailed {
+                                task,
+                                executor: id,
+                                attempt: 0,
+                            })
+                        }
                     };
-                    let _ = writer.lock().send(&frame);
+                    let _ = link.send(&frame);
                     let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                     if kill_after.is_some_and(|n| done >= n) {
                         kill.store(true, Ordering::Relaxed);

@@ -43,6 +43,8 @@ pub mod cluster;
 pub mod driver;
 pub mod executor;
 pub mod job;
+pub mod log;
+pub mod recorder;
 pub mod task;
 pub mod wire;
 
@@ -52,3 +54,5 @@ pub use driver::{
 };
 pub use executor::{LiveExecutor, LiveExecutorConfig};
 pub use job::{terasort, LiveJob, LiveStageKind, LiveStageSpec};
+pub use log::{LogLevel, Logger};
+pub use recorder::{chrome_trace, FlightRecorder, LiveEvent};

@@ -1,0 +1,505 @@
+//! The flight recorder: a lock-free-ish bounded ring buffer of live
+//! runtime events, merged into one clock-aligned Chrome trace.
+//!
+//! Every component of a loopback cluster — the driver's event loop, each
+//! executor's serve loop, heartbeat threads, pool workers — pushes
+//! [`LiveEvent`]s into one shared [`FlightRecorder`]. The recorder is a
+//! fixed-capacity ring: a push claims the next sequence number with one
+//! atomic `fetch_add` and stores the event in slot `seq % capacity` under
+//! a per-slot mutex, so writers never contend on a global lock and old
+//! events are overwritten (and counted as dropped) rather than growing
+//! memory without bound — the "black box" discipline of a real flight
+//! recorder.
+//!
+//! All timestamps are seconds since the recorder's epoch, the single
+//! `Instant` shared by the whole cluster. That is what makes the merged
+//! export clock-aligned: a driver-side `TaskStarted` and the executor-side
+//! frame that caused it land on one timeline without any skew correction.
+//!
+//! The scheduler-visible vocabulary is [`sae_dag::TraceEvent`] — the same
+//! enum the simulator records — serialized by the same
+//! [`sae_dag::append_chrome_entries`] rows, so a sim trace and a live
+//! trace of the same job overlay in Perfetto. Around it, live-only events
+//! capture what the simulator has no wire for: frames sent and received,
+//! heartbeats, slot-registry changes, and log lines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use sae_dag::{append_chrome_entries, TraceEvent};
+
+use crate::log::LogLevel;
+
+/// One event on the live cluster's merged timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiveEvent {
+    /// A scheduler-visible event, in the simulator's shared vocabulary.
+    Trace(TraceEvent),
+    /// A frame left for the wire.
+    FrameSent {
+        /// Executor the frame concerns (the sender for executor→driver
+        /// traffic, the destination for driver→executor traffic).
+        executor: usize,
+        /// Frame kind (see [`crate::wire::Frame::kind_str`]).
+        kind: &'static str,
+        /// Encoded size in bytes, length prefix included.
+        bytes: usize,
+        /// Seconds since the recorder epoch.
+        at: f64,
+    },
+    /// A frame arrived off the wire.
+    FrameReceived {
+        /// Executor the frame concerns.
+        executor: usize,
+        /// Frame kind (see [`crate::wire::Frame::kind_str`]).
+        kind: &'static str,
+        /// Encoded size in bytes, length prefix included.
+        bytes: usize,
+        /// Seconds since the recorder epoch.
+        at: f64,
+    },
+    /// The driver observed a heartbeat from an executor.
+    Heartbeat {
+        /// The executor that beat.
+        executor: usize,
+        /// Seconds of silence this beat ended.
+        gap: f64,
+        /// Seconds since the recorder epoch.
+        at: f64,
+    },
+    /// The driver's slot registry changed for one executor.
+    SlotRegistryChanged {
+        /// The executor whose entry changed.
+        executor: usize,
+        /// Its total slots (last announced pool size).
+        slots: usize,
+        /// Slots not currently running a task.
+        free: usize,
+        /// Seconds since the recorder epoch.
+        at: f64,
+    },
+    /// A log line emitted through [`crate::log::Logger`].
+    Log {
+        /// Severity.
+        level: LogLevel,
+        /// The component that logged ("driver", "executor-2", ...).
+        scope: String,
+        /// The rendered message.
+        message: String,
+        /// Seconds since the recorder epoch.
+        at: f64,
+    },
+}
+
+impl LiveEvent {
+    /// The event's timestamp in seconds since the recorder epoch.
+    pub fn at(&self) -> f64 {
+        match self {
+            LiveEvent::Trace(e) => e.at(),
+            LiveEvent::FrameSent { at, .. }
+            | LiveEvent::FrameReceived { at, .. }
+            | LiveEvent::Heartbeat { at, .. }
+            | LiveEvent::SlotRegistryChanged { at, .. }
+            | LiveEvent::Log { at, .. } => *at,
+        }
+    }
+}
+
+struct Inner {
+    slots: Vec<Mutex<Option<(u64, LiveEvent)>>>,
+    cursor: AtomicU64,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+/// A shared, bounded, overwrite-on-full event ring.
+///
+/// Cloning shares the ring; capacity 0 disables recording entirely (every
+/// push is a branch and a return — the configuration the overhead
+/// benchmark compares against).
+///
+/// # Examples
+///
+/// ```
+/// use sae_live::recorder::{FlightRecorder, LiveEvent};
+///
+/// let rec = FlightRecorder::new(8);
+/// rec.push(LiveEvent::Heartbeat { executor: 0, gap: 0.1, at: rec.now() });
+/// let events = rec.snapshot();
+/// assert_eq!(events.len(), 1);
+/// ```
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a ring of `capacity` slots with the epoch set to now.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_epoch(capacity, Instant::now())
+    }
+
+    /// Creates a ring whose timestamps count from `epoch`.
+    ///
+    /// Hand the same recorder (or at least the same epoch) to every
+    /// component of a cluster: clock alignment of the merged trace is
+    /// exactly "everyone measures seconds since this one instant".
+    pub fn with_epoch(capacity: usize, epoch: Instant) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+                cursor: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                epoch,
+            }),
+        }
+    }
+
+    /// A recorder that records nothing (capacity 0).
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// Whether pushes are recorded at all.
+    pub fn enabled(&self) -> bool {
+        !self.inner.slots.is_empty()
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// The epoch all timestamps count from.
+    pub fn epoch(&self) -> Instant {
+        self.inner.epoch
+    }
+
+    /// Seconds elapsed since the epoch — the timestamp for a new event.
+    pub fn now(&self) -> f64 {
+        self.inner.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Records one event; the oldest event is overwritten when full.
+    pub fn push(&self, event: LiveEvent) {
+        let capacity = self.inner.slots.len();
+        if capacity == 0 {
+            return;
+        }
+        let seq = self.inner.cursor.fetch_add(1, Ordering::Relaxed);
+        let mut slot = self.inner.slots[seq as usize % capacity].lock();
+        if slot.is_some() {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        *slot = Some((seq, event));
+    }
+
+    /// Total events ever pushed (recorded or overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.inner.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring overwrites.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the ring's current contents, oldest first.
+    ///
+    /// Events are ordered by timestamp (ties broken by push order):
+    /// components push concurrently, and some events — the ζ samples an
+    /// executor replays from its decision journal at shutdown — are pushed
+    /// after the instants they describe.
+    pub fn snapshot(&self) -> Vec<LiveEvent> {
+        let mut pairs: Vec<(u64, LiveEvent)> = self
+            .inner
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().clone())
+            .collect();
+        pairs.sort_by(|a, b| {
+            a.1.at()
+                .partial_cmp(&b.1.at())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        pairs.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Like [`FlightRecorder::snapshot`], additionally clearing the ring.
+    pub fn drain(&self) -> Vec<LiveEvent> {
+        let mut pairs: Vec<(u64, LiveEvent)> = self
+            .inner
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().take())
+            .collect();
+        pairs.sort_by(|a, b| {
+            a.1.at()
+                .partial_cmp(&b.1.at())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        pairs.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Exports the ring's contents as a Chrome trace (see [`chrome_trace`]).
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace(&self.snapshot())
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders events as a Chrome trace-event JSON array.
+///
+/// Row layout extends the simulator's export ([`sae_dag`]'s pid 0 =
+/// driver, pid 1 = executors) with pid 2 = the wire: frame and heartbeat
+/// instants per executor row, plus a cumulative `wire-bytes` counter
+/// track. Slot-registry changes become per-executor `slots-exec{e}`
+/// counter tracks on the driver process, alongside the `pool-size-exec{e}`
+/// and `zeta-exec{e}` tracks that [`sae_dag::append_chrome_entries`] emits
+/// for `PoolResized` / `IntervalClosed` events. Open the output in
+/// `chrome://tracing` or Perfetto.
+pub fn chrome_trace(events: &[LiveEvent]) -> String {
+    let us = |t: f64| (t * 1e6).round() as i64;
+    let mut entries: Vec<String> = Vec::with_capacity(events.len() + 3);
+    for (pid, name) in [(0, "driver"), (1, "executors"), (2, "wire")] {
+        entries.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"args":{{"name":"{name}"}}}}"#
+        ));
+    }
+    let (mut wire_sent, mut wire_received) = (0u64, 0u64);
+    for event in events {
+        match event {
+            LiveEvent::Trace(e) => append_chrome_entries(e, &mut entries),
+            LiveEvent::FrameSent {
+                executor,
+                kind,
+                bytes,
+                at,
+            } => {
+                wire_sent += *bytes as u64;
+                entries.push(format!(
+                    r#"{{"name":"send:{kind}","ph":"i","ts":{},"pid":2,"tid":{executor},"s":"t","args":{{"bytes":{bytes}}}}}"#,
+                    us(*at)
+                ));
+                entries.push(format!(
+                    r#"{{"name":"wire-bytes","ph":"C","ts":{},"pid":2,"tid":0,"args":{{"sent":{wire_sent},"received":{wire_received}}}}}"#,
+                    us(*at)
+                ));
+            }
+            LiveEvent::FrameReceived {
+                executor,
+                kind,
+                bytes,
+                at,
+            } => {
+                wire_received += *bytes as u64;
+                entries.push(format!(
+                    r#"{{"name":"recv:{kind}","ph":"i","ts":{},"pid":2,"tid":{executor},"s":"t","args":{{"bytes":{bytes}}}}}"#,
+                    us(*at)
+                ));
+                entries.push(format!(
+                    r#"{{"name":"wire-bytes","ph":"C","ts":{},"pid":2,"tid":0,"args":{{"sent":{wire_sent},"received":{wire_received}}}}}"#,
+                    us(*at)
+                ));
+            }
+            LiveEvent::Heartbeat { executor, gap, at } => {
+                let gap = if gap.is_finite() { *gap } else { 0.0 };
+                entries.push(format!(
+                    r#"{{"name":"heartbeat","ph":"i","ts":{},"pid":2,"tid":{executor},"s":"t","args":{{"gap_s":{gap:?}}}}}"#,
+                    us(*at)
+                ));
+            }
+            LiveEvent::SlotRegistryChanged {
+                executor,
+                slots,
+                free,
+                at,
+            } => {
+                entries.push(format!(
+                    r#"{{"name":"slots-exec{executor}","ph":"C","ts":{},"pid":0,"tid":{executor},"args":{{"slots":{slots},"free":{free}}}}}"#,
+                    us(*at)
+                ));
+            }
+            LiveEvent::Log {
+                level,
+                scope,
+                message,
+                at,
+            } => {
+                entries.push(format!(
+                    r#"{{"name":"log-{}","ph":"i","ts":{},"pid":0,"tid":0,"s":"g","args":{{"scope":"{}","message":"{}"}}}}"#,
+                    level.as_str(),
+                    us(*at),
+                    esc_json(scope),
+                    esc_json(message)
+                ));
+            }
+        }
+    }
+    format!("[{}]", entries.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heartbeat(executor: usize, at: f64) -> LiveEvent {
+        LiveEvent::Heartbeat {
+            executor,
+            gap: 0.05,
+            at,
+        }
+    }
+
+    #[test]
+    fn push_and_snapshot_round_trip_in_time_order() {
+        let rec = FlightRecorder::new(16);
+        rec.push(heartbeat(1, 2.0));
+        rec.push(heartbeat(0, 1.0));
+        rec.push(LiveEvent::Trace(TraceEvent::StageStarted {
+            stage: 0,
+            at: 0.5,
+        }));
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 3);
+        for pair in events.windows(2) {
+            assert!(pair[0].at() <= pair[1].at());
+        }
+        assert_eq!(rec.recorded(), 3);
+        assert_eq!(rec.dropped(), 0);
+        // Snapshot is non-destructive; drain clears.
+        assert_eq!(rec.snapshot().len(), 3);
+        assert_eq!(rec.drain().len(), 3);
+        assert!(rec.snapshot().is_empty());
+    }
+
+    #[test]
+    fn full_ring_overwrites_oldest_and_counts_drops() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..10 {
+            rec.push(heartbeat(i, i as f64));
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        // Only the newest four survive.
+        let ats: Vec<f64> = events.iter().map(LiveEvent::at).collect();
+        assert_eq!(ats, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = FlightRecorder::disabled();
+        assert!(!rec.enabled());
+        rec.push(heartbeat(0, 1.0));
+        assert!(rec.snapshot().is_empty());
+        assert_eq!(rec.recorded(), 0);
+        assert_eq!(rec.chrome_trace().matches("heartbeat").count(), 0);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_land() {
+        let rec = FlightRecorder::new(4096);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        rec.push(heartbeat(t, i as f64));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(rec.recorded(), 800);
+        assert_eq!(rec.snapshot().len(), 800);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn chrome_trace_merges_sim_vocabulary_and_wire_events() {
+        let rec = FlightRecorder::new(64);
+        rec.push(LiveEvent::Trace(TraceEvent::StageStarted {
+            stage: 0,
+            at: 0.0,
+        }));
+        rec.push(LiveEvent::FrameSent {
+            executor: 1,
+            kind: "register",
+            bytes: 21,
+            at: 0.1,
+        });
+        rec.push(LiveEvent::FrameReceived {
+            executor: 1,
+            kind: "heartbeat",
+            bytes: 13,
+            at: 0.2,
+        });
+        rec.push(LiveEvent::Trace(TraceEvent::PoolResized {
+            executor: 1,
+            to: 4,
+            at: 0.3,
+        }));
+        rec.push(LiveEvent::SlotRegistryChanged {
+            executor: 1,
+            slots: 4,
+            free: 4,
+            at: 0.4,
+        });
+        rec.push(LiveEvent::Log {
+            level: LogLevel::Info,
+            scope: "driver".into(),
+            message: "say \"hi\"\n".into(),
+            at: 0.5,
+        });
+        let json = rec.chrome_trace();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The sim vocabulary renders through the shared serializer...
+        assert!(json.contains(r#""name":"stage-0","ph":"B""#));
+        assert!(json.contains(r#""name":"pool-size-exec1","ph":"C""#));
+        // ...wire events land on pid 2 with a cumulative byte counter...
+        assert!(json.contains(r#""name":"send:register","ph":"i""#));
+        assert!(json.contains(r#""name":"recv:heartbeat","ph":"i""#));
+        assert!(json.contains(r#""sent":21,"received":13"#));
+        // ...registry changes become a slots counter track...
+        assert!(json.contains(r#""name":"slots-exec1","ph":"C""#));
+        assert!(json.contains(r#""slots":4,"free":4"#));
+        // ...and log messages are JSON-escaped.
+        assert!(json.contains(r#""message":"say \"hi\"\n""#));
+        // Process rows are named for Perfetto.
+        assert!(json.contains(r#""name":"process_name","ph":"M","pid":2"#));
+    }
+}

@@ -74,6 +74,21 @@ pub enum Frame {
 }
 
 impl Frame {
+    /// A short static name for the frame kind, used as the label of
+    /// wire-level flight-recorder events and metrics.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Frame::Core(Message::AssignTask { .. }) => "assign-task",
+            Frame::Core(Message::PoolSizeChanged { .. }) => "pool-size-changed",
+            Frame::Core(Message::Heartbeat { .. }) => "heartbeat",
+            Frame::Core(Message::TaskFailed { .. }) => "task-failed",
+            Frame::Register { .. } => "register",
+            Frame::StageStart { .. } => "stage-start",
+            Frame::TaskFinished { .. } => "task-finished",
+            Frame::Shutdown => "shutdown",
+        }
+    }
+
     /// Appends this frame, length prefix included, to `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
         let len_at = out.len();
@@ -203,11 +218,13 @@ impl FrameWriter {
         }
     }
 
-    /// Encodes and sends one frame.
-    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+    /// Encodes and sends one frame, returning its size on the wire
+    /// (length prefix included).
+    pub fn send(&mut self, frame: &Frame) -> io::Result<usize> {
         self.scratch.clear();
         frame.encode(&mut self.scratch);
-        self.stream.write_all(&self.scratch)
+        self.stream.write_all(&self.scratch)?;
+        Ok(self.scratch.len())
     }
 }
 
@@ -234,6 +251,7 @@ pub struct FrameReader {
     stream: TcpStream,
     buf: Vec<u8>,
     start: usize,
+    last_len: usize,
 }
 
 impl FrameReader {
@@ -243,7 +261,14 @@ impl FrameReader {
             stream,
             buf: Vec::with_capacity(1024),
             start: 0,
+            last_len: 0,
         }
+    }
+
+    /// Wire size (length prefix included) of the frame the most recent
+    /// [`FrameReader::next_frame`] returned; 0 before any frame.
+    pub fn last_frame_len(&self) -> usize {
+        self.last_len
     }
 
     /// Reads until one frame, EOF, or a read timeout.
@@ -252,6 +277,7 @@ impl FrameReader {
             match Frame::decode(&self.buf[self.start..]) {
                 Ok(Some((frame, consumed))) => {
                     self.start += consumed;
+                    self.last_len = consumed;
                     if self.start == self.buf.len() {
                         self.buf.clear();
                         self.start = 0;
@@ -422,6 +448,15 @@ mod tests {
             Frame::decode(&buf),
             Err(FrameError::Truncated { needed: 17, got: 9 })
         );
+    }
+
+    #[test]
+    fn frame_kinds_are_distinct_labels() {
+        let mut kinds: Vec<&str> = all_frames().iter().map(Frame::kind_str).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        // all_frames carries two StageStart samples sharing one label.
+        assert_eq!(kinds.len(), all_frames().len() - 1);
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn test_cfg(executors: usize) -> ClusterConfig {
         max_task_attempts: 4,
         blacklist_after: 3,
         deadline: Duration::from_secs(90),
-        kill_after_tasks: Vec::new(),
+        ..ClusterConfig::default()
     }
 }
 
@@ -34,6 +34,7 @@ fn test_cfg(executors: usize) -> ClusterConfig {
 fn clean_terasort_completes_with_pool_size_round_trip() {
     let mut cluster = LiveCluster::launch(test_cfg(3)).unwrap();
     let job = terasort(24, 20_000, 2026);
+    let journals = cluster.journals().to_vec();
     let report = cluster.run(&job).unwrap();
     cluster.shutdown().unwrap();
 
@@ -71,6 +72,45 @@ fn clean_terasort_completes_with_pool_size_round_trip() {
         }
         assert!(slot.slots >= 2 && slot.slots <= 8);
     }
+
+    // Every executor's decision journal ends each adaptation episode with
+    // a terminal verdict (Hold or RollBack, never a dangling Ascend), and
+    // every record carries the executor's own id.
+    for (e, journal) in journals.iter().enumerate() {
+        let records = journal.records();
+        assert!(!records.is_empty(), "executor {e} journaled nothing");
+        let mut last_of_stage = std::collections::BTreeMap::new();
+        for r in &records {
+            assert_eq!(r.executor, e);
+            last_of_stage.insert(r.stage, r.clone());
+        }
+        for (stage, last) in last_of_stage {
+            assert!(
+                last.action.is_terminal(),
+                "executor {e} stage {stage} journal left open: {last:?}"
+            );
+        }
+        // JSONL round-trips the live journal exactly.
+        let jsonl = journal.to_jsonl();
+        assert_eq!(sae_core::parse_jsonl(&jsonl).unwrap(), records);
+    }
+
+    // The shared metric plane saw the whole job: every task completion is
+    // accounted against its executor, and heartbeats were observed.
+    let finished: u64 = report
+        .metrics
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("live.driver.tasks_finished"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(finished, 48, "driver-side task completions: {finished}");
+    assert!(
+        report.metrics.histogram_counts["live.driver.heartbeat_gap_s"] > 0,
+        "no heartbeat gaps were recorded"
+    );
+    assert!(report.metrics.counters["live.driver.bytes_sent"] > 0);
+    assert!(report.metrics.counters["live.driver.bytes_received"] > 0);
 }
 
 #[test]

@@ -40,6 +40,7 @@
 mod counter;
 mod ewma;
 mod histogram;
+mod prometheus;
 mod registry;
 mod reporters;
 mod stage;
@@ -48,6 +49,7 @@ mod timeseries;
 pub use counter::{Counter, FloatCounter, Gauge};
 pub use ewma::Ewma;
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use prometheus::{render_prometheus, snapshot_jsonl_line};
 pub use registry::{MetricRegistry, RegistrySnapshot};
 pub use reporters::{iostat_report, mpstat_report};
 pub use stage::{StageSummary, StageSummaryBuilder, UtilizationSample};

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use crate::{Counter, FloatCounter, Gauge, Histogram};
+use crate::{Counter, FloatCounter, Gauge, Histogram, HistogramSnapshot};
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -85,6 +85,18 @@ impl MetricRegistry {
             .entry(name.to_owned())
             .or_default()
             .clone()
+    }
+
+    /// Full snapshots of every histogram, in name order. The coarse
+    /// [`MetricRegistry::snapshot`] keeps only observation counts; the
+    /// Prometheus renderer wants the sums too.
+    pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        let inner = self.inner.lock().expect("metric registry poisoned");
+        inner
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
     }
 
     /// Takes a consistent point-in-time snapshot of every metric.

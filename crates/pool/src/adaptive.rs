@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use sae_core::{AdaptiveController, MapeConfig, TunablePool};
+use sae_core::{AdaptiveController, DecisionJournal, MapeConfig, TunablePool};
 
 use crate::dynamic::DynamicThreadPool;
 
@@ -71,13 +71,41 @@ impl AdaptivePool {
     /// Creates an adaptive pool; the worker count starts at the
     /// controller's default (`c_max`) until a stage begins.
     pub fn new(config: MapeConfig, probe: IoProbe) -> Self {
+        Self::new_at(config, probe, std::time::Instant::now())
+    }
+
+    /// Like [`AdaptivePool::new`] with an explicit time epoch.
+    ///
+    /// Decision-journal timestamps are seconds since `epoch`; sharing one
+    /// epoch across a whole live cluster (driver + executors) is what
+    /// keeps the merged flight-recorder timeline clock-aligned.
+    pub fn new_at(config: MapeConfig, probe: IoProbe, epoch: std::time::Instant) -> Self {
         Self {
             pool: DynamicThreadPool::new(config.c_max),
             controller: Arc::new(Mutex::new(AdaptiveController::new(config))),
             probe,
-            epoch: std::time::Instant::now(),
+            epoch,
             on_resize: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Tags the controller's journal records with an executor id.
+    pub fn set_executor(&self, executor: usize) {
+        let mut ctl = self.controller.lock();
+        *ctl = ctl.clone().with_executor(executor);
+    }
+
+    /// The controller's decision journal (a shared handle: clone it and
+    /// read records from anywhere).
+    pub fn journal(&self) -> DecisionJournal {
+        self.controller.lock().journal().clone()
+    }
+
+    /// Funnels the controller's records into `journal` — the hook a
+    /// cluster uses to collect every executor's journal through handles it
+    /// created up front. Call before the first stage starts.
+    pub fn set_journal(&self, journal: DecisionJournal) {
+        self.controller.lock().set_journal(journal);
     }
 
     /// Installs an observer called with the new size whenever the pool's
@@ -144,9 +172,13 @@ impl AdaptivePool {
         self.controller.lock().history().len()
     }
 
-    /// Drains and joins the underlying pool.
+    /// Drains and joins the underlying pool, then closes the controller's
+    /// adaptation episode so the decision journal ends with a terminal
+    /// record even when the last stage never settled.
     pub fn shutdown(&self) {
         self.pool.shutdown();
+        let now = self.epoch.elapsed().as_secs_f64();
+        self.controller.lock().finalize_stage(now);
     }
 }
 
@@ -228,6 +260,20 @@ mod tests {
         let seen = seen.lock().unwrap();
         assert_eq!(seen.first(), Some(&2));
         assert!(seen.contains(&8), "decision not observed: {seen:?}");
+    }
+
+    #[test]
+    fn journal_ends_terminal_after_shutdown() {
+        let pool = AdaptivePool::new(MapeConfig::new(2, 8), Arc::new(|| (0.0, 0.0)));
+        pool.set_executor(5);
+        pool.stage_started(Some(500));
+        // Shut down mid-climb: no task ever completes an interval.
+        pool.shutdown();
+        let records = pool.journal().records();
+        assert!(!records.is_empty());
+        let last = records.last().unwrap();
+        assert!(last.action.is_terminal(), "open journal: {records:?}");
+        assert_eq!(last.executor, 5);
     }
 
     #[test]

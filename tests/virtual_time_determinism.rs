@@ -39,3 +39,24 @@ fn terasort_default_rerun_is_bit_identical() {
 fn pagerank_adaptive_rerun_is_bit_identical() {
     rerun_bit_identical(WorkloadKind::PageRank, |cfg| cfg.adaptive_policy());
 }
+
+/// The decision journal rides on the same determinism guarantee: the
+/// JSONL artifact of an adaptive run — ζ values, ε measurements and all,
+/// serialized through `{:?}` shortest-round-trip floats — is byte-equal
+/// across same-seed reruns, and non-trivial (the adaptive policy must
+/// actually journal decisions).
+#[test]
+fn terasort_adaptive_journal_jsonl_is_bit_identical() {
+    let w = WorkloadKind::Terasort.build_scaled(0.25);
+    let cfg = EngineConfig::four_node_hdd();
+    let policy = cfg.adaptive_policy();
+    let engine = Engine::new(w.configure(cfg), policy);
+    let a = engine.run(&w.job).decision_journal_jsonl();
+    let b = engine.run(&w.job).decision_journal_jsonl();
+    assert!(!a.is_empty(), "adaptive run journaled nothing");
+    assert!(a.lines().count() >= 2, "journal suspiciously small:\n{a}");
+    assert_eq!(a.as_bytes(), b.as_bytes(), "journal JSONL diverged");
+    // And the artifact parses back to the same records it came from.
+    let records = sae::core::parse_jsonl(&a).expect("journal JSONL parses");
+    assert_eq!(sae::core::to_jsonl(&records), a);
+}
