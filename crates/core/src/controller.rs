@@ -413,6 +413,40 @@ impl AdaptiveController {
             .begin_interval(self.current_threads, now, snapshot);
     }
 
+    /// Like [`AdaptiveController::interval_disturbed`], but leaves a
+    /// [`DecisionAction::Poisoned`] record in the journal explaining *why*
+    /// the interval was discarded — the live runtime's fault-aware variant,
+    /// where a discarded interval is evidence worth keeping (the sim's
+    /// disturbances are already visible in its own trace).
+    ///
+    /// The interval index does not advance: the restarted interval keeps
+    /// the same `j`, so the journal shows the poisoning and the eventual
+    /// clean closure of the same interval side by side.
+    pub fn interval_poisoned(&mut self, now: f64, snapshot: ProbeSnapshot, reason: &str) {
+        if !self.adapting || !self.monitor.is_active() {
+            return;
+        }
+        self.journal.push(DecisionRecord {
+            stage: self.stage,
+            executor: self.executor,
+            interval: self.interval_idx,
+            at: now,
+            threads: self.current_threads,
+            epoll_wait_s: 0.0,
+            throughput_bps: 0.0,
+            zeta: 0.0,
+            pool_before: self.current_threads,
+            pool_after: self.current_threads,
+            action: DecisionAction::Poisoned,
+            rationale: format!(
+                "interval overlaps a detected fault ({reason}): measurements discarded, \
+                 interval restarted at {} threads",
+                self.current_threads
+            ),
+        });
+        self.interval_disturbed(now, snapshot);
+    }
+
     /// The thread count currently in effect.
     pub fn current_threads(&self) -> usize {
         self.current_threads
@@ -574,6 +608,43 @@ mod tests {
         let _ = ctl.task_finished(3.0, 2.0, 320.0);
         assert_eq!(ctl.history().len(), 1);
         assert_eq!(ctl.history()[0].threads, 2);
+    }
+
+    #[test]
+    fn poisoned_interval_journals_and_restarts() {
+        use crate::journal::DecisionAction;
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32)).with_executor(1);
+        let _ = ctl.stage_started(0.0, Some(300));
+        assert_eq!(ctl.task_finished(1.0, 0.6, 100.0), None);
+        ctl.interval_poisoned(
+            1.5,
+            crate::ProbeSnapshot::basic(0.7, 110.0),
+            "executor 2 lost",
+        );
+        // The poisoning is journaled, non-terminal, at the same interval
+        // index the restarted interval will close under.
+        let records = ctl.journal().records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].action, DecisionAction::Poisoned);
+        assert_eq!(records[0].interval, 0);
+        assert!(records[0].rationale.contains("executor 2 lost"));
+        assert!(!records[0].action.is_terminal());
+        // The restarted interval closes cleanly under the same index.
+        let _ = ctl.task_finished(2.0, 1.3, 210.0);
+        let _ = ctl.task_finished(3.0, 2.0, 320.0);
+        assert_eq!(ctl.history().len(), 1);
+        let records = ctl.journal().records();
+        assert_eq!(records.last().unwrap().interval, 0);
+        assert_ne!(records.last().unwrap().action, DecisionAction::Poisoned);
+    }
+
+    #[test]
+    fn poisoning_after_settling_is_inert() {
+        let mut ctl = AdaptiveController::new(MapeConfig::new(2, 32));
+        let _ = ctl.stage_started(0.0, Some(3)); // short stage: no adaptation
+        let before = ctl.journal().len();
+        ctl.interval_poisoned(1.0, crate::ProbeSnapshot::default(), "noise");
+        assert_eq!(ctl.journal().len(), before);
     }
 
     #[test]

@@ -29,12 +29,18 @@ pub enum DecisionAction {
     /// No further change this stage — the climb settled at a boundary, the
     /// stage was too short to adapt, or it ended mid-climb. Terminal.
     Hold,
+    /// The interval overlapped a detected fault (a task failed, an
+    /// executor was lost, work is being redistributed): its measurements
+    /// were discarded and the interval restarted at the same thread count,
+    /// so ζ comparisons only ever see clean intervals. Not terminal — the
+    /// climb continues from the restarted interval.
+    Poisoned,
 }
 
 impl DecisionAction {
     /// Whether this action ends adaptation for the stage.
     pub fn is_terminal(self) -> bool {
-        !matches!(self, DecisionAction::Ascend)
+        !matches!(self, DecisionAction::Ascend | DecisionAction::Poisoned)
     }
 
     /// Stable lower-case name used in the JSONL encoding.
@@ -43,6 +49,7 @@ impl DecisionAction {
             DecisionAction::Ascend => "ascend",
             DecisionAction::RollBack => "rollback",
             DecisionAction::Hold => "hold",
+            DecisionAction::Poisoned => "poisoned",
         }
     }
 
@@ -52,6 +59,7 @@ impl DecisionAction {
             "ascend" => Some(DecisionAction::Ascend),
             "rollback" => Some(DecisionAction::RollBack),
             "hold" => Some(DecisionAction::Hold),
+            "poisoned" => Some(DecisionAction::Poisoned),
             _ => None,
         }
     }
@@ -564,6 +572,17 @@ mod tests {
         assert!(!DecisionAction::Ascend.is_terminal());
         assert!(DecisionAction::RollBack.is_terminal());
         assert!(DecisionAction::Hold.is_terminal());
+        assert!(!DecisionAction::Poisoned.is_terminal());
+    }
+
+    #[test]
+    fn poisoned_round_trips_through_json() {
+        let r = record(2, DecisionAction::Poisoned);
+        assert_eq!(DecisionRecord::from_json(&r.to_json()).unwrap(), r);
+        assert_eq!(
+            DecisionAction::parse("poisoned"),
+            Some(DecisionAction::Poisoned)
+        );
     }
 
     #[test]

@@ -103,6 +103,114 @@ pub struct NodeSlowdown {
     pub severity: f64,
 }
 
+/// Which driver↔executor direction a [`WireFault`] applies to.
+///
+/// Asymmetric partitions are the interesting failure class: an executor
+/// whose frames reach the driver while the driver's frames never arrive
+/// (or vice versa) exercises a different recovery path than a clean
+/// two-way cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireDirection {
+    /// Executor → driver frames only (heartbeats, `TaskFinished`).
+    ToDriver,
+    /// Driver → executor frames only (`AssignTask`, `StageStart`).
+    ToExecutor,
+    /// Both directions.
+    Both,
+}
+
+impl WireDirection {
+    /// Whether a frame travelling executor→driver is covered.
+    pub fn covers_to_driver(self) -> bool {
+        matches!(self, WireDirection::ToDriver | WireDirection::Both)
+    }
+
+    /// Whether a frame travelling driver→executor is covered.
+    pub fn covers_to_executor(self) -> bool {
+        matches!(self, WireDirection::ToExecutor | WireDirection::Both)
+    }
+}
+
+/// What a [`WireFault`] does to covered frames while its window is open.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireFaultKind {
+    /// Hold each frame for `seconds` before forwarding it.
+    Delay {
+        /// Per-frame extra latency in (wall-clock) seconds.
+        seconds: f64,
+    },
+    /// Cap the link at `bytes_per_sec`: each frame is forwarded after a
+    /// pause proportional to its length.
+    Throttle {
+        /// Link bandwidth floor in bytes per second.
+        bytes_per_sec: f64,
+    },
+    /// Discard each covered frame independently with `probability`.
+    Drop {
+        /// Per-frame drop probability in `[0, 1)`.
+        probability: f64,
+    },
+    /// Forward each covered frame twice with `probability` — the protocol
+    /// must treat every frame as at-least-once.
+    Duplicate {
+        /// Per-frame duplication probability in `[0, 1)`.
+        probability: f64,
+    },
+    /// Tear the connection down mid-frame: forward a partial frame, then
+    /// reset both directions. The executor must reconnect and re-register.
+    Reset,
+    /// Discard every covered frame for the window — a network partition.
+    Partition,
+}
+
+impl WireFaultKind {
+    /// Stable lower-case label used in traces, metrics, and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireFaultKind::Delay { .. } => "delay",
+            WireFaultKind::Throttle { .. } => "throttle",
+            WireFaultKind::Drop { .. } => "drop",
+            WireFaultKind::Duplicate { .. } => "duplicate",
+            WireFaultKind::Reset => "reset",
+            WireFaultKind::Partition => "partition",
+        }
+    }
+}
+
+/// One scheduled wire-level fault inside a [`FaultPlan`], applied by the
+/// live runtime's nemesis proxy to frames crossing the driver↔executor
+/// link of one executor.
+///
+/// The simulator has no byte-level wire, so it validates these entries but
+/// does not apply them; its own `message_delay_max` / `heartbeat_loss`
+/// fields are the virtual-time analogues. Times are seconds since the job
+/// epoch (virtual seconds in the sim, wall seconds live).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireFault {
+    /// Executor whose link misbehaves.
+    pub executor: usize,
+    /// Window start, in seconds since the job epoch.
+    pub at: f64,
+    /// Window length in seconds.
+    pub duration: f64,
+    /// Which direction(s) of the link are covered.
+    pub direction: WireDirection,
+    /// What happens to covered frames.
+    pub kind: WireFaultKind,
+}
+
+/// One scheduled spill-file corruption inside a [`FaultPlan`]: the bytes
+/// of `task`'s spill file are flipped once the file exists and `at` has
+/// passed, exercising the checksum → retryable-failure → lineage-recovery
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskFault {
+    /// Task whose spill file is corrupted.
+    pub task: usize,
+    /// Earliest time the corruption lands, in seconds since the job epoch.
+    pub at: f64,
+}
+
 /// A deterministic, seeded schedule of faults injected into a run.
 ///
 /// All randomness (which attempts fail transiently, which heartbeats are
@@ -110,6 +218,11 @@ pub struct NodeSlowdown {
 /// [`FaultPlan::seed`], so the same plan over the same job yields a
 /// bit-identical run — and the main engine RNG is never touched, so a run
 /// with an empty plan is bit-identical to a run with no plan at all.
+///
+/// One plan drives both runtimes: the simulator applies `crashes`,
+/// `slowdowns` and the probabilistic fields in virtual time, while the
+/// live runtime applies `crashes` (kill + respawn after `downtime`),
+/// `wire` (through the nemesis proxy) and `disk` in wall-clock time.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
     /// Scheduled executor crashes (multiple crashes, any executors).
@@ -127,6 +240,10 @@ pub struct FaultPlan {
     /// Maximum extra one-way delay in seconds added to each driver↔executor
     /// message, drawn uniformly from `[0, message_delay_max)`.
     pub message_delay_max: f64,
+    /// Scheduled wire-level faults (live runtime: nemesis proxy).
+    pub wire: Vec<WireFault>,
+    /// Scheduled spill-file corruptions (live runtime: disk-fault agent).
+    pub disk: Vec<DiskFault>,
     /// Seed of the fault RNG stream.
     pub seed: u64,
 }
@@ -179,6 +296,97 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a wire fault with an explicit direction and kind.
+    pub fn with_wire_fault(
+        mut self,
+        executor: usize,
+        at: f64,
+        duration: f64,
+        direction: WireDirection,
+        kind: WireFaultKind,
+    ) -> Self {
+        self.wire.push(WireFault {
+            executor,
+            at,
+            duration,
+            direction,
+            kind,
+        });
+        self
+    }
+
+    /// Adds a per-frame delay window on both directions of a link.
+    pub fn with_wire_delay(self, executor: usize, at: f64, duration: f64, seconds: f64) -> Self {
+        self.with_wire_fault(
+            executor,
+            at,
+            duration,
+            WireDirection::Both,
+            WireFaultKind::Delay { seconds },
+        )
+    }
+
+    /// Adds a bandwidth throttle window on both directions of a link.
+    pub fn with_throttle(
+        self,
+        executor: usize,
+        at: f64,
+        duration: f64,
+        bytes_per_sec: f64,
+    ) -> Self {
+        self.with_wire_fault(
+            executor,
+            at,
+            duration,
+            WireDirection::Both,
+            WireFaultKind::Throttle { bytes_per_sec },
+        )
+    }
+
+    /// Adds a probabilistic frame-drop window on both directions.
+    pub fn with_wire_drop(self, executor: usize, at: f64, duration: f64, p: f64) -> Self {
+        self.with_wire_fault(
+            executor,
+            at,
+            duration,
+            WireDirection::Both,
+            WireFaultKind::Drop { probability: p },
+        )
+    }
+
+    /// Adds a probabilistic frame-duplication window on both directions.
+    pub fn with_wire_duplicate(self, executor: usize, at: f64, duration: f64, p: f64) -> Self {
+        self.with_wire_fault(
+            executor,
+            at,
+            duration,
+            WireDirection::Both,
+            WireFaultKind::Duplicate { probability: p },
+        )
+    }
+
+    /// Schedules a mid-frame connection reset shortly after `at`.
+    pub fn with_reset(self, executor: usize, at: f64) -> Self {
+        self.with_wire_fault(executor, at, 0.1, WireDirection::Both, WireFaultKind::Reset)
+    }
+
+    /// Adds a (possibly asymmetric) partition window.
+    pub fn with_partition(
+        self,
+        executor: usize,
+        at: f64,
+        duration: f64,
+        direction: WireDirection,
+    ) -> Self {
+        self.with_wire_fault(executor, at, duration, direction, WireFaultKind::Partition)
+    }
+
+    /// Schedules a spill-file corruption for `task` at time `at`.
+    pub fn with_disk_fault(mut self, task: usize, at: f64) -> Self {
+        self.disk.push(DiskFault { task, at });
+        self
+    }
+
     /// Whether the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
         self.crashes.is_empty()
@@ -186,6 +394,8 @@ impl FaultPlan {
             && self.task_failure_probability == 0.0
             && self.heartbeat_loss_probability == 0.0
             && self.message_delay_max == 0.0
+            && self.wire.is_empty()
+            && self.disk.is_empty()
     }
 
     /// Validates the plan against a cluster size.
@@ -248,6 +458,48 @@ impl FaultPlan {
             "fault plan: message delay must be finite and >= 0, got {}",
             self.message_delay_max
         );
+        for fault in &self.wire {
+            assert!(
+                fault.executor < nodes,
+                "fault plan: wire fault targets executor {} of {nodes}",
+                fault.executor
+            );
+            assert!(
+                fault.at.is_finite() && fault.at >= 0.0,
+                "fault plan: wire fault time must be finite and >= 0, got {}",
+                fault.at
+            );
+            assert!(
+                fault.duration.is_finite() && fault.duration > 0.0,
+                "fault plan: wire fault duration must be positive, got {}",
+                fault.duration
+            );
+            match fault.kind {
+                WireFaultKind::Delay { seconds } => assert!(
+                    seconds.is_finite() && seconds >= 0.0,
+                    "fault plan: wire delay must be finite and >= 0, got {seconds}"
+                ),
+                WireFaultKind::Throttle { bytes_per_sec } => assert!(
+                    bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+                    "fault plan: throttle bandwidth must be positive, got {bytes_per_sec}"
+                ),
+                WireFaultKind::Drop { probability } | WireFaultKind::Duplicate { probability } => {
+                    assert!(
+                        (0.0..1.0).contains(&probability),
+                        "fault plan: wire {} probability must be in [0, 1), got {probability}",
+                        fault.kind.label()
+                    )
+                }
+                WireFaultKind::Reset | WireFaultKind::Partition => {}
+            }
+        }
+        for fault in &self.disk {
+            assert!(
+                fault.at.is_finite() && fault.at >= 0.0,
+                "fault plan: disk fault time must be finite and >= 0, got {}",
+                fault.at
+            );
+        }
     }
 }
 
@@ -728,6 +980,59 @@ mod tests {
         assert_eq!(plan.slowdowns.len(), 1);
         assert!(!plan.is_empty());
         assert!(FaultPlan::new(7).is_empty());
+    }
+
+    #[test]
+    fn wire_and_disk_faults_chain_and_validate() {
+        let plan = FaultPlan::new(9)
+            .with_throttle(0, 0.0, 30.0, 64.0 * 1024.0)
+            .with_wire_delay(1, 2.0, 3.0, 0.05)
+            .with_wire_drop(2, 1.0, 2.0, 0.25)
+            .with_wire_duplicate(2, 1.0, 2.0, 0.25)
+            .with_reset(3, 4.0)
+            .with_partition(1, 5.0, 1.5, WireDirection::ToDriver)
+            .with_disk_fault(7, 0.5);
+        plan.validate(4);
+        assert_eq!(plan.wire.len(), 6);
+        assert_eq!(plan.disk.len(), 1);
+        assert!(!plan.is_empty());
+        // Wire-only and disk-only plans are non-empty too.
+        assert!(!FaultPlan::new(0).with_reset(0, 1.0).is_empty());
+        assert!(!FaultPlan::new(0).with_disk_fault(0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn wire_direction_coverage() {
+        assert!(WireDirection::Both.covers_to_driver());
+        assert!(WireDirection::Both.covers_to_executor());
+        assert!(WireDirection::ToDriver.covers_to_driver());
+        assert!(!WireDirection::ToDriver.covers_to_executor());
+        assert!(!WireDirection::ToExecutor.covers_to_driver());
+        assert!(WireDirection::ToExecutor.covers_to_executor());
+    }
+
+    #[test]
+    #[should_panic(expected = "wire fault targets executor")]
+    fn wire_fault_on_missing_executor_rejected() {
+        FaultPlan::new(0)
+            .with_throttle(4, 0.0, 1.0, 1024.0)
+            .validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "throttle bandwidth must be positive")]
+    fn zero_throttle_bandwidth_rejected() {
+        FaultPlan::new(0)
+            .with_throttle(0, 0.0, 1.0, 0.0)
+            .validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability must be in")]
+    fn certain_wire_drop_rejected() {
+        FaultPlan::new(0)
+            .with_wire_drop(0, 0.0, 1.0, 1.0)
+            .validate(4);
     }
 
     #[test]

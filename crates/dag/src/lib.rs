@@ -49,8 +49,8 @@ mod task;
 mod trace;
 
 pub use config::{
-    ConfigCategory, ConfigParameter, EngineConfig, ExecutorCrash, FaultPlan, FaultToleranceConfig,
-    NodeSlowdown, ParameterCatalog,
+    ConfigCategory, ConfigParameter, DiskFault, EngineConfig, ExecutorCrash, FaultPlan,
+    FaultToleranceConfig, NodeSlowdown, ParameterCatalog, WireDirection, WireFault, WireFaultKind,
 };
 pub use engine::{Engine, JobError};
 pub use executor::{ExecutorStats, SlotPool};

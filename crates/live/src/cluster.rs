@@ -8,11 +8,30 @@
 //! journal as JSONL, [`ClusterConfig::metrics_out`] for a Prometheus text
 //! exposition, and [`ClusterConfig::metrics_jsonl`] for a periodic
 //! snapshot stream sampled every [`ClusterConfig::metrics_interval`].
-//! When a job *fails*, the flight recorder is dumped immediately (to
-//! `trace_out`, or a fresh file under the system temp dir) so the
-//! post-mortem survives even if shutdown never happens.
+//! When a job *fails* — including by panic, which is caught and turned
+//! into [`LiveError::DriverPanicked`] — the flight recorder is dumped
+//! immediately (to `trace_out`, or a fresh file under the system temp
+//! dir) so the post-mortem survives even if shutdown never happens.
+//!
+//! # Chaos
+//!
+//! Give [`ClusterConfig::fault_plan`] a seeded [`FaultPlan`] and the
+//! cluster arms the full live fault model:
+//!
+//! * `plan.wire` interposes a [`Nemesis`] proxy between the executors and
+//!   the driver, perturbing scheduled frames (delay, throttle, drop,
+//!   duplicate, mid-frame reset, partition);
+//! * `plan.crashes` drives a chaos-agent thread that flips executor kill
+//!   switches on schedule; each crashed executor reincarnates after the
+//!   crash's `downtime` (or per [`ClusterConfig::respawn`] if set);
+//! * `plan.disk` makes the same agent corrupt spill files once they land,
+//!   exercising the checksum → quarantine → lineage-rebuild path.
+//!
+//! The same plan validates under the simulator's `FaultPlan` rules, so one
+//! seeded schedule drives both runtimes.
 
 use std::io::{self, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,13 +39,15 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use sae_core::{DecisionJournal, DecisionRecord, MapeConfig};
+use sae_dag::FaultPlan;
 use sae_metrics::{render_prometheus, snapshot_jsonl_line, MetricRegistry};
 
 use crate::driver::{Driver, DriverConfig, LiveError, LiveReport, PoolDecision, SlotInfo};
-use crate::executor::{LiveExecutor, LiveExecutorConfig};
+use crate::executor::{LiveExecutor, LiveExecutorConfig, RespawnConfig};
 use crate::job::LiveJob;
 use crate::log::Logger;
-use crate::recorder::FlightRecorder;
+use crate::nemesis::Nemesis;
+use crate::recorder::{FlightRecorder, LiveEvent};
 
 /// Cluster-level configuration: driver knobs plus what every executor
 /// shares.
@@ -46,11 +67,29 @@ pub struct ClusterConfig {
     pub max_task_attempts: usize,
     /// Per-stage executor failure budget before blacklisting.
     pub blacklist_after: usize,
+    /// How long a blacklisted executor sits out before probation ends.
+    pub probation: Duration,
     /// Wall-clock bound on the whole job.
     pub deadline: Duration,
+    /// Per-task wall-clock bound; overrunning assignments are revoked and
+    /// retried. `None` disables the check.
+    pub task_deadline: Option<Duration>,
+    /// Fleet floor for graceful degradation: below this many usable
+    /// executors the driver parks in `Degraded` instead of failing fast.
+    pub min_live_executors: usize,
+    /// How long the driver tolerates being below the floor before the job
+    /// fails.
+    pub degraded_wait: Duration,
     /// Fault injection: `(executor, n)` makes that executor go silent
     /// after completing `n` tasks.
     pub kill_after_tasks: Vec<(usize, usize)>,
+    /// The seeded fault schedule (see the module docs). An empty plan —
+    /// the default — arms nothing and interposes nothing.
+    pub fault_plan: FaultPlan,
+    /// Reincarnation policy for every executor. `None` keeps death final
+    /// except for plan crashes, which derive a policy from their
+    /// `downtime`.
+    pub respawn: Option<RespawnConfig>,
     /// Flight-recorder ring capacity in events; 0 disables recording.
     pub recorder_capacity: usize,
     /// Where to write the merged Chrome trace on shutdown (and
@@ -78,8 +117,14 @@ impl Default for ClusterConfig {
             check_interval: Duration::from_millis(50),
             max_task_attempts: 4,
             blacklist_after: 3,
+            probation: Duration::from_secs(2),
             deadline: Duration::from_secs(120),
+            task_deadline: None,
+            min_live_executors: 1,
+            degraded_wait: Duration::from_secs(5),
             kill_after_tasks: Vec::new(),
+            fault_plan: FaultPlan::default(),
+            respawn: None,
             recorder_capacity: 16_384,
             trace_out: None,
             journal_out: None,
@@ -92,6 +137,11 @@ impl Default for ClusterConfig {
 
 /// A scratch directory removed on drop. Hand-rolled (no `tempfile`
 /// dependency): uniqueness comes from the pid plus a process-wide counter.
+///
+/// Cleanup is panic-safe: drop glue runs during unwinding, so a test or
+/// driver panic still removes the directory — and the cluster additionally
+/// catches driver panics before they can poison the caller's stack (see
+/// [`LiveCluster::run_with_observer`]).
 #[derive(Debug)]
 pub struct TempDir {
     path: PathBuf,
@@ -143,11 +193,15 @@ pub struct LiveCluster {
     log: Logger,
     sampler_stop: Arc<AtomicBool>,
     sampler: Option<JoinHandle<()>>,
+    nemesis: Option<Nemesis>,
+    chaos_stop: Arc<AtomicBool>,
+    chaos: Option<JoinHandle<()>>,
     last_trace_path: Option<PathBuf>,
 }
 
 impl LiveCluster {
-    /// Binds a driver and launches `cfg.executors` executors against it.
+    /// Binds a driver and launches `cfg.executors` executors against it
+    /// (through a [`Nemesis`] proxy when the fault plan has wire faults).
     pub fn launch(cfg: ClusterConfig) -> io::Result<Self> {
         let scratch = TempDir::new("sae-live")?;
         // One recorder, one registry, one clock for the whole cluster.
@@ -161,12 +215,29 @@ impl LiveCluster {
             check_interval: cfg.check_interval,
             max_task_attempts: cfg.max_task_attempts,
             blacklist_after: cfg.blacklist_after,
+            probation: cfg.probation,
             deadline: cfg.deadline,
+            task_deadline: cfg.task_deadline,
+            min_live_executors: cfg.min_live_executors,
+            degraded_wait: cfg.degraded_wait,
             recorder: recorder.clone(),
             metrics: metrics.clone(),
         })?;
-        let addr = driver.addr()?;
-        let executors = (0..cfg.executors)
+        let driver_addr = driver.addr()?;
+        // Wire faults interpose the nemesis; executors then connect to it
+        // instead of the driver and every frame crosses the fault layer.
+        let nemesis = if cfg.fault_plan.wire.is_empty() {
+            None
+        } else {
+            Some(Nemesis::launch(
+                driver_addr,
+                &cfg.fault_plan,
+                recorder.clone(),
+                &metrics,
+            )?)
+        };
+        let addr = nemesis.as_ref().map_or(driver_addr, |n| n.addr());
+        let executors: Vec<LiveExecutor> = (0..cfg.executors)
             .map(|id| {
                 let mut ecfg = LiveExecutorConfig::new(id, scratch.path().to_path_buf());
                 ecfg.mape = cfg.mape;
@@ -176,12 +247,26 @@ impl LiveCluster {
                     .iter()
                     .find(|&&(e, _)| e == id)
                     .map(|&(_, n)| n);
+                ecfg.respawn = respawn_for(&cfg, id);
                 ecfg.recorder = recorder.clone();
                 ecfg.metrics = metrics.clone();
                 ecfg.journal = journals[id].clone();
                 LiveExecutor::launch(addr, ecfg)
             })
             .collect();
+        let chaos_stop = Arc::new(AtomicBool::new(false));
+        let chaos = if cfg.fault_plan.crashes.is_empty() && cfg.fault_plan.disk.is_empty() {
+            None
+        } else {
+            let kills = executors.iter().map(|e| e.kill_handle()).collect();
+            Some(spawn_chaos_agent(
+                cfg.fault_plan.clone(),
+                kills,
+                scratch.path().to_path_buf(),
+                recorder.clone(),
+                Arc::clone(&chaos_stop),
+            ))
+        };
         let sampler_stop = Arc::new(AtomicBool::new(false));
         let sampler = cfg.metrics_jsonl.clone().map(|path| {
             spawn_metrics_sampler(
@@ -204,6 +289,9 @@ impl LiveCluster {
             log,
             sampler_stop,
             sampler,
+            nemesis,
+            chaos_stop,
+            chaos,
             last_trace_path: None,
         })
     }
@@ -241,16 +329,29 @@ impl LiveCluster {
     }
 
     /// Like [`LiveCluster::run`] with a `PoolSizeChanged` observer.
+    ///
+    /// A panic anywhere in the driver's event loop (including inside the
+    /// observer) is caught, converted to [`LiveError::DriverPanicked`],
+    /// and treated like any other failure: the flight recorder is dumped
+    /// for post-mortem and the cluster stays joinable — the unwinding
+    /// driver drops its sockets, so executors see EOF and exit cleanly.
     pub fn run_with_observer(
         &mut self,
         job: &LiveJob,
         observer: impl FnMut(&PoolDecision, &[SlotInfo]),
     ) -> Result<LiveReport, LiveError> {
-        let result = self
-            .driver
-            .take()
-            .ok_or(LiveError::AlreadyRan)?
-            .run_with_observer(job, observer);
+        let driver = self.driver.take().ok_or(LiveError::AlreadyRan)?;
+        let result = catch_unwind(AssertUnwindSafe(move || {
+            driver.run_with_observer(job, observer)
+        }))
+        .unwrap_or_else(|panic| {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(LiveError::DriverPanicked { message })
+        });
         if let Err(e) = &result {
             // Post-mortem: dump the black box while the evidence is hot.
             let why = e.to_string();
@@ -294,11 +395,19 @@ impl LiveCluster {
     /// Prometheus exposition. The scratch directory is removed when the
     /// cluster drops.
     pub fn shutdown(mut self) -> io::Result<()> {
+        // Chaos off first: no kills or corruptions while draining.
+        self.chaos_stop.store(true, Ordering::Relaxed);
+        if let Some(chaos) = self.chaos.take() {
+            let _ = chaos.join();
+        }
         let mut first_err = None;
         for ex in self.executors.drain(..) {
             if let Err(e) = ex.join() {
                 first_err.get_or_insert(e);
             }
+        }
+        if let Some(mut nemesis) = self.nemesis.take() {
+            nemesis.shutdown();
         }
         // Executors are drained: journals carry their terminal records and
         // the recorder holds the replayed ζ samples. Now the artifacts.
@@ -322,6 +431,109 @@ impl LiveCluster {
             None => Ok(()),
         }
     }
+}
+
+/// The reincarnation policy executor `id` launches with: the explicit
+/// cluster-wide policy if set, else one derived from the executor's
+/// scheduled crash (its `downtime` becomes the respawn delay — the same
+/// number the simulator uses for the replacement's registration delay).
+fn respawn_for(cfg: &ClusterConfig, id: usize) -> Option<RespawnConfig> {
+    if cfg.respawn.is_some() {
+        return cfg.respawn.clone();
+    }
+    cfg.fault_plan
+        .crashes
+        .iter()
+        .find(|c| c.executor == id)
+        .map(|c| {
+            let mut r = RespawnConfig::new(Duration::from_secs_f64(c.downtime));
+            r.seed = cfg.fault_plan.seed ^ id as u64;
+            r
+        })
+}
+
+/// The chaos agent: walks the plan's crash and disk schedules on the
+/// recorder clock, flipping kill switches and corrupting spill files as
+/// their times come due. Disk corruptions flip one seeded byte of the
+/// spill once the file exists with a stable size; the recorder's
+/// `FaultInjected{kind:"disk"}` event carries the *task* id in its
+/// executor field (spills belong to tasks, not executors).
+fn spawn_chaos_agent(
+    plan: FaultPlan,
+    kills: Vec<Arc<AtomicBool>>,
+    spill_dir: PathBuf,
+    recorder: FlightRecorder,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let log = Logger::new("chaos", recorder.clone());
+        let mut crash_fired = vec![false; plan.crashes.len()];
+        let mut disk_fired = vec![false; plan.disk.len()];
+        let mut disk_seen_len: Vec<Option<u64>> = vec![None; plan.disk.len()];
+        while !stop.load(Ordering::Relaxed) {
+            let now = recorder.now();
+            for (i, crash) in plan.crashes.iter().enumerate() {
+                if crash_fired[i] || now < crash.at {
+                    continue;
+                }
+                crash_fired[i] = true;
+                if let Some(kill) = kills.get(crash.executor) {
+                    kill.store(true, Ordering::Relaxed);
+                    recorder.push(LiveEvent::FaultInjected {
+                        executor: crash.executor,
+                        kind: "crash",
+                        at: now,
+                    });
+                    log.info(|| {
+                        format!(
+                            "killed executor {} at t={now:.2}s (downtime {:.2}s)",
+                            crash.executor, crash.downtime
+                        )
+                    });
+                }
+            }
+            for (i, fault) in plan.disk.iter().enumerate() {
+                if disk_fired[i] || now < fault.at {
+                    continue;
+                }
+                let path = spill_dir.join(format!("t{}.spill", fault.task));
+                let Ok(meta) = std::fs::metadata(&path) else {
+                    continue; // not spilled yet; retry next tick
+                };
+                // Wait for two ticks of stable size so we corrupt a
+                // finished spill, not one mid-write.
+                if disk_seen_len[i] != Some(meta.len()) {
+                    disk_seen_len[i] = Some(meta.len());
+                    continue;
+                }
+                if let Ok(mut bytes) = std::fs::read(&path) {
+                    if bytes.is_empty() {
+                        continue;
+                    }
+                    let pos = (plan.seed ^ fault.task as u64) as usize % bytes.len();
+                    bytes[pos] ^= 0xFF;
+                    if std::fs::write(&path, &bytes).is_ok() {
+                        disk_fired[i] = true;
+                        recorder.push(LiveEvent::FaultInjected {
+                            executor: fault.task,
+                            kind: "disk",
+                            at: now,
+                        });
+                        log.info(|| {
+                            format!(
+                                "corrupted spill of task {} (byte {pos}) at t={now:.2}s",
+                                fault.task
+                            )
+                        });
+                    }
+                }
+            }
+            if crash_fired.iter().all(|&f| f) && disk_fired.iter().all(|&f| f) {
+                return; // schedule exhausted
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    })
 }
 
 /// Appends one metric snapshot as JSONL every `interval` until stopped,
@@ -357,6 +569,7 @@ fn spawn_metrics_sampler(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::terasort;
 
     #[test]
     fn temp_dirs_are_unique_and_cleaned_up() {
@@ -368,5 +581,40 @@ mod tests {
         drop(a);
         assert!(!path.exists());
         assert!(b.path().is_dir());
+    }
+
+    #[test]
+    fn driver_panic_is_contained_and_leaves_a_post_mortem() {
+        let mut cluster = LiveCluster::launch(ClusterConfig {
+            executors: 1,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let scratch = cluster._scratch.path().to_path_buf();
+        // 8 tasks/stage on one executor clears min_stage_tasks, so the pool
+        // resets to c_min at stage start — a guaranteed PoolSizeChanged
+        // round-trip, and thus a guaranteed observer call.
+        let err = cluster
+            .run_with_observer(&terasort(8, 2_000, 7), |_, _| {
+                panic!("observer exploded on purpose")
+            })
+            .unwrap_err();
+        match &err {
+            LiveError::DriverPanicked { message } => {
+                assert!(message.contains("observer exploded"), "got: {message}");
+            }
+            other => panic!("expected DriverPanicked, got {other:?}"),
+        }
+        // The black box was dumped while the evidence was hot…
+        let trace = cluster
+            .last_trace_path()
+            .expect("post-mortem dump")
+            .to_path_buf();
+        assert!(trace.is_file());
+        // …the cluster is still joinable, and the scratch dir is
+        // panic-safe: gone once the cluster drops.
+        cluster.shutdown().unwrap();
+        assert!(!scratch.exists());
+        let _ = std::fs::remove_file(trace);
     }
 }

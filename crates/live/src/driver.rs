@@ -14,13 +14,24 @@
 //!   tasks with the failure recorded against the lost executor, and give
 //!   up with [`LiveError::MaxAttemptsExceeded`] when a task keeps dying;
 //! * blacklist executors that fail too many tasks in one stage (while at
-//!   least one other usable executor remains).
+//!   least one other usable executor remains), un-blacklisting them after
+//!   a probation interval;
+//! * admit executor **reincarnations**: a dead or partitioned executor
+//!   that re-registers (or shows evidence of life on its old connection)
+//!   rejoins the fleet under a new registration epoch, with frames from
+//!   its superseded incarnations fenced off by the [`EpochRegistry`];
+//! * degrade gracefully: when the usable-executor count falls below
+//!   [`DriverConfig::min_live_executors`], the job parks in a `Degraded`
+//!   state for up to [`DriverConfig::degraded_wait`] — giving respawning
+//!   executors a window to rejoin — instead of failing fast.
 //!
 //! The driver is single-threaded over an event channel: per-connection
 //! reader threads translate socket frames into events, and the main loop
 //! owns every piece of mutable state — the same structure as the
 //! simulator's event loop, with `recv_timeout` standing in for the virtual
-//! clock.
+//! clock. The acceptor polls a non-blocking listener until told to stop,
+//! so shutdown needs no self-connection tricks to unblock it, and it keeps
+//! accepting for the whole run — reincarnated executors connect late.
 
 use std::collections::HashMap;
 use std::io;
@@ -30,11 +41,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 use sae_dag::sched::PendingQueue;
 use sae_dag::{Message, TraceEvent};
 use sae_metrics::{Counter, Gauge, Histogram, MetricRegistry, RegistrySnapshot};
 
+use crate::epochs::{Admission, EpochRegistry};
 use crate::job::LiveJob;
 use crate::log::Logger;
 use crate::recorder::{FlightRecorder, LiveEvent};
@@ -54,8 +65,22 @@ pub struct DriverConfig {
     /// An executor failing this many tasks in one stage is blacklisted
     /// (unless it is the last usable executor).
     pub blacklist_after: usize,
+    /// How long a blacklisted executor sits out before its failure count
+    /// resets and it may serve again.
+    pub probation: Duration,
     /// Wall-clock bound on the whole job.
     pub deadline: Duration,
+    /// Wall-clock bound on a single task attempt; an overrunning attempt
+    /// counts as failed and the task is requeued. `None` disables the
+    /// per-task deadline.
+    pub task_deadline: Option<Duration>,
+    /// The graceful-degradation floor: with fewer usable executors than
+    /// this (and work pending) the job parks in a `Degraded` state rather
+    /// than failing fast.
+    pub min_live_executors: usize,
+    /// How long the job may stay `Degraded` before giving up with
+    /// [`LiveError::NoUsableExecutors`].
+    pub degraded_wait: Duration,
     /// The cluster's shared flight recorder; event timestamps use its
     /// epoch, so driver and executor events land on one timeline.
     pub recorder: FlightRecorder,
@@ -72,7 +97,11 @@ impl Default for DriverConfig {
             check_interval: Duration::from_millis(50),
             max_task_attempts: 4,
             blacklist_after: 3,
+            probation: Duration::from_secs(2),
             deadline: Duration::from_secs(120),
+            task_deadline: None,
+            min_live_executors: 1,
+            degraded_wait: Duration::from_secs(5),
             recorder: FlightRecorder::disabled(),
             metrics: MetricRegistry::new(),
         }
@@ -156,6 +185,12 @@ pub enum LiveError {
     NoUsableExecutors,
     /// [`crate::LiveCluster::run`] was called twice.
     AlreadyRan,
+    /// The driver's event loop panicked (caught by the cluster harness so
+    /// the post-mortem artifacts still get written).
+    DriverPanicked {
+        /// The panic payload, rendered.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for LiveError {
@@ -170,6 +205,9 @@ impl std::fmt::Display for LiveError {
                 write!(f, "no usable executors remain with tasks pending")
             }
             LiveError::AlreadyRan => write!(f, "this cluster's driver already ran a job"),
+            LiveError::DriverPanicked { message } => {
+                write!(f, "the driver's event loop panicked: {message}")
+            }
         }
     }
 }
@@ -190,18 +228,29 @@ impl From<io::Error> for LiveError {
 }
 
 /// Events the per-connection reader threads feed the driver loop.
+///
+/// Every event carries the acceptor-minted connection id, so the loop can
+/// fence traffic from superseded incarnations through the
+/// [`EpochRegistry`]. `Registered` also hands over the connection's write
+/// half: the driver loop owns the writer map outright, no shared lock.
 enum Ev {
     /// An executor completed its Register handshake.
-    Registered { executor: usize, slots: usize },
+    Registered {
+        executor: usize,
+        slots: usize,
+        conn: u64,
+        writer: FrameWriter,
+    },
     /// A frame arrived on an executor's connection.
     Frame {
         executor: usize,
+        conn: u64,
         frame: Frame,
         /// Wire size of the frame, length prefix included.
         bytes: usize,
     },
     /// An executor's connection closed or broke.
-    Gone { executor: usize },
+    Gone { executor: usize, conn: u64 },
 }
 
 /// Driver-side view of one executor.
@@ -209,6 +258,7 @@ struct ExecState {
     registered: bool,
     alive: bool,
     blacklisted: bool,
+    blacklisted_at: Option<Instant>,
     slots: usize,
     running: usize,
     failures_in_stage: usize,
@@ -225,6 +275,7 @@ impl ExecState {
 struct StageState {
     done: Vec<bool>,
     assigned_to: Vec<Option<usize>>,
+    assigned_at: Vec<Option<Instant>>,
     failures: Vec<usize>,
     failed_on: Vec<Vec<usize>>,
     remaining: usize,
@@ -238,6 +289,7 @@ impl StageState {
         Self {
             done: vec![false; tasks],
             assigned_to: vec![None; tasks],
+            assigned_at: vec![None; tasks],
             failures: vec![0; tasks],
             failed_on: vec![Vec::new(); tasks],
             remaining: tasks,
@@ -280,64 +332,79 @@ impl Driver {
         job: &LiveJob,
         observer: impl FnMut(&PoolDecision, &[SlotInfo]),
     ) -> Result<LiveReport, LiveError> {
-        let addr = self.addr()?;
         let (tx, rx) = unbounded();
-        let writers: Arc<Mutex<HashMap<usize, FrameWriter>>> = Arc::default();
         let stop_accepting = Arc::new(AtomicBool::new(false));
+        let log = Logger::new("driver", self.cfg.recorder.clone());
         spawn_acceptor(
             self.listener.try_clone()?,
-            self.cfg.executors,
             tx.clone(),
-            Arc::clone(&writers),
             Arc::clone(&stop_accepting),
+            self.cfg.check_interval,
+            log,
         );
-        let mut run = Run::new(&self.cfg, job, Arc::clone(&writers), observer);
+        let mut run = Run::new(&self.cfg, job, observer);
         let result = run.drive(&rx);
-        // Tell executors the job is over (best-effort) and unblock the
-        // acceptor if some executors never connected.
+        // Tell executors the job is over (best-effort); the polling
+        // acceptor notices the stop flag within one check interval.
         run.broadcast(&Frame::Shutdown);
         stop_accepting.store(true, Ordering::Relaxed);
-        for _ in 0..self.cfg.executors {
-            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(100));
-        }
         drop(tx);
         result.map(|()| run.into_report())
     }
 }
 
-/// Accepts up to `n` executor connections, one reader thread each.
+/// Accepts executor connections — as many as arrive, for as long as the
+/// run lasts, because reincarnated executors connect late — spawning one
+/// reader thread per connection, each tagged with a unique connection id.
+///
+/// The listener is polled in non-blocking mode so the stop flag is
+/// honoured without anyone having to connect to wake the thread up; an
+/// accept error is logged (it previously vanished silently) and ends the
+/// acceptor, the event loop's `recv_timeout` keeping the driver live.
 fn spawn_acceptor(
     listener: TcpListener,
-    n: usize,
     tx: Sender<Ev>,
-    writers: Arc<Mutex<HashMap<usize, FrameWriter>>>,
     stop: Arc<AtomicBool>,
+    poll_interval: Duration,
+    log: Logger,
 ) {
     std::thread::spawn(move || {
-        for _ in 0..n {
+        if let Err(e) = listener.set_nonblocking(true) {
+            log.error(|| format!("acceptor cannot poll its listener: {e}"));
+            return;
+        }
+        let mut next_conn: u64 = 1;
+        while !stop.load(Ordering::Relaxed) {
             match listener.accept() {
                 Ok((stream, _)) => {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
+                    // Accepted sockets must block: readers rely on it.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
                     }
-                    spawn_reader(stream, tx.clone(), Arc::clone(&writers));
+                    spawn_reader(stream, next_conn, tx.clone());
+                    next_conn += 1;
                 }
-                Err(_) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(poll_interval);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    log.error(|| format!("acceptor died: {e}"));
+                    return;
+                }
             }
         }
+        log.debug(|| "acceptor stopped".into());
     });
 }
 
 /// Reads frames off one executor connection and forwards them as events.
 ///
 /// The first frame must be a [`Frame::Register`]; anything else abandons
-/// the connection. After registration the stream's write half is published
-/// in the shared writer map under the executor's id.
-fn spawn_reader(
-    stream: TcpStream,
-    tx: Sender<Ev>,
-    writers: Arc<Mutex<HashMap<usize, FrameWriter>>>,
-) {
+/// the connection. Registration hands the stream's write half to the
+/// driver loop, which owns the writer map and decides — through the
+/// epoch registry — whether this connection supersedes an earlier one.
+fn spawn_reader(stream: TcpStream, conn: u64, tx: Sender<Ev>) {
     std::thread::spawn(move || {
         let _ = stream.set_nodelay(true);
         let read_half = match stream.try_clone() {
@@ -349,8 +416,16 @@ fn spawn_reader(
             Ok(Next::Frame(Frame::Register { executor, slots })) => (executor, slots),
             _ => return,
         };
-        writers.lock().insert(executor, FrameWriter::new(stream));
-        if tx.send(Ev::Registered { executor, slots }).is_err() {
+        let writer = FrameWriter::new(stream);
+        if tx
+            .send(Ev::Registered {
+                executor,
+                slots,
+                conn,
+                writer,
+            })
+            .is_err()
+        {
             return;
         }
         loop {
@@ -360,6 +435,7 @@ fn spawn_reader(
                     if tx
                         .send(Ev::Frame {
                             executor,
+                            conn,
                             frame,
                             bytes,
                         })
@@ -370,7 +446,7 @@ fn spawn_reader(
                 }
                 Ok(Next::Idle) => {}
                 Ok(Next::Eof) | Err(_) => {
-                    let _ = tx.send(Ev::Gone { executor });
+                    let _ = tx.send(Ev::Gone { executor, conn });
                     return;
                 }
             }
@@ -388,6 +464,9 @@ struct DriverMetrics {
     bytes_received: Counter,
     retries: Counter,
     executors_lost: Counter,
+    reincarnations: Counter,
+    frames_fenced: Counter,
+    degraded: Gauge,
     heartbeat_gap_s: Histogram,
     queue_depth: Gauge,
     tasks_started: Vec<Counter>,
@@ -410,6 +489,9 @@ impl DriverMetrics {
             bytes_received: registry.counter("live.driver.bytes_received"),
             retries: registry.counter("live.driver.retries"),
             executors_lost: registry.counter("live.driver.executors_lost"),
+            reincarnations: registry.counter("live.driver.reincarnations"),
+            frames_fenced: registry.counter("live.driver.frames_fenced"),
+            degraded: registry.gauge("live.driver.degraded"),
             heartbeat_gap_s: registry.histogram("live.driver.heartbeat_gap_s"),
             queue_depth: registry.gauge("live.driver.queue_depth"),
             tasks_started: per_counter("tasks_started"),
@@ -426,13 +508,15 @@ impl DriverMetrics {
 struct Run<'j, Obs> {
     cfg: DriverConfig,
     job: &'j LiveJob,
-    writers: Arc<Mutex<HashMap<usize, FrameWriter>>>,
+    writers: HashMap<usize, (u64, FrameWriter)>,
+    epochs: EpochRegistry,
     execs: Vec<ExecState>,
     queue: PendingQueue,
     st: StageState,
     stage_idx: usize,
     decisions: Vec<PoolDecision>,
     lost: Vec<usize>,
+    degraded_since: Option<Instant>,
     stage_reports: Vec<LiveStageReport>,
     started: Instant,
     finished: bool,
@@ -443,18 +527,14 @@ struct Run<'j, Obs> {
 }
 
 impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
-    fn new(
-        cfg: &DriverConfig,
-        job: &'j LiveJob,
-        writers: Arc<Mutex<HashMap<usize, FrameWriter>>>,
-        observer: Obs,
-    ) -> Self {
+    fn new(cfg: &DriverConfig, job: &'j LiveJob, observer: Obs) -> Self {
         let now = Instant::now();
         let execs = (0..cfg.executors)
             .map(|_| ExecState {
                 registered: false,
                 alive: false,
                 blacklisted: false,
+                blacklisted_at: None,
                 slots: 0,
                 running: 0,
                 failures_in_stage: 0,
@@ -464,13 +544,15 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
         Self {
             cfg: cfg.clone(),
             job,
-            writers,
+            writers: HashMap::new(),
+            epochs: EpochRegistry::new(cfg.executors),
             execs,
             queue: PendingQueue::new(),
             st: StageState::new(0),
             stage_idx: 0,
             decisions: Vec::new(),
             lost: Vec::new(),
+            degraded_since: None,
             stage_reports: Vec::new(),
             started: now,
             finished: false,
@@ -507,6 +589,8 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
                 Err(RecvTimeoutError::Disconnected) => {}
             }
             self.check_heartbeats()?;
+            self.check_task_deadlines()?;
+            self.check_probation();
             self.try_assign()?;
             if self.finished {
                 return Ok(());
@@ -514,49 +598,96 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
             if self.started.elapsed() > self.cfg.deadline {
                 return Err(LiveError::DeadlineExceeded);
             }
-            if self.execs.iter().any(|e| e.registered)
-                && !self.execs.iter().any(|e| e.usable())
-                && self.st.remaining > 0
-            {
-                return Err(LiveError::NoUsableExecutors);
-            }
+            self.check_degraded()?;
         }
     }
 
     fn handle(&mut self, ev: Ev) -> Result<(), LiveError> {
         match ev {
-            Ev::Registered { executor, slots } => {
+            Ev::Registered {
+                executor,
+                slots,
+                conn,
+                writer,
+            } => {
                 if executor >= self.execs.len() {
+                    self.log.error(|| {
+                        format!(
+                            "executor {executor} registered from outside the configured cluster"
+                        )
+                    });
                     return Ok(()); // id outside the configured cluster
+                }
+                let reg = self.epochs.register(executor, conn);
+                self.writers.insert(executor, (conn, writer));
+                if reg.reincarnation {
+                    // Requeue whatever the superseded incarnation was
+                    // running; its reports are fenced from here on.
+                    for task in 0..self.st.done.len() {
+                        if self.st.assigned_to[task] == Some(executor) && !self.st.done[task] {
+                            self.st.assigned_to[task] = None;
+                            self.st.assigned_at[task] = None;
+                            self.record_failure(task, executor)?;
+                        }
+                    }
                 }
                 let ex = &mut self.execs[executor];
                 ex.registered = true;
                 ex.alive = true;
+                ex.blacklisted = false;
+                ex.blacklisted_at = None;
+                ex.failures_in_stage = 0;
                 ex.slots = slots;
                 ex.running = 0;
                 ex.last_heartbeat = Instant::now();
-                self.log
-                    .info(|| format!("executor {executor} registered with {slots} slots"));
+                if reg.reincarnation {
+                    self.metrics.reincarnations.inc();
+                    self.recorder.push(LiveEvent::ExecutorReincarnated {
+                        executor,
+                        epoch: reg.epoch,
+                        at: self.recorder.now(),
+                    });
+                    self.log.info(|| {
+                        format!(
+                            "executor {executor} reincarnated (epoch {}) with {slots} slots",
+                            reg.epoch
+                        )
+                    });
+                } else {
+                    self.log
+                        .info(|| format!("executor {executor} registered with {slots} slots"));
+                }
                 self.record_slots(executor);
                 // Late joiners still need the current stage announcement.
-                let spec = &self.job.stages[self.stage_idx];
-                let frame = Frame::StageStart {
-                    stage: self.stage_idx,
-                    kind: spec.kind,
-                    tasks: spec.tasks,
-                    records_per_task: spec.records_per_task,
-                    seed: spec.seed,
-                    hint: self.stage_hint(),
-                };
-                self.send(executor, &frame);
+                self.announce_stage_to(executor);
             }
             Ev::Frame {
                 executor,
+                conn,
                 frame,
                 bytes,
             } => {
-                if executor >= self.execs.len() || !self.execs[executor].alive {
-                    return Ok(()); // stale traffic from a declared-lost peer
+                if executor >= self.execs.len() {
+                    return Ok(());
+                }
+                if self.epochs.admit(executor, conn) == Admission::Stale {
+                    // A zombie predecessor is still talking: fence it.
+                    self.metrics.frames_fenced.inc();
+                    self.recorder.push(LiveEvent::EpochFenced {
+                        executor,
+                        kind: frame.kind_str(),
+                        at: self.recorder.now(),
+                    });
+                    self.log.debug(|| {
+                        format!(
+                            "fenced a {} frame from a stale incarnation of executor {executor}",
+                            frame.kind_str()
+                        )
+                    });
+                    return Ok(());
+                }
+                if !self.execs[executor].alive && !self.finished {
+                    self.resurrect(executor)?;
                 }
                 self.metrics.frames_received.inc();
                 self.metrics.bytes_received.add(bytes as u64);
@@ -568,15 +699,64 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
                 });
                 self.handle_frame(executor, frame)?;
             }
-            Ev::Gone { executor } => {
+            Ev::Gone { executor, conn } => {
+                if executor >= self.execs.len() {
+                    return Ok(());
+                }
+                if !self.epochs.disconnect(executor, conn) {
+                    return Ok(()); // a fenced predecessor's socket died
+                }
+                if self.writers.get(&executor).is_some_and(|(c, _)| *c == conn) {
+                    self.writers.remove(&executor);
+                }
                 // A broken/closed socket is immediate evidence of loss —
                 // faster than waiting out the heartbeat timeout.
-                if executor < self.execs.len() && self.execs[executor].alive && !self.finished {
+                if self.execs[executor].alive && !self.finished {
                     self.declare_lost(executor)?;
                 }
             }
         }
         Ok(())
+    }
+
+    /// Frames are flowing on the current connection of an executor we
+    /// declared lost: the partition healed without the socket dying. Open
+    /// a new epoch, put the executor back in the fleet, and re-announce
+    /// the stage — it may have changed while the executor was unreachable.
+    fn resurrect(&mut self, executor: usize) -> Result<(), LiveError> {
+        let epoch = self.epochs.resurrect(executor);
+        let ex = &mut self.execs[executor];
+        ex.alive = true;
+        ex.running = 0;
+        ex.last_heartbeat = Instant::now();
+        self.metrics.reincarnations.inc();
+        self.recorder.push(LiveEvent::ExecutorReincarnated {
+            executor,
+            epoch,
+            at: self.recorder.now(),
+        });
+        self.log
+            .info(|| format!("executor {executor} resurrected on live traffic (epoch {epoch})"));
+        self.record_slots(executor);
+        self.announce_stage_to(executor);
+        Ok(())
+    }
+
+    /// Sends the current stage announcement to one executor.
+    fn announce_stage_to(&mut self, executor: usize) {
+        if self.finished || self.stage_idx >= self.job.stages.len() {
+            return;
+        }
+        let spec = &self.job.stages[self.stage_idx];
+        let frame = Frame::StageStart {
+            stage: self.stage_idx,
+            kind: spec.kind,
+            tasks: spec.tasks,
+            records_per_task: spec.records_per_task,
+            seed: spec.seed,
+            hint: self.stage_hint(),
+        };
+        self.send(executor, &frame);
     }
 
     fn handle_frame(&mut self, from: usize, frame: Frame) -> Result<(), LiveError> {
@@ -696,6 +876,7 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
                 let failed_on = &self.st.failed_on;
                 if let Some(task) = self.queue.pick(e, |t| failed_on[t].contains(&e)) {
                     self.st.assigned_to[task] = Some(e);
+                    self.st.assigned_at[task] = Some(Instant::now());
                     self.st.attempts += 1;
                     self.execs[e].running += 1;
                     self.metrics.tasks_started[e].inc();
@@ -740,6 +921,98 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
         Ok(())
     }
 
+    /// Requeues task attempts that overran [`DriverConfig::task_deadline`],
+    /// charging the overrun to the slow executor like any other failure.
+    fn check_task_deadlines(&mut self) -> Result<(), LiveError> {
+        let Some(deadline) = self.cfg.task_deadline else {
+            return Ok(());
+        };
+        for task in 0..self.st.done.len() {
+            if self.st.done[task] {
+                continue;
+            }
+            let Some(e) = self.st.assigned_to[task] else {
+                continue;
+            };
+            if !matches!(self.st.assigned_at[task], Some(at) if at.elapsed() > deadline) {
+                continue;
+            }
+            self.log.error(|| {
+                format!("task {task} overran its {deadline:?} deadline on executor {e}; requeueing")
+            });
+            self.st.assigned_to[task] = None;
+            self.st.assigned_at[task] = None;
+            self.execs[e].running = self.execs[e].running.saturating_sub(1);
+            self.execs[e].failures_in_stage += 1;
+            self.maybe_blacklist(e);
+            self.record_failure(task, e)?;
+        }
+        Ok(())
+    }
+
+    /// Lets blacklisted-but-alive executors back in once their probation
+    /// elapses, with a clean failure count.
+    fn check_probation(&mut self) {
+        for e in 0..self.execs.len() {
+            let served = matches!(
+                self.execs[e].blacklisted_at,
+                Some(at) if at.elapsed() >= self.cfg.probation
+            );
+            if served && self.execs[e].alive {
+                self.execs[e].blacklisted = false;
+                self.execs[e].blacklisted_at = None;
+                self.execs[e].failures_in_stage = 0;
+                self.record_slots(e);
+                self.log
+                    .info(|| format!("executor {e} finished probation: un-blacklisted"));
+            }
+        }
+    }
+
+    /// Graceful degradation: below the usable-executor floor the job parks
+    /// (bounded by [`DriverConfig::degraded_wait`]) instead of failing
+    /// fast, giving reincarnating executors a window to rejoin.
+    fn check_degraded(&mut self) -> Result<(), LiveError> {
+        let live = self.execs.iter().filter(|e| e.usable()).count();
+        let floor = self.cfg.min_live_executors.max(1);
+        let below =
+            self.execs.iter().any(|e| e.registered) && live < floor && self.st.remaining > 0;
+        if below {
+            match self.degraded_since {
+                None => {
+                    self.degraded_since = Some(Instant::now());
+                    self.metrics.degraded.set(1.0);
+                    self.recorder.push(LiveEvent::Degraded {
+                        live,
+                        floor,
+                        at: self.recorder.now(),
+                    });
+                    self.log.error(|| {
+                        format!(
+                            "degraded: {live} usable executors < floor {floor}; \
+                             parking the job for up to {:?}",
+                            self.cfg.degraded_wait
+                        )
+                    });
+                }
+                Some(since) if since.elapsed() > self.cfg.degraded_wait => {
+                    return Err(LiveError::NoUsableExecutors);
+                }
+                Some(_) => {}
+            }
+        } else if let Some(since) = self.degraded_since.take() {
+            let waited = since.elapsed().as_secs_f64();
+            self.metrics.degraded.set(0.0);
+            self.recorder.push(LiveEvent::DegradedRecovered {
+                waited,
+                at: self.recorder.now(),
+            });
+            self.log
+                .info(|| format!("recovered above the executor floor after {waited:.2}s degraded"));
+        }
+        Ok(())
+    }
+
     /// The executor went silent or its socket broke: blacklist it for the
     /// job and recover every attempt it was running — the live analogue of
     /// the simulated engine's executor-lost path.
@@ -756,13 +1029,19 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
         self.record_slots(executor);
         self.log
             .error(|| format!("executor {executor} declared lost; requeueing its work"));
-        self.writers.lock().remove(&executor);
+        // The writer stays: a partitioned socket may heal, and resurrection
+        // re-announces the stage through it. A truly dead connection is
+        // removed by its `Gone` event instead.
         for task in 0..self.st.done.len() {
             if self.st.assigned_to[task] == Some(executor) && !self.st.done[task] {
                 self.st.assigned_to[task] = None;
+                self.st.assigned_at[task] = None;
                 self.record_failure(task, executor)?;
             }
         }
+        // Survivors poison their current monitoring interval: the requeued
+        // work about to land on them is not the workload they were probing.
+        self.broadcast_except(executor, &Frame::FaultNotice { executor });
         Ok(())
     }
 
@@ -801,13 +1080,23 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
             return Ok(()); // stale or duplicate report
         }
         self.st.assigned_to[task] = None;
+        self.st.assigned_at[task] = None;
         self.execs[executor].running = self.execs[executor].running.saturating_sub(1);
         self.execs[executor].failures_in_stage += 1;
+        self.maybe_blacklist(executor);
+        self.record_failure(task, executor)
+    }
+
+    /// Blacklists `executor` (starting its probation clock) once its
+    /// per-stage failure count crosses the threshold, as long as the fleet
+    /// keeps at least one other usable executor.
+    fn maybe_blacklist(&mut self, executor: usize) {
         if self.execs[executor].failures_in_stage >= self.cfg.blacklist_after
             && !self.execs[executor].blacklisted
             && self.execs.iter().filter(|e| e.usable()).count() > 1
         {
             self.execs[executor].blacklisted = true;
+            self.execs[executor].blacklisted_at = Some(Instant::now());
             self.recorder
                 .push(LiveEvent::Trace(TraceEvent::ExecutorBlacklisted {
                     executor,
@@ -820,7 +1109,6 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
                 )
             });
         }
-        self.record_failure(task, executor)
     }
 
     fn task_finished(&mut self, executor: usize, task: usize) {
@@ -832,6 +1120,7 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
         }
         self.st.done[task] = true;
         self.st.assigned_to[task] = None;
+        self.st.assigned_at[task] = None;
         self.st.remaining -= 1;
         self.execs[executor].running = self.execs[executor].running.saturating_sub(1);
         self.metrics.tasks_finished[executor].inc();
@@ -876,9 +1165,9 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
     }
 
     /// Sends `frame` to `executor`; `false` means the write half broke.
-    fn send(&self, executor: usize, frame: &Frame) -> bool {
-        match self.writers.lock().get_mut(&executor) {
-            Some(w) => match w.send(frame) {
+    fn send(&mut self, executor: usize, frame: &Frame) -> bool {
+        match self.writers.get_mut(&executor) {
+            Some((_, w)) => match w.send(frame) {
                 Ok(bytes) => {
                     self.metrics.frames_sent.inc();
                     self.metrics.bytes_sent.add(bytes as u64);
@@ -897,8 +1186,16 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
     }
 
     /// Best-effort send to every connected executor.
-    fn broadcast(&self, frame: &Frame) {
-        for (&executor, w) in self.writers.lock().iter_mut() {
+    pub(crate) fn broadcast(&mut self, frame: &Frame) {
+        self.broadcast_except(usize::MAX, frame);
+    }
+
+    /// Best-effort send to every connected executor but `skip`.
+    fn broadcast_except(&mut self, skip: usize, frame: &Frame) {
+        for (&executor, (_, w)) in self.writers.iter_mut() {
+            if executor == skip {
+                continue;
+            }
             if let Ok(bytes) = w.send(frame) {
                 self.metrics.frames_sent.inc();
                 self.metrics.bytes_sent.add(bytes as u64);

@@ -28,6 +28,19 @@
 //! detect the failure from heartbeat silence — the scenario the paper's
 //! engine handles with executor-lost bookkeeping — rather than getting a
 //! convenient EOF.
+//!
+//! With a [`RespawnConfig`], a killed or disconnected executor
+//! **reincarnates**: after the configured downtime it reconnects (jittered
+//! exponential backoff, capped), re-registers under a fresh pool, and the
+//! driver admits it under a new registration epoch while fencing whatever
+//! its dead predecessor left in flight. Each incarnation appends to the
+//! same shared decision journal, so the merged ζ timeline spans rebirths.
+//!
+//! Faults poison measurements: on a [`Frame::FaultNotice`] about a peer —
+//! or a local task failure — the executor declares its current MAPE-K
+//! monitoring interval poisoned, so the controller discards measurements
+//! taken while redistributed work (or a retry storm) distorted the probe,
+//! keeping ζ comparisons clean across fault windows.
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
@@ -50,6 +63,36 @@ use crate::recorder::{FlightRecorder, LiveEvent};
 use crate::task::run_task;
 use crate::wire::{Frame, FrameReader, FrameWriter, Next};
 
+/// Reincarnation policy: how a dead executor comes back.
+#[derive(Debug, Clone)]
+pub struct RespawnConfig {
+    /// Downtime between death and the first reconnect attempt. Keep it
+    /// above the driver's heartbeat timeout when tests need the
+    /// lost-then-reincarnated event order to be deterministic.
+    pub delay: Duration,
+    /// Initial backoff between failed reconnect attempts.
+    pub backoff_base: Duration,
+    /// Backoff ceiling; the exponential doubling stops here.
+    pub backoff_cap: Duration,
+    /// How many rebirths are allowed before the executor stays dead.
+    pub max_respawns: usize,
+    /// Seed for the backoff jitter (deterministic per incarnation).
+    pub seed: u64,
+}
+
+impl RespawnConfig {
+    /// A policy with `delay` of downtime and default backoff bounds.
+    pub fn new(delay: Duration) -> Self {
+        Self {
+            delay,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_millis(500),
+            max_respawns: 3,
+            seed: 0xC0FF_EE11,
+        }
+    }
+}
+
 /// Executor tuning knobs.
 #[derive(Debug, Clone)]
 pub struct LiveExecutorConfig {
@@ -63,10 +106,14 @@ pub struct LiveExecutorConfig {
     /// sort tasks read partitions any executor wrote).
     pub spill_dir: PathBuf,
     /// Deterministic fault injection: go silent after completing this
-    /// many tasks, with work still assigned.
+    /// many tasks, with work still assigned. Applies to the first
+    /// incarnation only — a reincarnated executor serves untainted.
     pub kill_after_tasks: Option<usize>,
     /// How long to retry connecting to the driver.
     pub connect_timeout: Duration,
+    /// Reincarnation policy; `None` (the default) means death is final,
+    /// preserving the pre-chaos failure semantics.
+    pub respawn: Option<RespawnConfig>,
     /// The cluster's shared flight recorder; its epoch is also the
     /// adaptive pool's time base, keeping journal timestamps and trace
     /// timestamps on one clock.
@@ -74,7 +121,8 @@ pub struct LiveExecutorConfig {
     /// The cluster's shared metric registry.
     pub metrics: MetricRegistry,
     /// The journal the executor's MAPE-K controller appends to; keep a
-    /// clone to read the decisions after the run.
+    /// clone to read the decisions after the run. Shared across
+    /// incarnations, so one run's journal spans rebirths.
     pub journal: DecisionJournal,
 }
 
@@ -88,6 +136,7 @@ impl LiveExecutorConfig {
             spill_dir,
             kill_after_tasks: None,
             connect_timeout: Duration::from_secs(10),
+            respawn: None,
             recorder: FlightRecorder::disabled(),
             metrics: MetricRegistry::new(),
             journal: DecisionJournal::new(),
@@ -118,6 +167,8 @@ impl LiveExecutor {
     }
 
     /// Makes the executor go silent immediately (see the module docs).
+    /// With a [`RespawnConfig`], the silence lasts one downtime window
+    /// and then the executor reincarnates.
     pub fn kill(&self) {
         self.kill.store(true, Ordering::Relaxed);
     }
@@ -126,6 +177,12 @@ impl LiveExecutor {
     /// the executor has been joined).
     pub fn journal(&self) -> DecisionJournal {
         self.journal.clone()
+    }
+
+    /// The kill switch itself, for the cluster's chaos agent to flip on a
+    /// schedule without holding a borrow of the executor.
+    pub(crate) fn kill_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.kill)
     }
 
     /// Waits for the executor thread to exit.
@@ -139,6 +196,17 @@ impl LiveExecutor {
     }
 }
 
+/// Why one incarnation's serve loop ended.
+enum Exit {
+    /// The driver said the job is over (Shutdown frame, or the driver is
+    /// simply gone): nothing left to reincarnate for.
+    Clean,
+    /// The kill switch fired: the executor went silent mid-job.
+    Killed,
+    /// The connection died (EOF or socket error) with the job unfinished.
+    ConnLost,
+}
+
 /// Connects to the driver, retrying briefly while it binds/accepts.
 fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
     let deadline = Instant::now() + timeout;
@@ -147,6 +215,44 @@ fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStre
             Ok(s) => return Ok(s),
             Err(e) if Instant::now() >= deadline => return Err(e),
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// xorshift64*: the workspace's stock tiny deterministic RNG.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Reconnects with jittered exponential backoff, capped. A refused
+/// connection means the driver is gone — give up immediately rather than
+/// hammering a dead address.
+fn connect_with_backoff(
+    addr: SocketAddr,
+    respawn: &RespawnConfig,
+    incarnation: usize,
+    timeout: Duration,
+) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    let mut rng = respawn.seed ^ (incarnation as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut backoff = respawn.backoff_base;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => return Err(e),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => {
+                // Sleep 50–100% of the current backoff: jitter decorrelates
+                // a fleet of executors respawning off the same fault.
+                let frac = 0.5 + (xorshift(&mut rng) >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+                std::thread::sleep(backoff.mul_f64(frac));
+                backoff = (backoff * 2).min(respawn.backoff_cap);
+            }
         }
     }
 }
@@ -198,18 +304,85 @@ impl ExecMetrics {
     }
 }
 
+/// The incarnation loop: serve until the job is over, reincarnating after
+/// kills and connection losses as long as the respawn budget allows.
 fn run_executor(
     addr: SocketAddr,
     cfg: LiveExecutorConfig,
     kill: Arc<AtomicBool>,
 ) -> io::Result<()> {
-    let stream = connect_with_retry(addr, cfg.connect_timeout)?;
+    let log = Logger::new(format!("executor-{}", cfg.id), cfg.recorder.clone());
+    let mut incarnation: usize = 0;
+    let result = loop {
+        let exit = run_incarnation(addr, &cfg, &kill, incarnation, &log);
+        let respawn = match &cfg.respawn {
+            Some(r) if incarnation < r.max_respawns => r,
+            _ => {
+                break match exit {
+                    Ok(_) => Ok(()),
+                    Err(e) => Err(e),
+                };
+            }
+        };
+        match exit {
+            Ok(Exit::Clean) => break Ok(()),
+            Ok(Exit::Killed) | Ok(Exit::ConnLost) | Err(_) => {
+                incarnation += 1;
+                log.info(|| {
+                    format!(
+                        "respawning as incarnation {incarnation} after {:?} downtime",
+                        respawn.delay
+                    )
+                });
+                std::thread::sleep(respawn.delay);
+                // The rebirth clears the kill switch: a new incarnation
+                // starts healthy, like a restarted worker process.
+                kill.store(false, Ordering::Relaxed);
+            }
+        }
+    };
+    // Replay the journal's ζ samples onto the recorder exactly once, after
+    // the last incarnation: the shared journal spans every rebirth, and
+    // the merged trace gains its zeta-exec{N} counter track.
+    for rec in cfg.journal.records() {
+        cfg.recorder
+            .push(LiveEvent::Trace(TraceEvent::IntervalClosed {
+                executor: rec.executor,
+                threads: rec.threads,
+                zeta: rec.zeta,
+                at: rec.at,
+            }));
+    }
+    result
+}
+
+/// One incarnation: connect, register, serve, clean up.
+fn run_incarnation(
+    addr: SocketAddr,
+    cfg: &LiveExecutorConfig,
+    kill: &Arc<AtomicBool>,
+    incarnation: usize,
+    log: &Logger,
+) -> io::Result<Exit> {
+    let stream = match (incarnation, &cfg.respawn) {
+        (0, _) | (_, None) => connect_with_retry(addr, cfg.connect_timeout)?,
+        (_, Some(respawn)) => {
+            match connect_with_backoff(addr, respawn, incarnation, cfg.connect_timeout) {
+                Ok(s) => s,
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                    // The driver is gone: the job ended during our downtime.
+                    log.info(|| "driver gone; staying dead".into());
+                    return Ok(Exit::Clean);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    };
     stream.set_nodelay(true)?;
     // The read timeout bounds how stale the kill flag can get.
     stream.set_read_timeout(Some(Duration::from_millis(25)))?;
     let recorder = cfg.recorder.clone();
     let metrics = ExecMetrics::new(&cfg.metrics, cfg.id);
-    let log = Logger::new(format!("executor-{}", cfg.id), recorder.clone());
     let link = Arc::new(Link {
         writer: Mutex::new(FrameWriter::new(stream.try_clone()?)),
         frames_sent: cfg.metrics.counter(&format!(
@@ -240,7 +413,7 @@ fn run_executor(
     {
         // §5.4: every pool resize becomes a protocol message.
         let link = Arc::clone(&link);
-        let kill = Arc::clone(&kill);
+        let kill = Arc::clone(kill);
         let id = cfg.id;
         pool.set_resize_hook(move |size| {
             if kill.load(Ordering::Relaxed) {
@@ -258,7 +431,7 @@ fn run_executor(
     })?;
     log.info(|| {
         format!(
-            "connected and registered with {} slots",
+            "incarnation {incarnation} connected and registered with {} slots",
             pool.current_threads()
         )
     });
@@ -266,7 +439,7 @@ fn run_executor(
     let heartbeat_stop = Arc::new(AtomicBool::new(false));
     let heartbeat = {
         let link = Arc::clone(&link);
-        let kill = Arc::clone(&kill);
+        let kill = Arc::clone(kill);
         let stop = Arc::clone(&heartbeat_stop);
         let id = cfg.id;
         let interval = cfg.heartbeat_interval;
@@ -286,48 +459,41 @@ fn run_executor(
     let completed = Arc::new(AtomicUsize::new(0));
     let mut current_stage: Option<(LiveStageKind, usize, u64)> = None;
     let result = serve(
-        &cfg,
+        cfg,
+        incarnation,
         &mut reader,
         &link,
         &pool,
         &task_io,
         &stage_probe,
-        &kill,
+        kill,
         &completed,
         &mut current_stage,
         &metrics,
-        &log,
+        log,
     );
     heartbeat_stop.store(true, Ordering::Relaxed);
     pool.shutdown();
-    // Book the final stage's I/O and replay the journal's ζ samples onto
-    // the recorder: the merged trace gains its zeta-exec{N} counter track.
+    // Book the final stage's I/O before the incarnation's probe drops.
     let (_, mb) = (task_io.as_probe())();
     metrics.io_mb.add(mb);
-    for rec in pool.journal().records() {
-        recorder.push(LiveEvent::Trace(TraceEvent::IntervalClosed {
-            executor: rec.executor,
-            threads: rec.threads,
-            zeta: rec.zeta,
-            at: rec.at,
-        }));
-    }
     log.info(|| {
         format!(
-            "exiting after {} tasks, {} journal records",
+            "incarnation {incarnation} exiting after {} tasks, {} journal records",
             completed.load(Ordering::Relaxed),
-            pool.journal().len()
+            cfg.journal.len()
         )
     });
     let _ = heartbeat.join();
     result
 }
 
-/// The executor's frame loop, split out so cleanup in [`run_executor`]
+/// The executor's frame loop, split out so cleanup in [`run_incarnation`]
 /// runs on every exit path.
 #[allow(clippy::too_many_arguments)]
 fn serve(
     cfg: &LiveExecutorConfig,
+    incarnation: usize,
     reader: &mut FrameReader,
     link: &Arc<Link>,
     pool: &AdaptivePool,
@@ -338,16 +504,22 @@ fn serve(
     current_stage: &mut Option<(LiveStageKind, usize, u64)>,
     metrics: &ExecMetrics,
     log: &Logger,
-) -> io::Result<()> {
+) -> io::Result<Exit> {
     let io_reading = task_io.as_probe();
+    // The deterministic kill switch taints only the first incarnation.
+    let kill_after_tasks = if incarnation == 0 {
+        cfg.kill_after_tasks
+    } else {
+        None
+    };
     loop {
         if kill.load(Ordering::Relaxed) {
             log.error(|| "killed: going silent with the socket open".into());
-            return Ok(());
+            return Ok(Exit::Killed);
         }
         let frame = match reader.next_frame()? {
             Next::Idle => continue,
-            Next::Eof => return Ok(()),
+            Next::Eof => return Ok(Exit::ConnLost),
             Next::Frame(frame) => frame,
         };
         metrics.frames_received.inc();
@@ -359,7 +531,18 @@ fn serve(
             at: link.recorder.now(),
         });
         match frame {
-            Frame::Shutdown => return Ok(()),
+            Frame::Shutdown => return Ok(Exit::Clean),
+            // A peer died and its work is being redistributed onto us:
+            // measurements spanning this window would mislead the MAPE-K
+            // climb, so poison the current interval. (A notice about our
+            // own prior incarnation is not a peer loss — ignore it.)
+            Frame::FaultNotice { executor } if executor != cfg.id => {
+                pool.interval_poisoned(&format!("executor {executor} declared lost"));
+                log.info(|| {
+                    format!("peer executor {executor} lost: poisoned the current interval")
+                });
+            }
+            Frame::FaultNotice { .. } => {}
             Frame::StageStart {
                 stage,
                 kind,
@@ -385,13 +568,13 @@ fn serve(
                 let kill = Arc::clone(kill);
                 let completed = Arc::clone(completed);
                 let task_io = task_io.clone();
+                let pool = pool.clone();
                 let dir = cfg.spill_dir.clone();
                 let id = cfg.id;
-                let kill_after = cfg.kill_after_tasks;
                 let tasks_finished = metrics.tasks_finished.clone();
                 let tasks_failed = metrics.tasks_failed.clone();
                 let log = log.clone();
-                pool.submit(move || {
+                pool.clone().submit(move || {
                     if kill.load(Ordering::Relaxed) {
                         return;
                     }
@@ -411,6 +594,9 @@ fn serve(
                         Err(_) => {
                             tasks_failed.inc();
                             log.error(|| format!("task {task} failed"));
+                            // Our own failure distorts the probe the same
+                            // way a peer's does: poison the interval.
+                            pool.interval_poisoned(&format!("local task {task} failed"));
                             Frame::Core(Message::TaskFailed {
                                 task,
                                 executor: id,
@@ -420,7 +606,7 @@ fn serve(
                     };
                     let _ = link.send(&frame);
                     let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                    if kill_after.is_some_and(|n| done >= n) {
+                    if kill_after_tasks.is_some_and(|n| done >= n) {
                         kill.store(true, Ordering::Relaxed);
                     }
                 });

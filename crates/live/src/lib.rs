@@ -41,9 +41,11 @@
 
 pub mod cluster;
 pub mod driver;
+pub mod epochs;
 pub mod executor;
 pub mod job;
 pub mod log;
+pub mod nemesis;
 pub mod recorder;
 pub mod task;
 pub mod wire;
@@ -52,7 +54,9 @@ pub use cluster::{ClusterConfig, LiveCluster, TempDir};
 pub use driver::{
     Driver, DriverConfig, LiveError, LiveReport, LiveStageReport, PoolDecision, SlotInfo,
 };
-pub use executor::{LiveExecutor, LiveExecutorConfig};
+pub use epochs::{Admission, EpochRegistry, Registration};
+pub use executor::{LiveExecutor, LiveExecutorConfig, RespawnConfig};
 pub use job::{terasort, LiveJob, LiveStageKind, LiveStageSpec};
 pub use log::{LogLevel, Logger};
+pub use nemesis::Nemesis;
 pub use recorder::{chrome_trace, FlightRecorder, LiveEvent};

@@ -80,6 +80,52 @@ pub enum LiveEvent {
         /// Seconds since the recorder epoch.
         at: f64,
     },
+    /// The nemesis wire layer injected one scheduled fault window.
+    FaultInjected {
+        /// The executor whose link the fault hit.
+        executor: usize,
+        /// The fault kind ([`sae_dag::WireFaultKind::label`], or
+        /// `"disk"` / `"crash"` for the chaos agent's faults).
+        kind: &'static str,
+        /// Seconds since the recorder epoch.
+        at: f64,
+    },
+    /// A dead or partitioned executor re-registered (or was resurrected
+    /// on evidence of life) and rejoined the fleet.
+    ExecutorReincarnated {
+        /// The reborn executor.
+        executor: usize,
+        /// Its new registration epoch.
+        epoch: u64,
+        /// Seconds since the recorder epoch.
+        at: f64,
+    },
+    /// The driver dropped a frame from a superseded incarnation.
+    EpochFenced {
+        /// The executor whose stale incarnation sent the frame.
+        executor: usize,
+        /// Frame kind (see [`crate::wire::Frame::kind_str`]).
+        kind: &'static str,
+        /// Seconds since the recorder epoch.
+        at: f64,
+    },
+    /// The live-executor count fell below the configured floor: the
+    /// driver parked the job instead of failing fast.
+    Degraded {
+        /// Usable executors at the moment of entry.
+        live: usize,
+        /// The configured `min_live_executors` floor.
+        floor: usize,
+        /// Seconds since the recorder epoch.
+        at: f64,
+    },
+    /// The fleet recovered above the floor and the job resumed.
+    DegradedRecovered {
+        /// Seconds spent parked.
+        waited: f64,
+        /// Seconds since the recorder epoch.
+        at: f64,
+    },
     /// A log line emitted through [`crate::log::Logger`].
     Log {
         /// Severity.
@@ -102,6 +148,11 @@ impl LiveEvent {
             | LiveEvent::FrameReceived { at, .. }
             | LiveEvent::Heartbeat { at, .. }
             | LiveEvent::SlotRegistryChanged { at, .. }
+            | LiveEvent::FaultInjected { at, .. }
+            | LiveEvent::ExecutorReincarnated { at, .. }
+            | LiveEvent::EpochFenced { at, .. }
+            | LiveEvent::Degraded { at, .. }
+            | LiveEvent::DegradedRecovered { at, .. }
             | LiveEvent::Log { at, .. } => *at,
         }
     }
@@ -347,6 +398,40 @@ pub fn chrome_trace(events: &[LiveEvent]) -> String {
             } => {
                 entries.push(format!(
                     r#"{{"name":"slots-exec{executor}","ph":"C","ts":{},"pid":0,"tid":{executor},"args":{{"slots":{slots},"free":{free}}}}}"#,
+                    us(*at)
+                ));
+            }
+            LiveEvent::FaultInjected { executor, kind, at } => {
+                entries.push(format!(
+                    r#"{{"name":"fault:{kind}","ph":"i","ts":{},"pid":2,"tid":{executor},"s":"p","args":{{}}}}"#,
+                    us(*at)
+                ));
+            }
+            LiveEvent::ExecutorReincarnated {
+                executor,
+                epoch,
+                at,
+            } => {
+                entries.push(format!(
+                    r#"{{"name":"reincarnated","ph":"i","ts":{},"pid":0,"tid":{executor},"s":"p","args":{{"epoch":{epoch}}}}}"#,
+                    us(*at)
+                ));
+            }
+            LiveEvent::EpochFenced { executor, kind, at } => {
+                entries.push(format!(
+                    r#"{{"name":"fenced:{kind}","ph":"i","ts":{},"pid":0,"tid":{executor},"s":"t","args":{{}}}}"#,
+                    us(*at)
+                ));
+            }
+            LiveEvent::Degraded { live, floor, at } => {
+                entries.push(format!(
+                    r#"{{"name":"degraded","ph":"i","ts":{},"pid":0,"tid":0,"s":"g","args":{{"live":{live},"floor":{floor}}}}}"#,
+                    us(*at)
+                ));
+            }
+            LiveEvent::DegradedRecovered { waited, at } => {
+                entries.push(format!(
+                    r#"{{"name":"degraded-recovered","ph":"i","ts":{},"pid":0,"tid":0,"s":"g","args":{{"waited_s":{waited:?}}}}}"#,
                     us(*at)
                 ));
             }

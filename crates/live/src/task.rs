@@ -35,10 +35,52 @@ fn task_seed(seed: u64, task: usize) -> u64 {
     seed ^ (task as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Path a corrupt spill is quarantined under for post-mortem inspection.
+fn quarantine_path(dir: &Path, task: usize) -> PathBuf {
+    dir.join(format!("t{task}.spill.corrupt"))
+}
+
+/// Reads task `task`'s spill partition, recovering from the two spill
+/// failure modes:
+///
+/// * **Corrupt** (checksum/format mismatch): the file is quarantined under
+///   `t<task>.spill.corrupt` and the error propagates, so the driver sees
+///   a *retryable* task failure instead of a mis-sorted run.
+/// * **Missing** (never written here, or quarantined by a previous
+///   attempt): the partition is regenerated from its deterministic
+///   lineage — `teragen` over [`task_seed`] produces byte-identical
+///   records to the original spill task on any executor — re-spilled, and
+///   the sort proceeds.
+fn read_or_regenerate(
+    dir: &Path,
+    task: usize,
+    records_per_task: usize,
+    seed: u64,
+    io_probe: &CounterProbe,
+) -> io::Result<Vec<sae_workloads::datagen::TeraRecord>> {
+    match read_records(&spill_path(dir, task)) {
+        Ok(records) => Ok(records),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            let _ = std::fs::rename(spill_path(dir, task), quarantine_path(dir, task));
+            Err(e)
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            let records = teragen(records_per_task, task_seed(seed, task));
+            let started = Instant::now();
+            let bytes = write_records(&spill_path(dir, task), &records)?;
+            io_probe.record(bytes, started.elapsed());
+            Ok(records)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// Runs one task attempt to completion, recording its I/O into `io_probe`.
 ///
 /// Errors propagate to the caller, which reports a `TaskFailed` to the
-/// driver — e.g. a sort task whose input partition is missing or corrupt.
+/// driver — e.g. a sort task whose input partition failed its checksum
+/// (the corrupt file is quarantined, so the retry regenerates it from
+/// lineage and completes).
 pub fn run_task(
     kind: LiveStageKind,
     task: usize,
@@ -56,7 +98,7 @@ pub fn run_task(
         }
         LiveStageKind::Sort => {
             let read_started = Instant::now();
-            let mut records = read_records(&spill_path(dir, task))?;
+            let mut records = read_or_regenerate(dir, task, records_per_task, seed, io_probe)?;
             io_probe.record(
                 (records.len() * RECORD_BYTES) as u64,
                 read_started.elapsed(),
@@ -79,6 +121,7 @@ pub fn run_task(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sae_workloads::spill::FOOTER_BYTES;
 
     fn temp_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("sae-live-task-{}-{name}", std::process::id()));
@@ -97,8 +140,9 @@ mod tests {
         assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
         let (wait_secs, mb) = probe.sample();
         assert!(wait_secs >= 0.0);
-        // Spill write + sort read + sort write = 3 passes over the data.
-        let expected_mb = (3 * 300 * RECORD_BYTES) as f64 / (1024.0 * 1024.0);
+        // Spill write + sort read + sort write = 3 passes over the data;
+        // the two writes also carry the checksum footer.
+        let expected_mb = (3 * 300 * RECORD_BYTES + 2 * FOOTER_BYTES) as f64 / (1024.0 * 1024.0);
         assert!(
             (mb - expected_mb).abs() < 1e-9,
             "got {mb}, want {expected_mb}"
@@ -107,11 +151,40 @@ mod tests {
     }
 
     #[test]
-    fn sort_without_spill_fails_cleanly() {
+    fn sort_without_spill_regenerates_from_lineage() {
         let dir = temp_dir("no-spill");
         let probe = CounterProbe::new();
-        let err = run_task(LiveStageKind::Sort, 0, 10, 1, &dir, &probe).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        // No spill task ever ran here: the sort regenerates the partition
+        // from its deterministic lineage and still produces the same run a
+        // spill-then-sort pair would.
+        run_task(LiveStageKind::Sort, 0, 10, 1, &dir, &probe).unwrap();
+        let mut expected = teragen(10, task_seed(1, 0));
+        expected.sort_unstable_by_key(|r| r.key);
+        assert_eq!(read_records(&sorted_path(&dir, 0)).unwrap(), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_spill_fails_retryably_then_recovers() {
+        let dir = temp_dir("corrupt-spill");
+        let probe = CounterProbe::new();
+        run_task(LiveStageKind::Spill, 3, 200, 17, &dir, &probe).unwrap();
+        // Bit rot lands in the middle of the spill.
+        let path = spill_path(&dir, 3);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        // First sort attempt: a retryable failure, the corpse quarantined.
+        let err = run_task(LiveStageKind::Sort, 3, 200, 17, &dir, &probe).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(!path.exists(), "corrupt spill must be quarantined");
+        assert!(quarantine_path(&dir, 3).exists());
+        // The retry regenerates from lineage and completes.
+        run_task(LiveStageKind::Sort, 3, 200, 17, &dir, &probe).unwrap();
+        let sorted = read_records(&sorted_path(&dir, 3)).unwrap();
+        assert_eq!(sorted.len(), 200);
+        assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

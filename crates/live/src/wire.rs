@@ -31,6 +31,8 @@ const TAG_STAGE_START: u8 = 0x12;
 const TAG_TASK_FINISHED: u8 = 0x13;
 /// Envelope tag: driver tells executors the job is over.
 const TAG_SHUTDOWN: u8 = 0x14;
+/// Envelope tag: driver tells executors a peer was declared lost.
+const TAG_FAULT_NOTICE: u8 = 0x15;
 
 /// One unit of driver↔executor traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +73,15 @@ pub enum Frame {
     },
     /// The driver is done; executors drain and exit.
     Shutdown,
+    /// The driver declared an executor lost and is redistributing its
+    /// work. Surviving executors poison their current MAPE-K monitoring
+    /// interval on receipt: measurements taken while a peer's tasks flood
+    /// in do not describe the configured workload, so ζ comparisons over
+    /// them would mislead the climb.
+    FaultNotice {
+        /// The executor that was declared lost.
+        executor: usize,
+    },
 }
 
 impl Frame {
@@ -86,6 +97,7 @@ impl Frame {
             Frame::StageStart { .. } => "stage-start",
             Frame::TaskFinished { .. } => "task-finished",
             Frame::Shutdown => "shutdown",
+            Frame::FaultNotice { .. } => "fault-notice",
         }
     }
 
@@ -136,6 +148,10 @@ impl Frame {
                 codec::put_u64(out, attempt as u64);
             }
             Frame::Shutdown => out.push(TAG_SHUTDOWN),
+            Frame::FaultNotice { executor } => {
+                out.push(TAG_FAULT_NOTICE);
+                codec::put_u64(out, executor as u64);
+            }
         }
     }
 
@@ -183,6 +199,12 @@ impl Frame {
             TAG_SHUTDOWN => {
                 expect_len(body, 0)?;
                 Ok(Frame::Shutdown)
+            }
+            TAG_FAULT_NOTICE => {
+                expect_len(body, 1)?;
+                Ok(Frame::FaultNotice {
+                    executor: codec::get_usize(body, 1)?,
+                })
             }
             other => Err(FrameError::UnknownTag(other)),
         }
@@ -244,8 +266,13 @@ pub enum Next {
 ///
 /// Honours the stream's read timeout: a `WouldBlock`/`TimedOut` read
 /// surfaces as [`Next::Idle`] rather than an error, so callers can poll
-/// control state between frames. Malformed bytes surface as
-/// `InvalidData` errors (the connection is unusable once framing is lost).
+/// control state between frames. An abortive close (`ECONNRESET` /
+/// `ECONNABORTED` — e.g. the peer dropped the socket with unread data
+/// queued, which turns the close into an RST) surfaces as [`Next::Eof`],
+/// the same as an orderly FIN: either way the peer is gone, and both
+/// ends already treat that as connection loss. Malformed bytes surface
+/// as `InvalidData` errors (the connection is unusable once framing is
+/// lost).
 #[derive(Debug)]
 pub struct FrameReader {
     stream: TcpStream,
@@ -303,6 +330,12 @@ impl FrameReader {
                 {
                     return Ok(Next::Idle);
                 }
+                Err(e)
+                    if e.kind() == io::ErrorKind::ConnectionReset
+                        || e.kind() == io::ErrorKind::ConnectionAborted =>
+                {
+                    return Ok(Next::Eof);
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -355,6 +388,7 @@ mod tests {
                 attempt: 0,
             },
             Frame::Shutdown,
+            Frame::FaultNotice { executor: 1 },
         ]
     }
 

@@ -1,0 +1,165 @@
+//! Property tests for the registration-epoch state machine.
+//!
+//! The [`EpochRegistry`] is the driver's fence against zombie
+//! incarnations: these properties check it against a trivially-correct
+//! model over arbitrary interleavings of registrations, resurrections,
+//! disconnects and admission probes — the orderings a chaotic network
+//! actually produces (a reincarnated executor can register *before* the
+//! driver notices its predecessor's socket died).
+
+use proptest::prelude::*;
+use sae_live::{Admission, EpochRegistry};
+
+const EXECUTORS: usize = 4;
+
+/// One operation against the registry.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Register { executor: usize, conn: u64 },
+    Resurrect { executor: usize },
+    Disconnect { executor: usize, conn: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0..3usize, 0..EXECUTORS, 1u64..6).prop_map(|(which, executor, conn)| match which {
+        0 => Op::Register { executor, conn },
+        1 => Op::Resurrect { executor },
+        _ => Op::Disconnect { executor, conn },
+    })
+}
+
+/// The obviously-correct model: per executor, a bump count and the one
+/// connection currently allowed to speak.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Model {
+    epoch: u64,
+    conn: Option<u64>,
+}
+
+fn apply(models: &mut [Model], reg: &mut EpochRegistry, op: Op) {
+    match op {
+        Op::Register { executor, conn } => {
+            let r = reg.register(executor, conn);
+            let m = &mut models[executor];
+            let was_dead_before = m.epoch > 0;
+            m.epoch += 1;
+            m.conn = Some(conn);
+            assert_eq!(r.epoch, m.epoch, "register must report the bumped epoch");
+            assert_eq!(
+                r.reincarnation, was_dead_before,
+                "every registration after the first is a reincarnation"
+            );
+        }
+        Op::Resurrect { executor } => {
+            let e = reg.resurrect(executor);
+            let m = &mut models[executor];
+            m.epoch += 1;
+            assert_eq!(e, m.epoch, "resurrect must report the bumped epoch");
+            // conn untouched: the healed socket keeps speaking.
+        }
+        Op::Disconnect { executor, conn } => {
+            let was_current = models[executor].conn == Some(conn);
+            let cleared = reg.disconnect(executor, conn);
+            assert_eq!(cleared, was_current, "only the current conn can disconnect");
+            if was_current {
+                models[executor].conn = None;
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Epochs never go backwards, and admission agrees with the model
+    /// after every single step.
+    #[test]
+    fn epochs_are_monotone_and_admission_matches_the_model(
+        ops in prop::collection::vec(op_strategy(), 1..60)
+    ) {
+        let mut reg = EpochRegistry::new(EXECUTORS);
+        let mut models = vec![Model::default(); EXECUTORS];
+        let mut high_water = [0u64; EXECUTORS];
+        for op in ops {
+            apply(&mut models, &mut reg, op);
+            for e in 0..EXECUTORS {
+                let epoch = reg.epoch(e);
+                prop_assert!(
+                    epoch >= high_water[e],
+                    "epoch of executor {e} went backwards: {} -> {epoch}",
+                    high_water[e]
+                );
+                high_water[e] = epoch;
+                prop_assert_eq!(reg.current_conn(e), models[e].conn);
+                // Probe every conn id the strategy can produce: exactly
+                // the model's current conn is admitted, all else fenced.
+                for conn in 1..6 {
+                    let expect = if models[e].conn == Some(conn) {
+                        Admission::Current
+                    } else {
+                        Admission::Stale
+                    };
+                    prop_assert_eq!(reg.admit(e, conn), expect);
+                }
+            }
+        }
+    }
+
+    /// A fenced incarnation stays fenced: once a new conn registers, no
+    /// later operation short of re-registering that old conn re-admits it.
+    #[test]
+    fn superseded_connections_never_regain_admission(
+        old_conn in 1u64..6,
+        delta in 1u64..5,
+        later in prop::collection::vec(op_strategy(), 0..40)
+    ) {
+        // A distinct successor conn, derived rather than assumed.
+        let new_conn = 1 + (old_conn - 1 + delta) % 5;
+        let mut reg = EpochRegistry::new(EXECUTORS);
+        let mut models = vec![Model::default(); EXECUTORS];
+        apply(&mut models, &mut reg, Op::Register { executor: 0, conn: old_conn });
+        apply(&mut models, &mut reg, Op::Register { executor: 0, conn: new_conn });
+        for op in later {
+            // Any later op except a fresh registration of old_conn itself,
+            // which legitimately re-admits it.
+            if matches!(op, Op::Register { executor: 0, conn } if conn == old_conn) {
+                continue;
+            }
+            apply(&mut models, &mut reg, op);
+            prop_assert_eq!(
+                reg.admit(0, old_conn),
+                Admission::Stale,
+                "zombie conn {old_conn} was re-admitted"
+            );
+        }
+    }
+
+    /// Determinism: replaying one op sequence into two registries leaves
+    /// them observably identical — the property the same-seed chaos rerun
+    /// leans on.
+    #[test]
+    fn replaying_the_same_ops_yields_the_same_registry(
+        ops in prop::collection::vec(op_strategy(), 1..60)
+    ) {
+        let mut a = EpochRegistry::new(EXECUTORS);
+        let mut b = EpochRegistry::new(EXECUTORS);
+        let mut model_a = vec![Model::default(); EXECUTORS];
+        let mut model_b = vec![Model::default(); EXECUTORS];
+        for &op in &ops {
+            apply(&mut model_a, &mut a, op);
+            apply(&mut model_b, &mut b, op);
+        }
+        for e in 0..EXECUTORS {
+            prop_assert_eq!(a.epoch(e), b.epoch(e));
+            prop_assert_eq!(a.current_conn(e), b.current_conn(e));
+        }
+    }
+
+    /// Out-of-range executors are fenced, never a panic: garbage ids off
+    /// the wire must not take the driver down.
+    #[test]
+    fn out_of_range_ids_are_fenced_not_fatal(executor in EXECUTORS..EXECUTORS + 8, conn in 1u64..6) {
+        let reg = EpochRegistry::new(EXECUTORS);
+        prop_assert_eq!(reg.admit(executor, conn), Admission::Stale);
+        prop_assert_eq!(reg.epoch(executor), 0);
+        prop_assert_eq!(reg.current_conn(executor), None);
+    }
+}

@@ -157,6 +157,21 @@ impl AdaptivePool {
         });
     }
 
+    /// Declares the current monitoring interval poisoned by a detected
+    /// fault (a local task failure, a lost executor whose work is being
+    /// redistributed): the controller discards the interval's measurements,
+    /// journals a `Poisoned` record carrying `reason`, and restarts the
+    /// interval from the probe's current reading at the same thread count.
+    pub fn interval_poisoned(&self, reason: &str) {
+        let (epoll, bytes) = (self.probe)();
+        let now = self.epoch.elapsed().as_secs_f64();
+        self.controller.lock().interval_poisoned(
+            now,
+            sae_core::ProbeSnapshot::basic(epoll, bytes),
+            reason,
+        );
+    }
+
     /// The thread count currently in effect.
     pub fn current_threads(&self) -> usize {
         self.pool.max_pool_size()
