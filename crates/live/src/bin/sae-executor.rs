@@ -1,0 +1,206 @@
+//! Standalone executor process for the live runtime's multi-process
+//! fleet.
+//!
+//! [`LiveCluster`](sae_live::LiveCluster) with
+//! `ClusterConfig::process_executors` spawns one of these per executor;
+//! each child connects to the driver (or the nemesis proxy standing in
+//! front of it), registers, and serves the adaptive-executor protocol
+//! through [`sae_live::executor::run_foreground`] — exactly the loop the
+//! in-thread fast path runs, now behind a real process boundary.
+//!
+//! The parent cannot reach across that boundary to flip kill switches,
+//! so chaos is delivered as arguments: `--kill-after N` arms the
+//! deterministic silent-death switch, and repeated
+//! `--crash-at-ms T --crash-downtime-ms D` pairs schedule wall-clock
+//! crashes (a watchdog thread flips the kill switch at `T`, and the
+//! first crash's downtime seeds the respawn policy unless one was given
+//! explicitly). The decision journal — the child's half of the shared
+//! observability plane — is written as JSONL to `--journal-out` on exit
+//! for the parent to merge back.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sae_core::MapeConfig;
+use sae_live::executor::{run_foreground, LiveExecutorConfig, RespawnConfig};
+
+/// Everything the command line can configure.
+struct Args {
+    driver: SocketAddr,
+    id: usize,
+    spill: PathBuf,
+    c_min: usize,
+    c_max: usize,
+    heartbeat: Duration,
+    connect_timeout: Duration,
+    kill_after: Option<usize>,
+    respawn_delay: Option<Duration>,
+    respawn_max: usize,
+    respawn_seed: Option<u64>,
+    crashes: Vec<(Duration, Duration)>,
+    journal_out: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: sae-executor --driver ADDR --id N --spill DIR \
+    [--c-min N] [--c-max N] [--heartbeat-ms N] [--connect-timeout-ms N] \
+    [--kill-after N] [--respawn-delay-ms N] [--respawn-max N] [--respawn-seed N] \
+    [--crash-at-ms T --crash-downtime-ms D]... [--journal-out PATH]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut driver = None;
+    let mut id = None;
+    let mut spill = None;
+    let mut c_min = 2usize;
+    let mut c_max = 8usize;
+    let mut heartbeat = Duration::from_millis(100);
+    let mut connect_timeout = Duration::from_secs(10);
+    let mut kill_after = None;
+    let mut respawn_delay = None;
+    let mut respawn_max = 3usize;
+    let mut respawn_seed = None;
+    let mut crash_ats: Vec<Duration> = Vec::new();
+    let mut crash_downtimes: Vec<Duration> = Vec::new();
+    let mut journal_out = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            argv.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--driver" => {
+                let v = value("--driver")?;
+                driver = Some(v.parse().map_err(|e| format!("--driver {v}: {e}"))?);
+            }
+            "--id" => id = Some(parse_num(&value("--id")?, "--id")? as usize),
+            "--spill" => spill = Some(PathBuf::from(value("--spill")?)),
+            "--c-min" => c_min = parse_num(&value("--c-min")?, "--c-min")? as usize,
+            "--c-max" => c_max = parse_num(&value("--c-max")?, "--c-max")? as usize,
+            "--heartbeat-ms" => heartbeat = parse_ms(&value("--heartbeat-ms")?, "--heartbeat-ms")?,
+            "--connect-timeout-ms" => {
+                connect_timeout = parse_ms(&value("--connect-timeout-ms")?, "--connect-timeout-ms")?
+            }
+            "--kill-after" => {
+                kill_after = Some(parse_num(&value("--kill-after")?, "--kill-after")? as usize)
+            }
+            "--respawn-delay-ms" => {
+                respawn_delay = Some(parse_ms(
+                    &value("--respawn-delay-ms")?,
+                    "--respawn-delay-ms",
+                )?)
+            }
+            "--respawn-max" => {
+                respawn_max = parse_num(&value("--respawn-max")?, "--respawn-max")? as usize
+            }
+            "--respawn-seed" => {
+                respawn_seed = Some(parse_num(&value("--respawn-seed")?, "--respawn-seed")?)
+            }
+            "--crash-at-ms" => crash_ats.push(parse_ms(&value("--crash-at-ms")?, "--crash-at-ms")?),
+            "--crash-downtime-ms" => {
+                crash_downtimes.push(parse_ms(
+                    &value("--crash-downtime-ms")?,
+                    "--crash-downtime-ms",
+                )?);
+            }
+            "--journal-out" => journal_out = Some(PathBuf::from(value("--journal-out")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if crash_ats.len() != crash_downtimes.len() {
+        return Err("--crash-at-ms and --crash-downtime-ms must come in pairs".to_string());
+    }
+    let mut crashes: Vec<(Duration, Duration)> =
+        crash_ats.into_iter().zip(crash_downtimes).collect();
+    crashes.sort_by_key(|&(at, _)| at);
+    Ok(Args {
+        driver: driver.ok_or(format!("--driver is required\n{USAGE}"))?,
+        id: id.ok_or(format!("--id is required\n{USAGE}"))?,
+        spill: spill.ok_or(format!("--spill is required\n{USAGE}"))?,
+        c_min,
+        c_max,
+        heartbeat,
+        connect_timeout,
+        kill_after,
+        respawn_delay,
+        respawn_max,
+        respawn_seed,
+        crashes,
+        journal_out,
+    })
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<u64, String> {
+    s.parse().map_err(|e| format!("{flag} {s}: {e}"))
+}
+
+fn parse_ms(s: &str, flag: &str) -> Result<Duration, String> {
+    Ok(Duration::from_millis(parse_num(s, flag)?))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = LiveExecutorConfig::new(args.id, args.spill.clone());
+    cfg.mape = MapeConfig::new(args.c_min, args.c_max);
+    cfg.heartbeat_interval = args.heartbeat;
+    cfg.connect_timeout = args.connect_timeout;
+    cfg.kill_after_tasks = args.kill_after;
+    // Respawn policy: explicit flags win; otherwise the first scheduled
+    // crash derives one from its downtime, mirroring the in-thread
+    // cluster's `respawn_for`.
+    let derived_delay = args
+        .respawn_delay
+        .or_else(|| args.crashes.first().map(|&(_, downtime)| downtime));
+    cfg.respawn = derived_delay.map(|delay| {
+        let mut r = RespawnConfig::new(delay);
+        r.max_respawns = args.respawn_max;
+        if let Some(seed) = args.respawn_seed {
+            r.seed = seed;
+        }
+        r
+    });
+
+    let kill = Arc::new(AtomicBool::new(false));
+    // The crash watchdog: sleeps down the schedule, flipping the kill
+    // switch at each crash time — the process-boundary stand-in for the
+    // parent cluster's chaos agent.
+    if !args.crashes.is_empty() {
+        let kill = Arc::clone(&kill);
+        let crashes = args.crashes.clone();
+        let start = std::time::Instant::now();
+        std::thread::spawn(move || {
+            for (at, _) in crashes {
+                if let Some(wait) = at.checked_sub(start.elapsed()) {
+                    std::thread::sleep(wait);
+                }
+                kill.store(true, Ordering::Relaxed);
+            }
+        });
+    }
+
+    let journal = cfg.journal.clone();
+    let result = run_foreground(args.driver, cfg, kill);
+    if let Some(path) = &args.journal_out {
+        if let Err(e) = std::fs::write(path, journal.to_jsonl()) {
+            eprintln!("sae-executor {}: journal write failed: {e}", args.id);
+            return ExitCode::FAILURE;
+        }
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sae-executor {}: {e}", args.id);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -36,13 +36,15 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sae_core::{DecisionJournal, DecisionRecord, MapeConfig};
-use sae_dag::FaultPlan;
+use sae_dag::{FaultPlan, TraceEvent};
 use sae_metrics::{render_prometheus, snapshot_jsonl_line, MetricRegistry};
 
-use crate::driver::{Driver, DriverConfig, LiveError, LiveReport, PoolDecision, SlotInfo};
+use crate::driver::{
+    Driver, DriverConfig, DriverTransport, LiveError, LiveReport, PoolDecision, SlotInfo,
+};
 use crate::executor::{LiveExecutor, LiveExecutorConfig, RespawnConfig};
 use crate::job::LiveJob;
 use crate::log::Logger;
@@ -80,6 +82,26 @@ pub struct ClusterConfig {
     /// How long the driver tolerates being below the floor before the job
     /// fails.
     pub degraded_wait: Duration,
+    /// Which wire transport the driver runs (reactor by default;
+    /// `SAE_REFERENCE_DRIVER=1` forces the blocking reference).
+    pub transport: DriverTransport,
+    /// Reactor-only: drain budget for queued frames on exit.
+    pub shutdown_drain: Duration,
+    /// Run executors as separate OS processes (`sae-executor` children)
+    /// instead of in-process threads. The in-thread mode stays the fast
+    /// test path; process mode is the real fleet — each executor owns
+    /// its own address space, procfs view and crash domain. Chaos
+    /// crashes are delivered to children as `--crash-at-ms` arguments
+    /// (the parent cannot flip a kill switch across the boundary);
+    /// disk faults stay with the parent, which owns the shared spill
+    /// directory. Child decision journals are merged back on
+    /// [`LiveCluster::shutdown`].
+    pub process_executors: bool,
+    /// Path to the `sae-executor` binary for process mode. `None` tries
+    /// the `SAE_EXECUTOR_BIN` environment variable, then looks next to
+    /// the current executable (tests pass
+    /// `env!("CARGO_BIN_EXE_sae-executor")`).
+    pub executor_binary: Option<PathBuf>,
     /// Fault injection: `(executor, n)` makes that executor go silent
     /// after completing `n` tasks.
     pub kill_after_tasks: Vec<(usize, usize)>,
@@ -122,6 +144,10 @@ impl Default for ClusterConfig {
             task_deadline: None,
             min_live_executors: 1,
             degraded_wait: Duration::from_secs(5),
+            transport: DriverTransport::default(),
+            shutdown_drain: Duration::from_millis(500),
+            process_executors: false,
+            executor_binary: None,
             kill_after_tasks: Vec::new(),
             fault_plan: FaultPlan::default(),
             respawn: None,
@@ -169,6 +195,26 @@ impl Drop for TempDir {
     }
 }
 
+/// A process-mode executor: the child process plus where it will leave
+/// its decision journal for the shutdown-time merge.
+#[derive(Debug)]
+struct ChildExecutor {
+    id: usize,
+    child: std::process::Child,
+    journal_path: PathBuf,
+}
+
+impl Drop for ChildExecutor {
+    fn drop(&mut self) {
+        // The panic path: a cluster dropped without `shutdown` must not
+        // leak executor processes.
+        if matches!(self.child.try_wait(), Ok(None)) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
 /// A running loopback cluster.
 ///
 /// # Examples
@@ -185,6 +231,7 @@ impl Drop for TempDir {
 pub struct LiveCluster {
     driver: Option<Driver>,
     executors: Vec<LiveExecutor>,
+    children: Vec<ChildExecutor>,
     _scratch: TempDir,
     cfg: ClusterConfig,
     recorder: FlightRecorder,
@@ -220,6 +267,8 @@ impl LiveCluster {
             task_deadline: cfg.task_deadline,
             min_live_executors: cfg.min_live_executors,
             degraded_wait: cfg.degraded_wait,
+            transport: cfg.transport,
+            shutdown_drain: cfg.shutdown_drain,
             recorder: recorder.clone(),
             metrics: metrics.clone(),
         })?;
@@ -237,30 +286,46 @@ impl LiveCluster {
             )?)
         };
         let addr = nemesis.as_ref().map_or(driver_addr, |n| n.addr());
-        let executors: Vec<LiveExecutor> = (0..cfg.executors)
-            .map(|id| {
-                let mut ecfg = LiveExecutorConfig::new(id, scratch.path().to_path_buf());
-                ecfg.mape = cfg.mape;
-                ecfg.heartbeat_interval = cfg.heartbeat_interval;
-                ecfg.kill_after_tasks = cfg
-                    .kill_after_tasks
-                    .iter()
-                    .find(|&&(e, _)| e == id)
-                    .map(|&(_, n)| n);
-                ecfg.respawn = respawn_for(&cfg, id);
-                ecfg.recorder = recorder.clone();
-                ecfg.metrics = metrics.clone();
-                ecfg.journal = journals[id].clone();
-                LiveExecutor::launch(addr, ecfg)
-            })
-            .collect();
+        let (executors, children) = if cfg.process_executors {
+            let bin = executor_binary(&cfg)?;
+            let children = (0..cfg.executors)
+                .map(|id| spawn_process_executor(&cfg, &bin, addr, scratch.path(), id))
+                .collect::<io::Result<Vec<_>>>()?;
+            (Vec::new(), children)
+        } else {
+            let executors: Vec<LiveExecutor> = (0..cfg.executors)
+                .map(|id| {
+                    let mut ecfg = LiveExecutorConfig::new(id, scratch.path().to_path_buf());
+                    ecfg.mape = cfg.mape;
+                    ecfg.heartbeat_interval = cfg.heartbeat_interval;
+                    ecfg.kill_after_tasks = cfg
+                        .kill_after_tasks
+                        .iter()
+                        .find(|&&(e, _)| e == id)
+                        .map(|&(_, n)| n);
+                    ecfg.respawn = respawn_for(&cfg, id);
+                    ecfg.recorder = recorder.clone();
+                    ecfg.metrics = metrics.clone();
+                    ecfg.journal = journals[id].clone();
+                    LiveExecutor::launch(addr, ecfg)
+                })
+                .collect();
+            (executors, Vec::new())
+        };
         let chaos_stop = Arc::new(AtomicBool::new(false));
-        let chaos = if cfg.fault_plan.crashes.is_empty() && cfg.fault_plan.disk.is_empty() {
+        // Process-mode crashes ride the children's command lines; the
+        // parent's agent keeps only what it can still reach — the
+        // spill directory.
+        let mut agent_plan = cfg.fault_plan.clone();
+        if cfg.process_executors {
+            agent_plan.crashes.clear();
+        }
+        let chaos = if agent_plan.crashes.is_empty() && agent_plan.disk.is_empty() {
             None
         } else {
             let kills = executors.iter().map(|e| e.kill_handle()).collect();
             Some(spawn_chaos_agent(
-                cfg.fault_plan.clone(),
+                agent_plan,
                 kills,
                 scratch.path().to_path_buf(),
                 recorder.clone(),
@@ -281,6 +346,7 @@ impl LiveCluster {
         Ok(Self {
             driver: Some(driver),
             executors,
+            children,
             _scratch: scratch,
             cfg,
             recorder,
@@ -364,6 +430,10 @@ impl LiveCluster {
     }
 
     /// Makes executor `id` go silent (see [`LiveExecutor::kill`]).
+    ///
+    /// In-thread mode only: a process-mode child is beyond the parent's
+    /// reach, so its chaos arrives through the fault plan's crash
+    /// schedule (`--crash-at-ms` arguments) instead.
     pub fn kill_executor(&self, id: usize) {
         if let Some(ex) = self.executors.get(id) {
             ex.kill();
@@ -390,6 +460,76 @@ impl LiveCluster {
         }
     }
 
+    /// Reaps process-mode children: waits out a grace window (they exit
+    /// on the driver's `Shutdown` frame or on EOF), kills stragglers,
+    /// then merges each child's journal back into the shared
+    /// observability plane — records land on the per-executor
+    /// [`DecisionJournal`] handles and their ζ samples replay onto the
+    /// recorder, exactly what an in-thread executor does as it exits.
+    fn reap_children(&mut self, first_err: &mut Option<io::Error>) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for mut child in std::mem::take(&mut self.children) {
+            loop {
+                match child.child.try_wait() {
+                    Ok(Some(status)) => {
+                        if !status.success() {
+                            first_err.get_or_insert_with(|| {
+                                io::Error::other(format!(
+                                    "executor {} exited with {status}",
+                                    child.id
+                                ))
+                            });
+                        }
+                        break;
+                    }
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Ok(None) => {
+                        let _ = child.child.kill();
+                        let _ = child.child.wait();
+                        first_err.get_or_insert_with(|| {
+                            io::Error::other(format!(
+                                "executor {} hung past the reap deadline and was killed",
+                                child.id
+                            ))
+                        });
+                        break;
+                    }
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                        break;
+                    }
+                }
+            }
+            let text = match std::fs::read_to_string(&child.journal_path) {
+                Ok(text) => text,
+                Err(_) => continue, // died before writing: nothing to merge
+            };
+            match sae_core::parse_jsonl(&text) {
+                Ok(records) => {
+                    for rec in records {
+                        self.recorder
+                            .push(LiveEvent::Trace(TraceEvent::IntervalClosed {
+                                executor: rec.executor,
+                                threads: rec.threads,
+                                zeta: rec.zeta,
+                                at: rec.at,
+                            }));
+                        if let Some(journal) = self.journals.get(child.id) {
+                            journal.push(rec);
+                        }
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert_with(|| {
+                        io::Error::other(format!("executor {} journal unreadable: {e}", child.id))
+                    });
+                }
+            }
+        }
+    }
+
     /// Joins every executor thread, then writes the configured artifacts:
     /// the merged Chrome trace, the decision-journal JSONL and the final
     /// Prometheus exposition. The scratch directory is removed when the
@@ -406,6 +546,7 @@ impl LiveCluster {
                 first_err.get_or_insert(e);
             }
         }
+        self.reap_children(&mut first_err);
         if let Some(mut nemesis) = self.nemesis.take() {
             nemesis.shutdown();
         }
@@ -431,6 +572,93 @@ impl LiveCluster {
             None => Ok(()),
         }
     }
+}
+
+/// Finds the `sae-executor` binary for process mode: the configured
+/// path, the `SAE_EXECUTOR_BIN` environment variable, or a sibling of
+/// the current executable. Cargo puts test harnesses in
+/// `target/<profile>/deps` and the binary one level up, so both the
+/// executable's own directory and its parent are checked.
+fn executor_binary(cfg: &ClusterConfig) -> io::Result<PathBuf> {
+    if let Some(path) = &cfg.executor_binary {
+        return Ok(path.clone());
+    }
+    if let Some(path) = std::env::var_os("SAE_EXECUTOR_BIN") {
+        return Ok(PathBuf::from(path));
+    }
+    let exe = std::env::current_exe()?;
+    let name = format!("sae-executor{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent();
+    for _ in 0..2 {
+        let Some(d) = dir else { break };
+        let candidate = d.join(&name);
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+        dir = d.parent();
+    }
+    Err(io::Error::new(
+        io::ErrorKind::NotFound,
+        "sae-executor binary not found; set ClusterConfig::executor_binary or SAE_EXECUTOR_BIN",
+    ))
+}
+
+/// Spawns one process-mode executor, translating the cluster's shared
+/// knobs — MAPE-K bounds, heartbeat period, deterministic kills, the
+/// respawn policy and the fault plan's crash schedule — into
+/// `sae-executor` arguments.
+fn spawn_process_executor(
+    cfg: &ClusterConfig,
+    bin: &Path,
+    addr: std::net::SocketAddr,
+    spill: &Path,
+    id: usize,
+) -> io::Result<ChildExecutor> {
+    let journal_path = spill.join(format!("journal-e{id}.jsonl"));
+    let mut cmd = std::process::Command::new(bin);
+    cmd.arg("--driver")
+        .arg(addr.to_string())
+        .arg("--id")
+        .arg(id.to_string())
+        .arg("--spill")
+        .arg(spill)
+        .arg("--c-min")
+        .arg(cfg.mape.c_min.to_string())
+        .arg("--c-max")
+        .arg(cfg.mape.c_max.to_string())
+        .arg("--heartbeat-ms")
+        .arg(cfg.heartbeat_interval.as_millis().to_string())
+        .arg("--journal-out")
+        .arg(&journal_path);
+    if let Some(&(_, n)) = cfg.kill_after_tasks.iter().find(|&&(e, _)| e == id) {
+        cmd.arg("--kill-after").arg(n.to_string());
+    }
+    // `respawn_for` already derives the policy (and its seed) from the
+    // crash schedule when no explicit one is set, so the child gets the
+    // exact policy its in-thread twin would run with.
+    if let Some(r) = respawn_for(cfg, id) {
+        cmd.arg("--respawn-delay-ms")
+            .arg(r.delay.as_millis().to_string())
+            .arg("--respawn-max")
+            .arg(r.max_respawns.to_string())
+            .arg("--respawn-seed")
+            .arg(r.seed.to_string());
+    }
+    for crash in cfg.fault_plan.crashes.iter().filter(|c| c.executor == id) {
+        cmd.arg("--crash-at-ms")
+            .arg(((crash.at * 1000.0) as u64).to_string())
+            .arg("--crash-downtime-ms")
+            .arg(((crash.downtime * 1000.0) as u64).to_string());
+    }
+    let child = cmd
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .spawn()?;
+    Ok(ChildExecutor {
+        id,
+        child,
+        journal_path,
+    })
 }
 
 /// The reincarnation policy executor `id` launches with: the explicit

@@ -25,22 +25,26 @@
 //!   state for up to [`DriverConfig::degraded_wait`] — giving respawning
 //!   executors a window to rejoin — instead of failing fast.
 //!
-//! The driver is single-threaded over an event channel: per-connection
-//! reader threads translate socket frames into events, and the main loop
-//! owns every piece of mutable state — the same structure as the
-//! simulator's event loop, with `recv_timeout` standing in for the virtual
-//! clock. The acceptor polls a non-blocking listener until told to stop,
-//! so shutdown needs no self-connection tricks to unblock it, and it keeps
-//! accepting for the whole run — reincarnated executors connect late.
+//! All of that protocol logic lives in one transport-agnostic state
+//! machine ([`Run`]), fed connection events and writing frames through an
+//! [`Outbound`] sink. Two transports drive it:
+//!
+//! * **reactor** (default): a single non-blocking event loop owns every
+//!   socket — acceptor included — through an epoll-style poller
+//!   (`sae-poll`), with per-connection reassembly buffers, batched frame
+//!   decode per wakeup, coalesced queued writes with backpressure, and a
+//!   timer wheel for heartbeat/deadline checks. One thread, hundreds of
+//!   connections.
+//! * **blocking** (reference): the original thread-per-connection layout —
+//!   a polling acceptor thread, one reader thread per socket feeding a
+//!   channel, synchronous writes. Pinned as the behavioural baseline the
+//!   reactor is benchmarked and equivalence-tested against; select it
+//!   with [`DriverTransport::Blocking`] or `SAE_REFERENCE_DRIVER=1`.
 
-use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use sae_dag::sched::PendingQueue;
 use sae_dag::{Message, TraceEvent};
 use sae_metrics::{Counter, Gauge, Histogram, MetricRegistry, RegistrySnapshot};
@@ -49,7 +53,22 @@ use crate::epochs::{Admission, EpochRegistry};
 use crate::job::LiveJob;
 use crate::log::Logger;
 use crate::recorder::{FlightRecorder, LiveEvent};
-use crate::wire::{Frame, FrameReader, FrameWriter, Next};
+use crate::wire::Frame;
+
+mod blocking;
+mod reactor;
+
+/// Which wire transport serves the driver side of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriverTransport {
+    /// Single-threaded non-blocking reactor: one event loop owns all
+    /// sockets, with queued coalesced writes and a timer wheel.
+    #[default]
+    Reactor,
+    /// The pinned reference implementation: one reader thread per
+    /// connection, a polling acceptor, synchronous writes.
+    Blocking,
+}
 
 /// Driver tuning knobs.
 #[derive(Debug, Clone)]
@@ -81,6 +100,12 @@ pub struct DriverConfig {
     /// How long the job may stay `Degraded` before giving up with
     /// [`LiveError::NoUsableExecutors`].
     pub degraded_wait: Duration,
+    /// Which wire transport to run. `SAE_REFERENCE_DRIVER=1` in the
+    /// environment overrides this to [`DriverTransport::Blocking`].
+    pub transport: DriverTransport,
+    /// On exit, how long the reactor may keep flushing queued frames
+    /// (the `Shutdown` broadcast above all) before closing connections.
+    pub shutdown_drain: Duration,
     /// The cluster's shared flight recorder; event timestamps use its
     /// epoch, so driver and executor events land on one timeline.
     pub recorder: FlightRecorder,
@@ -102,6 +127,8 @@ impl Default for DriverConfig {
             task_deadline: None,
             min_live_executors: 1,
             degraded_wait: Duration::from_secs(5),
+            transport: DriverTransport::Reactor,
+            shutdown_drain: Duration::from_millis(500),
             recorder: FlightRecorder::disabled(),
             metrics: MetricRegistry::new(),
         }
@@ -227,19 +254,21 @@ impl From<io::Error> for LiveError {
     }
 }
 
-/// Events the per-connection reader threads feed the driver loop.
+/// Connection events a transport feeds the protocol state machine.
 ///
-/// Every event carries the acceptor-minted connection id, so the loop can
-/// fence traffic from superseded incarnations through the
-/// [`EpochRegistry`]. `Registered` also hands over the connection's write
-/// half: the driver loop owns the writer map outright, no shared lock.
-enum Ev {
+/// Every event carries the transport-minted connection id, so the state
+/// machine can fence traffic from superseded incarnations through the
+/// [`EpochRegistry`]. `Registered` also hands over the transport's write
+/// handle (`W`): a [`crate::wire::FrameWriter`] for the blocking
+/// transport, nothing for the reactor, whose write queues live in its
+/// [`Outbound`] sink.
+enum Ev<W> {
     /// An executor completed its Register handshake.
     Registered {
         executor: usize,
         slots: usize,
         conn: u64,
-        writer: FrameWriter,
+        writer: W,
     },
     /// A frame arrived on an executor's connection.
     Frame {
@@ -251,6 +280,33 @@ enum Ev {
     },
     /// An executor's connection closed or broke.
     Gone { executor: usize, conn: u64 },
+}
+
+/// Where the state machine writes frames. The blocking transport sends
+/// synchronously; the reactor queues bytes for its event loop to flush.
+trait Outbound {
+    /// The per-connection write handle `Ev::Registered` delivers.
+    type Writer;
+
+    /// A new connection for `executor` completed its handshake.
+    fn attach(&mut self, executor: usize, conn: u64, writer: Self::Writer);
+
+    /// Connection `conn` died; forget it if it is still `executor`'s
+    /// current connection.
+    fn detach_if_current(&mut self, executor: usize, conn: u64);
+
+    /// Sends (or queues) `frame`, returning its wire size, or `None` if
+    /// the executor has no usable connection.
+    fn send(&mut self, executor: usize, frame: &Frame) -> Option<usize>;
+
+    /// Executors with an attached connection, ascending.
+    fn attached(&self) -> Vec<usize>;
+
+    /// Backpressure probe: `false` masks the executor from task
+    /// assignment until its write queue drains below the high-water mark.
+    fn accepts_work(&self, _executor: usize) -> bool {
+        true
+    }
 }
 
 /// Driver-side view of one executor.
@@ -332,126 +388,16 @@ impl Driver {
         job: &LiveJob,
         observer: impl FnMut(&PoolDecision, &[SlotInfo]),
     ) -> Result<LiveReport, LiveError> {
-        let (tx, rx) = unbounded();
-        let stop_accepting = Arc::new(AtomicBool::new(false));
-        let log = Logger::new("driver", self.cfg.recorder.clone());
-        spawn_acceptor(
-            self.listener.try_clone()?,
-            tx.clone(),
-            Arc::clone(&stop_accepting),
-            self.cfg.check_interval,
-            log,
-        );
-        let mut run = Run::new(&self.cfg, job, observer);
-        let result = run.drive(&rx);
-        // Tell executors the job is over (best-effort); the polling
-        // acceptor notices the stop flag within one check interval.
-        run.broadcast(&Frame::Shutdown);
-        stop_accepting.store(true, Ordering::Relaxed);
-        drop(tx);
-        result.map(|()| run.into_report())
+        let transport = if std::env::var_os("SAE_REFERENCE_DRIVER").is_some_and(|v| v != "0") {
+            DriverTransport::Blocking
+        } else {
+            self.cfg.transport
+        };
+        match transport {
+            DriverTransport::Reactor => reactor::run(self.listener, &self.cfg, job, observer),
+            DriverTransport::Blocking => blocking::run(self.listener, &self.cfg, job, observer),
+        }
     }
-}
-
-/// Accepts executor connections — as many as arrive, for as long as the
-/// run lasts, because reincarnated executors connect late — spawning one
-/// reader thread per connection, each tagged with a unique connection id.
-///
-/// The listener is polled in non-blocking mode so the stop flag is
-/// honoured without anyone having to connect to wake the thread up; an
-/// accept error is logged (it previously vanished silently) and ends the
-/// acceptor, the event loop's `recv_timeout` keeping the driver live.
-fn spawn_acceptor(
-    listener: TcpListener,
-    tx: Sender<Ev>,
-    stop: Arc<AtomicBool>,
-    poll_interval: Duration,
-    log: Logger,
-) {
-    std::thread::spawn(move || {
-        if let Err(e) = listener.set_nonblocking(true) {
-            log.error(|| format!("acceptor cannot poll its listener: {e}"));
-            return;
-        }
-        let mut next_conn: u64 = 1;
-        while !stop.load(Ordering::Relaxed) {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    // Accepted sockets must block: readers rely on it.
-                    if stream.set_nonblocking(false).is_err() {
-                        continue;
-                    }
-                    spawn_reader(stream, next_conn, tx.clone());
-                    next_conn += 1;
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(poll_interval);
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => {
-                    log.error(|| format!("acceptor died: {e}"));
-                    return;
-                }
-            }
-        }
-        log.debug(|| "acceptor stopped".into());
-    });
-}
-
-/// Reads frames off one executor connection and forwards them as events.
-///
-/// The first frame must be a [`Frame::Register`]; anything else abandons
-/// the connection. Registration hands the stream's write half to the
-/// driver loop, which owns the writer map and decides — through the
-/// epoch registry — whether this connection supersedes an earlier one.
-fn spawn_reader(stream: TcpStream, conn: u64, tx: Sender<Ev>) {
-    std::thread::spawn(move || {
-        let _ = stream.set_nodelay(true);
-        let read_half = match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => return,
-        };
-        let mut reader = FrameReader::new(read_half);
-        let (executor, slots) = match reader.next_frame() {
-            Ok(Next::Frame(Frame::Register { executor, slots })) => (executor, slots),
-            _ => return,
-        };
-        let writer = FrameWriter::new(stream);
-        if tx
-            .send(Ev::Registered {
-                executor,
-                slots,
-                conn,
-                writer,
-            })
-            .is_err()
-        {
-            return;
-        }
-        loop {
-            match reader.next_frame() {
-                Ok(Next::Frame(frame)) => {
-                    let bytes = reader.last_frame_len();
-                    if tx
-                        .send(Ev::Frame {
-                            executor,
-                            conn,
-                            frame,
-                            bytes,
-                        })
-                        .is_err()
-                    {
-                        return;
-                    }
-                }
-                Ok(Next::Idle) => {}
-                Ok(Next::Eof) | Err(_) => {
-                    let _ = tx.send(Ev::Gone { executor, conn });
-                    return;
-                }
-            }
-        }
-    });
 }
 
 /// The driver's cached metric handles; names follow the
@@ -466,6 +412,10 @@ struct DriverMetrics {
     executors_lost: Counter,
     reincarnations: Counter,
     frames_fenced: Counter,
+    /// Event-loop wakeups (readiness batches in the reactor, channel
+    /// receives in the blocking transport) — wakeups-per-frame is the
+    /// reactor bench's batching figure of merit.
+    wakeups: Counter,
     degraded: Gauge,
     heartbeat_gap_s: Histogram,
     queue_depth: Gauge,
@@ -491,6 +441,7 @@ impl DriverMetrics {
             executors_lost: registry.counter("live.driver.executors_lost"),
             reincarnations: registry.counter("live.driver.reincarnations"),
             frames_fenced: registry.counter("live.driver.frames_fenced"),
+            wakeups: registry.counter("live.driver.wakeups"),
             degraded: registry.gauge("live.driver.degraded"),
             heartbeat_gap_s: registry.histogram("live.driver.heartbeat_gap_s"),
             queue_depth: registry.gauge("live.driver.queue_depth"),
@@ -504,11 +455,13 @@ impl DriverMetrics {
     }
 }
 
-/// All mutable state of one job run, driven by the event loop.
-struct Run<'j, Obs> {
+/// All mutable state of one job run: the transport-agnostic protocol
+/// state machine. Transports feed it [`Ev`]s and timer callbacks; it
+/// writes frames through its [`Outbound`] sink.
+struct Run<'j, Obs, O: Outbound> {
     cfg: DriverConfig,
     job: &'j LiveJob,
-    writers: HashMap<usize, (u64, FrameWriter)>,
+    out: O,
     epochs: EpochRegistry,
     execs: Vec<ExecState>,
     queue: PendingQueue,
@@ -526,8 +479,8 @@ struct Run<'j, Obs> {
     log: Logger,
 }
 
-impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
-    fn new(cfg: &DriverConfig, job: &'j LiveJob, observer: Obs) -> Self {
+impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo]), O: Outbound> Run<'j, Obs, O> {
+    fn new(cfg: &DriverConfig, job: &'j LiveJob, observer: Obs, out: O) -> Self {
         let now = Instant::now();
         let execs = (0..cfg.executors)
             .map(|_| ExecState {
@@ -544,7 +497,7 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
         Self {
             cfg: cfg.clone(),
             job,
-            writers: HashMap::new(),
+            out,
             epochs: EpochRegistry::new(cfg.executors),
             execs,
             queue: PendingQueue::new(),
@@ -563,6 +516,16 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
         }
     }
 
+    /// Seeds the first stage. Returns `false` when the job is empty and
+    /// there is nothing to run.
+    fn start(&mut self) -> bool {
+        if self.job.stages.is_empty() {
+            return false;
+        }
+        self.begin_stage();
+        true
+    }
+
     /// Records the driver's view of one executor's slot-registry entry.
     fn record_slots(&self, executor: usize) {
         let ex = &self.execs[executor];
@@ -574,35 +537,7 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
         });
     }
 
-    /// The main event loop: pump events, check timers, until the job
-    /// completes or dies.
-    fn drive(&mut self, rx: &Receiver<Ev>) -> Result<(), LiveError> {
-        if self.job.stages.is_empty() {
-            return Ok(());
-        }
-        self.begin_stage();
-        loop {
-            match rx.recv_timeout(self.cfg.check_interval) {
-                Ok(ev) => self.handle(ev)?,
-                Err(RecvTimeoutError::Timeout) => {}
-                // All reader threads hung up; timers below still decide.
-                Err(RecvTimeoutError::Disconnected) => {}
-            }
-            self.check_heartbeats()?;
-            self.check_task_deadlines()?;
-            self.check_probation();
-            self.try_assign()?;
-            if self.finished {
-                return Ok(());
-            }
-            if self.started.elapsed() > self.cfg.deadline {
-                return Err(LiveError::DeadlineExceeded);
-            }
-            self.check_degraded()?;
-        }
-    }
-
-    fn handle(&mut self, ev: Ev) -> Result<(), LiveError> {
+    fn handle(&mut self, ev: Ev<O::Writer>) -> Result<(), LiveError> {
         match ev {
             Ev::Registered {
                 executor,
@@ -619,7 +554,7 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
                     return Ok(()); // id outside the configured cluster
                 }
                 let reg = self.epochs.register(executor, conn);
-                self.writers.insert(executor, (conn, writer));
+                self.out.attach(executor, conn, writer);
                 if reg.reincarnation {
                     // Requeue whatever the superseded incarnation was
                     // running; its reports are fenced from here on.
@@ -706,9 +641,7 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
                 if !self.epochs.disconnect(executor, conn) {
                     return Ok(()); // a fenced predecessor's socket died
                 }
-                if self.writers.get(&executor).is_some_and(|(c, _)| *c == conn) {
-                    self.writers.remove(&executor);
-                }
+                self.out.detach_if_current(executor, conn);
                 // A broken/closed socket is immediate evidence of loss —
                 // faster than waiting out the heartbeat timeout.
                 if self.execs[executor].alive && !self.finished {
@@ -870,7 +803,10 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
             let mut progress = false;
             let mut broken: Vec<usize> = Vec::new();
             for e in 0..self.execs.len() {
-                if !self.execs[e].usable() || self.execs[e].running >= self.execs[e].slots {
+                if !self.execs[e].usable()
+                    || self.execs[e].running >= self.execs[e].slots
+                    || !self.out.accepts_work(e)
+                {
                     continue;
                 }
                 let failed_on = &self.st.failed_on;
@@ -1029,9 +965,9 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
         self.record_slots(executor);
         self.log
             .error(|| format!("executor {executor} declared lost; requeueing its work"));
-        // The writer stays: a partitioned socket may heal, and resurrection
-        // re-announces the stage through it. A truly dead connection is
-        // removed by its `Gone` event instead.
+        // The connection stays attached: a partitioned socket may heal, and
+        // resurrection re-announces the stage through it. A truly dead
+        // connection is detached by its `Gone` event instead.
         for task in 0..self.st.done.len() {
             if self.st.assigned_to[task] == Some(executor) && !self.st.done[task] {
                 self.st.assigned_to[task] = None;
@@ -1164,39 +1100,10 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
         }
     }
 
-    /// Sends `frame` to `executor`; `false` means the write half broke.
+    /// Sends `frame` to `executor`; `false` means the write path broke.
     fn send(&mut self, executor: usize, frame: &Frame) -> bool {
-        match self.writers.get_mut(&executor) {
-            Some((_, w)) => match w.send(frame) {
-                Ok(bytes) => {
-                    self.metrics.frames_sent.inc();
-                    self.metrics.bytes_sent.add(bytes as u64);
-                    self.recorder.push(LiveEvent::FrameSent {
-                        executor,
-                        kind: frame.kind_str(),
-                        bytes,
-                        at: self.recorder.now(),
-                    });
-                    true
-                }
-                Err(_) => false,
-            },
-            None => false,
-        }
-    }
-
-    /// Best-effort send to every connected executor.
-    pub(crate) fn broadcast(&mut self, frame: &Frame) {
-        self.broadcast_except(usize::MAX, frame);
-    }
-
-    /// Best-effort send to every connected executor but `skip`.
-    fn broadcast_except(&mut self, skip: usize, frame: &Frame) {
-        for (&executor, (_, w)) in self.writers.iter_mut() {
-            if executor == skip {
-                continue;
-            }
-            if let Ok(bytes) = w.send(frame) {
+        match self.out.send(executor, frame) {
+            Some(bytes) => {
                 self.metrics.frames_sent.inc();
                 self.metrics.bytes_sent.add(bytes as u64);
                 self.recorder.push(LiveEvent::FrameSent {
@@ -1205,7 +1112,24 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo])> Run<'j, Obs> {
                     bytes,
                     at: self.recorder.now(),
                 });
+                true
             }
+            None => false,
+        }
+    }
+
+    /// Best-effort send to every connected executor.
+    fn broadcast(&mut self, frame: &Frame) {
+        self.broadcast_except(usize::MAX, frame);
+    }
+
+    /// Best-effort send to every connected executor but `skip`.
+    fn broadcast_except(&mut self, skip: usize, frame: &Frame) {
+        for executor in self.out.attached() {
+            if executor == skip {
+                continue;
+            }
+            self.send(executor, frame);
         }
     }
 

@@ -1,0 +1,217 @@
+//! The pinned reference transport: thread-per-connection over a channel.
+//!
+//! This is the driver's original wire layout, kept verbatim as the
+//! behavioural baseline the reactor is benchmarked and equivalence-tested
+//! against: a polling acceptor thread spawns one reader thread per
+//! connection, readers translate socket frames into channel events, and
+//! the single-threaded protocol loop pumps the channel with
+//! `recv_timeout` standing in for the virtual clock. Writes are
+//! synchronous `write_all`s on the protocol thread.
+//!
+//! Select it with [`super::DriverTransport::Blocking`] or by setting
+//! `SAE_REFERENCE_DRIVER=1`.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use super::{DriverConfig, Ev, LiveError, LiveReport, Outbound, PoolDecision, Run, SlotInfo};
+use crate::job::LiveJob;
+use crate::log::Logger;
+use crate::wire::{Frame, FrameReader, FrameWriter, Next};
+
+/// Synchronous writer map: one [`FrameWriter`] per executor, writes
+/// happen inline on the protocol thread.
+#[derive(Default)]
+struct SyncOutbound {
+    writers: HashMap<usize, (u64, FrameWriter)>,
+}
+
+impl Outbound for SyncOutbound {
+    type Writer = FrameWriter;
+
+    fn attach(&mut self, executor: usize, conn: u64, writer: FrameWriter) {
+        self.writers.insert(executor, (conn, writer));
+    }
+
+    fn detach_if_current(&mut self, executor: usize, conn: u64) {
+        if self.writers.get(&executor).is_some_and(|(c, _)| *c == conn) {
+            self.writers.remove(&executor);
+        }
+    }
+
+    fn send(&mut self, executor: usize, frame: &Frame) -> Option<usize> {
+        let (_, w) = self.writers.get_mut(&executor)?;
+        w.send(frame).ok()
+    }
+
+    fn attached(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.writers.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Runs one job over the thread-per-connection transport.
+pub(super) fn run(
+    listener: TcpListener,
+    cfg: &DriverConfig,
+    job: &LiveJob,
+    observer: impl FnMut(&PoolDecision, &[SlotInfo]),
+) -> Result<LiveReport, LiveError> {
+    let (tx, rx) = unbounded();
+    let stop_accepting = Arc::new(AtomicBool::new(false));
+    let log = Logger::new("driver", cfg.recorder.clone());
+    spawn_acceptor(
+        listener,
+        tx.clone(),
+        Arc::clone(&stop_accepting),
+        cfg.check_interval,
+        log,
+    );
+    let mut run = Run::new(cfg, job, observer, SyncOutbound::default());
+    let result = drive(&mut run, &rx);
+    // Tell executors the job is over (best-effort); the polling
+    // acceptor notices the stop flag within one check interval.
+    run.broadcast(&Frame::Shutdown);
+    stop_accepting.store(true, Ordering::Relaxed);
+    drop(tx);
+    result.map(|()| run.into_report())
+}
+
+/// The main event loop: pump events, check timers, until the job
+/// completes or dies.
+fn drive<Obs: FnMut(&PoolDecision, &[SlotInfo])>(
+    run: &mut Run<'_, Obs, SyncOutbound>,
+    rx: &Receiver<Ev<FrameWriter>>,
+) -> Result<(), LiveError> {
+    if !run.start() {
+        return Ok(());
+    }
+    loop {
+        match rx.recv_timeout(run.cfg.check_interval) {
+            Ok(ev) => run.handle(ev)?,
+            Err(RecvTimeoutError::Timeout) => {}
+            // All reader threads hung up; timers below still decide.
+            Err(RecvTimeoutError::Disconnected) => {}
+        }
+        run.metrics.wakeups.inc();
+        run.check_heartbeats()?;
+        run.check_task_deadlines()?;
+        run.check_probation();
+        run.try_assign()?;
+        if run.finished {
+            return Ok(());
+        }
+        if run.started.elapsed() > run.cfg.deadline {
+            return Err(LiveError::DeadlineExceeded);
+        }
+        run.check_degraded()?;
+    }
+}
+
+/// Accepts executor connections — as many as arrive, for as long as the
+/// run lasts, because reincarnated executors connect late — spawning one
+/// reader thread per connection, each tagged with a unique connection id.
+///
+/// The listener is polled in non-blocking mode so the stop flag is
+/// honoured without anyone having to connect to wake the thread up; an
+/// accept error is logged (it previously vanished silently) and ends the
+/// acceptor, the event loop's `recv_timeout` keeping the driver live.
+fn spawn_acceptor(
+    listener: TcpListener,
+    tx: Sender<Ev<FrameWriter>>,
+    stop: Arc<AtomicBool>,
+    poll_interval: Duration,
+    log: Logger,
+) {
+    std::thread::spawn(move || {
+        if let Err(e) = listener.set_nonblocking(true) {
+            log.error(|| format!("acceptor cannot poll its listener: {e}"));
+            return;
+        }
+        let mut next_conn: u64 = 1;
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets must block: readers rely on it.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    spawn_reader(stream, next_conn, tx.clone());
+                    next_conn += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(poll_interval);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    log.error(|| format!("acceptor died: {e}"));
+                    return;
+                }
+            }
+        }
+        log.debug(|| "acceptor stopped".into());
+    });
+}
+
+/// Reads frames off one executor connection and forwards them as events.
+///
+/// The first frame must be a [`Frame::Register`]; anything else abandons
+/// the connection. Registration hands the stream's write half to the
+/// driver loop, which owns the writer map and decides — through the
+/// epoch registry — whether this connection supersedes an earlier one.
+fn spawn_reader(stream: TcpStream, conn: u64, tx: Sender<Ev<FrameWriter>>) {
+    std::thread::spawn(move || {
+        let _ = stream.set_nodelay(true);
+        let read_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let mut reader = FrameReader::new(read_half);
+        let (executor, slots) = match reader.next_frame() {
+            Ok(Next::Frame(Frame::Register { executor, slots })) => (executor, slots),
+            _ => return,
+        };
+        let writer = FrameWriter::new(stream);
+        if tx
+            .send(Ev::Registered {
+                executor,
+                slots,
+                conn,
+                writer,
+            })
+            .is_err()
+        {
+            return;
+        }
+        loop {
+            match reader.next_frame() {
+                Ok(Next::Frame(frame)) => {
+                    let bytes = reader.last_frame_len();
+                    if tx
+                        .send(Ev::Frame {
+                            executor,
+                            conn,
+                            frame,
+                            bytes,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                Ok(Next::Idle) => {}
+                Ok(Next::Eof) | Err(_) => {
+                    let _ = tx.send(Ev::Gone { executor, conn });
+                    return;
+                }
+            }
+        }
+    });
+}

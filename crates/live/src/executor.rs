@@ -196,6 +196,25 @@ impl LiveExecutor {
     }
 }
 
+/// Runs an executor on the calling thread until the job is over: the
+/// full incarnation loop — connect, register, serve, and reincarnate
+/// after kills or connection losses for as long as the respawn budget
+/// allows.
+///
+/// This is the entry point the `sae-executor` binary uses to run an
+/// executor as its own OS process; [`LiveExecutor::launch`] wraps the
+/// same loop in a thread for the in-process fast path, so both fleet
+/// modes execute identical protocol logic. `kill` carries
+/// [`LiveExecutor::kill`] semantics: flip it and the executor goes
+/// silent with the socket open (heartbeat-silence failure, not EOF).
+pub fn run_foreground(
+    addr: SocketAddr,
+    cfg: LiveExecutorConfig,
+    kill: Arc<AtomicBool>,
+) -> io::Result<()> {
+    run_executor(addr, cfg, kill)
+}
+
 /// Why one incarnation's serve loop ended.
 enum Exit {
     /// The driver said the job is over (Shutdown frame, or the driver is

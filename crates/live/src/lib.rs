@@ -52,7 +52,8 @@ pub mod wire;
 
 pub use cluster::{ClusterConfig, LiveCluster, TempDir};
 pub use driver::{
-    Driver, DriverConfig, LiveError, LiveReport, LiveStageReport, PoolDecision, SlotInfo,
+    Driver, DriverConfig, DriverTransport, LiveError, LiveReport, LiveStageReport, PoolDecision,
+    SlotInfo,
 };
 pub use epochs::{Admission, EpochRegistry, Registration};
 pub use executor::{LiveExecutor, LiveExecutorConfig, RespawnConfig};

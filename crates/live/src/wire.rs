@@ -248,6 +248,88 @@ impl FrameWriter {
         self.stream.write_all(&self.scratch)?;
         Ok(self.scratch.len())
     }
+
+    /// Encodes and sends several frames in one coalesced write — one
+    /// syscall and one TCP segment train instead of a write per frame.
+    /// Returns the total bytes put on the wire.
+    pub fn send_batch(&mut self, frames: &[Frame]) -> io::Result<usize> {
+        self.scratch.clear();
+        for frame in frames {
+            frame.encode(&mut self.scratch);
+        }
+        self.stream.write_all(&self.scratch)?;
+        Ok(self.scratch.len())
+    }
+}
+
+/// Pure (sans-io) frame reassembly buffer.
+///
+/// Feed it raw bytes as they arrive — at arbitrary boundaries, split
+/// mid-header or mid-body, or with several frames merged into one read —
+/// and pull complete [`Frame`]s out. Both the blocking [`FrameReader`]
+/// and the reactor's per-connection state are thin shells over this
+/// type, which is what lets a property test assert the two decode
+/// identical frame sequences from identical byte streams.
+#[derive(Debug, Default)]
+pub struct FrameCursor {
+    buf: Vec<u8>,
+    start: usize,
+    last_len: usize,
+}
+
+/// Consumed-prefix length beyond which the cursor compacts its buffer.
+const COMPACT_AT: usize = 8192;
+
+impl FrameCursor {
+    /// Creates an empty cursor.
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::with_capacity(1024),
+            start: 0,
+            last_len: 0,
+        }
+    }
+
+    /// Appends freshly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decodes the next complete frame, or `Ok(None)` if more bytes are
+    /// needed. Malformed bytes are a hard error: once framing is lost
+    /// the connection is unusable.
+    ///
+    /// Not an [`Iterator`]: `None` means "need more bytes", not "done",
+    /// and decode errors must stay first-class.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Frame>, FrameError> {
+        match Frame::decode(&self.buf[self.start..])? {
+            Some((frame, consumed)) => {
+                self.start += consumed;
+                self.last_len = consumed;
+                if self.start == self.buf.len() {
+                    self.buf.clear();
+                    self.start = 0;
+                } else if self.start > COMPACT_AT {
+                    self.buf.drain(..self.start);
+                    self.start = 0;
+                }
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Wire size (length prefix included) of the frame the most recent
+    /// [`FrameCursor::next`] returned; 0 before any frame.
+    pub fn last_frame_len(&self) -> usize {
+        self.last_len
+    }
+
+    /// Bytes buffered but not yet decoded into a frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
 }
 
 /// What a [`FrameReader::next`] call produced.
@@ -276,53 +358,42 @@ pub enum Next {
 #[derive(Debug)]
 pub struct FrameReader {
     stream: TcpStream,
-    buf: Vec<u8>,
-    start: usize,
-    last_len: usize,
+    cursor: FrameCursor,
+    chunk: Vec<u8>,
 }
+
+/// Per-read chunk size — how many bytes one socket read may pull in.
+const READ_CHUNK: usize = 4096;
 
 impl FrameReader {
     /// Wraps a connected stream.
     pub fn new(stream: TcpStream) -> Self {
         Self {
             stream,
-            buf: Vec::with_capacity(1024),
-            start: 0,
-            last_len: 0,
+            cursor: FrameCursor::new(),
+            chunk: vec![0u8; READ_CHUNK],
         }
     }
 
     /// Wire size (length prefix included) of the frame the most recent
     /// [`FrameReader::next_frame`] returned; 0 before any frame.
     pub fn last_frame_len(&self) -> usize {
-        self.last_len
+        self.cursor.last_frame_len()
     }
 
     /// Reads until one frame, EOF, or a read timeout.
     pub fn next_frame(&mut self) -> io::Result<Next> {
         loop {
-            match Frame::decode(&self.buf[self.start..]) {
-                Ok(Some((frame, consumed))) => {
-                    self.start += consumed;
-                    self.last_len = consumed;
-                    if self.start == self.buf.len() {
-                        self.buf.clear();
-                        self.start = 0;
-                    } else if self.start > 8192 {
-                        self.buf.drain(..self.start);
-                        self.start = 0;
-                    }
-                    return Ok(Next::Frame(frame));
-                }
+            match self.cursor.next() {
+                Ok(Some(frame)) => return Ok(Next::Frame(frame)),
                 Ok(None) => {}
                 Err(e) => {
                     return Err(io::Error::new(io::ErrorKind::InvalidData, e));
                 }
             }
-            let mut chunk = [0u8; 4096];
-            match self.stream.read(&mut chunk) {
+            match self.stream.read(&mut self.chunk) {
                 Ok(0) => return Ok(Next::Eof),
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.cursor.extend(&self.chunk[..n]),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -491,6 +562,92 @@ mod tests {
         kinds.dedup();
         // all_frames carries two StageStart samples sharing one label.
         assert_eq!(kinds.len(), all_frames().len() - 1);
+    }
+
+    #[test]
+    fn cursor_reassembles_one_byte_at_a_time() {
+        let mut wire = Vec::new();
+        for frame in all_frames() {
+            frame.encode(&mut wire);
+        }
+        let mut cursor = FrameCursor::new();
+        let mut decoded = Vec::new();
+        for &byte in &wire {
+            cursor.extend(&[byte]);
+            while let Some(frame) = cursor.next().unwrap() {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded, all_frames());
+        assert_eq!(cursor.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn cursor_handles_merged_frames_in_one_extend() {
+        let mut wire = Vec::new();
+        for frame in all_frames() {
+            frame.encode(&mut wire);
+        }
+        let mut cursor = FrameCursor::new();
+        cursor.extend(&wire);
+        let mut decoded = Vec::new();
+        while let Some(frame) = cursor.next().unwrap() {
+            decoded.push(frame);
+        }
+        assert_eq!(decoded, all_frames());
+    }
+
+    #[test]
+    fn cursor_compacts_without_losing_partial_frames() {
+        // Push far past COMPACT_AT with a partial frame straddling the
+        // compaction point; every frame must still come out intact.
+        let frame = Frame::TaskFinished {
+            task: 1,
+            executor: 2,
+            attempt: 0,
+        };
+        let mut one = Vec::new();
+        frame.encode(&mut one);
+        let mut cursor = FrameCursor::new();
+        let mut got = 0usize;
+        let total = (2 * COMPACT_AT) / one.len() + 3;
+        for _ in 0..total {
+            // Feed all but the last byte, drain, then the last byte.
+            cursor.extend(&one[..one.len() - 1]);
+            while let Some(f) = cursor.next().unwrap() {
+                assert_eq!(f, frame);
+                got += 1;
+            }
+            cursor.extend(&one[one.len() - 1..]);
+            while let Some(f) = cursor.next().unwrap() {
+                assert_eq!(f, frame);
+                got += 1;
+            }
+        }
+        assert_eq!(got, total);
+    }
+
+    #[test]
+    fn send_batch_coalesces_and_round_trips() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut writer = FrameWriter::new(client);
+        let frames = all_frames();
+        let sent = writer.send_batch(&frames).unwrap();
+        let mut expected = Vec::new();
+        for f in &frames {
+            f.encode(&mut expected);
+        }
+        assert_eq!(sent, expected.len());
+        let mut reader = FrameReader::new(server);
+        for want in &frames {
+            match reader.next_frame().unwrap() {
+                Next::Frame(got) => assert_eq!(&got, want),
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
     }
 
     #[test]

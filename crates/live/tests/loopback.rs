@@ -166,3 +166,26 @@ fn observer_sees_registry_updates_as_decisions_arrive() {
         assert_eq!(registry[*executor].slots, *size);
     }
 }
+
+#[test]
+fn blocking_reference_transport_still_runs_the_job() {
+    // The pinned thread-per-connection baseline must stay a working,
+    // explicitly selectable transport — it is what the reactor is
+    // benchmarked and equivalence-tested against.
+    let mut cfg = test_cfg(3);
+    cfg.transport = sae_live::DriverTransport::Blocking;
+    let mut cluster = LiveCluster::launch(cfg).unwrap();
+    let report = cluster.run(&terasort(24, 20_000, 2026)).unwrap();
+    cluster.shutdown().unwrap();
+
+    assert_eq!(report.stages.len(), 2);
+    assert!(report.lost_executors.is_empty());
+    assert!(
+        report.decisions.iter().any(|d| d.size == 2),
+        "the stage-start reset to c_min never arrived: {:?}",
+        report.decisions
+    );
+    for (e, slot) in report.registry.iter().enumerate() {
+        assert!(slot.registered && slot.alive, "executor {e}: {slot:?}");
+    }
+}

@@ -1,0 +1,234 @@
+//! OS-specific poller backends.
+//!
+//! Linux gets real `epoll` through a hand-declared FFI shim (no `libc`
+//! crate is vendored, but `std` already links the C library, so the four
+//! symbols we need resolve at link time). Everything `unsafe` in the
+//! workspace lives in this file. Other platforms get a portable fallback
+//! that sweeps registered fds with short sleeps — slower, but the reactor
+//! only needs level-triggered *eventual* readiness, which the sweep
+//! provides.
+
+use std::io;
+use std::time::Duration;
+
+use crate::{Event, Interest};
+
+#[cfg(target_os = "linux")]
+pub(crate) use epoll::PollerImpl;
+
+#[cfg(not(target_os = "linux"))]
+pub(crate) use fallback::PollerImpl;
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::*;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+
+    /// Matches the kernel's `struct epoll_event`. On x86-64 the kernel
+    /// ABI packs the struct (u32 events immediately followed by the u64
+    /// payload with no padding); other architectures use natural layout.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    }
+
+    #[derive(Debug)]
+    pub(crate) struct PollerImpl {
+        epfd: OwnedFd,
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    impl PollerImpl {
+        pub(crate) fn new() -> io::Result<Self> {
+            // SAFETY: epoll_create1 takes a flags int and returns a new fd
+            // or -1; no pointers are involved.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: fd is a freshly created, owned epoll fd.
+            Ok(Self {
+                epfd: unsafe { OwnedFd::from_raw_fd(fd) },
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interest),
+                data: token,
+            };
+            // SAFETY: `ev` is a live, correctly laid out epoll_event for
+            // the duration of the call; the kernel copies it out.
+            let rc = unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(crate) fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub(crate) fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            // Pre-2.6.9 kernels required a non-null event pointer for DEL;
+            // passing a dummy keeps us correct everywhere.
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            // SAFETY: as in `ctl` — valid pointer, kernel only reads it.
+            let rc = unsafe { epoll_ctl(self.epfd.as_raw_fd(), EPOLL_CTL_DEL, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(crate) fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let timeout_ms: i32 = match timeout {
+                // Round up so a 1ns timeout still sleeps ~1ms instead of
+                // degenerating into a busy spin.
+                Some(d) => d
+                    .as_millis()
+                    .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                    .min(i32::MAX as u128) as i32,
+                None => -1,
+            };
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 128];
+            let n = loop {
+                // SAFETY: `raw` is a valid buffer of 128 epoll_events the
+                // kernel fills in; maxevents matches its length.
+                let rc = unsafe {
+                    epoll_wait(
+                        self.epfd.as_raw_fd(),
+                        raw.as_mut_ptr(),
+                        raw.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            };
+            for ev in &raw[..n] {
+                // Copy out of the (possibly packed) struct before use.
+                let bits = ev.events;
+                let data = ev.data;
+                events.push(Event {
+                    token: data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod fallback {
+    use super::*;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+
+    /// Portable stand-in: remembers registrations and reports every
+    /// registered fd as ready on each wait after a short sleep. With
+    /// non-blocking sockets a spurious "ready" costs one `WouldBlock`
+    /// read, so correctness is preserved; only efficiency suffers, and
+    /// only off-Linux.
+    #[derive(Debug, Default)]
+    pub(crate) struct PollerImpl {
+        registered: Mutex<Vec<(RawFd, u64, Interest)>>,
+    }
+
+    impl PollerImpl {
+        pub(crate) fn new() -> io::Result<Self> {
+            Ok(Self::default())
+        }
+
+        pub(crate) fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.registered.lock().unwrap().push((fd, token, interest));
+            Ok(())
+        }
+
+        pub(crate) fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            match reg.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(slot) => {
+                    *slot = (fd, token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.registered.lock().unwrap().retain(|(f, _, _)| *f != fd);
+            Ok(())
+        }
+
+        pub(crate) fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let nap = timeout
+                .unwrap_or(Duration::from_millis(5))
+                .min(Duration::from_millis(5));
+            std::thread::sleep(nap);
+            let reg = self.registered.lock().unwrap();
+            for &(_, token, interest) in reg.iter() {
+                events.push(Event {
+                    token,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                    error: false,
+                });
+            }
+            Ok(events.len())
+        }
+    }
+}
