@@ -1,0 +1,201 @@
+//! The multi-tenant job server daemon.
+//!
+//! Binds the executor wire port and the HTTP control port, optionally
+//! launches an in-process executor fleet, and serves jobs until
+//! SIGINT/SIGTERM. On shutdown it drains running jobs (bounded by
+//! `--drain-ms`), then writes each job's journal and a summary report to
+//! `--artifacts` if given.
+//!
+//! ```text
+//! sae-server --fleet 4 &
+//! curl -s localhost:7070/jobs -d '{"tenant":"alice","tasks":8,"records_per_task":20000}'
+//! curl -s localhost:7070/jobs/1
+//! curl -s localhost:7070/metrics | grep server_jobs
+//! ```
+//!
+//! With `--fleet 0` no executors are launched; point external
+//! `sae-executor` processes at the printed wire address instead.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sae_live::executor::LiveExecutorConfig;
+use sae_live::server::{JobServer, ServerConfig};
+use sae_live::{FlightRecorder, LiveExecutor, TempDir};
+
+struct Args {
+    http: String,
+    wire: String,
+    fleet: usize,
+    executors: usize,
+    max_active: usize,
+    max_queued: usize,
+    drain: Duration,
+    spill: Option<PathBuf>,
+    artifacts: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: sae-server [--http ADDR] [--wire ADDR] [--fleet N] \
+    [--executors N] [--max-active N] [--max-queued N] [--drain-ms N] \
+    [--spill DIR] [--artifacts DIR]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut http = "127.0.0.1:7070".to_string();
+    let mut wire = "127.0.0.1:0".to_string();
+    let mut fleet = 2usize;
+    let mut executors = None;
+    let mut max_active = 8usize;
+    let mut max_queued = 16usize;
+    let mut drain = Duration::from_secs(5);
+    let mut spill = None;
+    let mut artifacts = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            argv.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--http" => http = value("--http")?,
+            "--wire" => wire = value("--wire")?,
+            "--fleet" => fleet = parse_num(&value("--fleet")?, "--fleet")?,
+            "--executors" => executors = Some(parse_num(&value("--executors")?, "--executors")?),
+            "--max-active" => max_active = parse_num(&value("--max-active")?, "--max-active")?,
+            "--max-queued" => max_queued = parse_num(&value("--max-queued")?, "--max-queued")?,
+            "--drain-ms" => {
+                drain =
+                    Duration::from_millis(parse_num(&value("--drain-ms")?, "--drain-ms")? as u64)
+            }
+            "--spill" => spill = Some(PathBuf::from(value("--spill")?)),
+            "--artifacts" => artifacts = Some(PathBuf::from(value("--artifacts")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        http,
+        wire,
+        // The fleet-size flag doubles as the executor-id space unless
+        // --executors widens it for external joiners.
+        executors: executors.unwrap_or(fleet.max(1)),
+        fleet,
+        max_active,
+        max_queued,
+        drain,
+        spill,
+        artifacts,
+    })
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
+    s.parse().map_err(|e| format!("{flag} {s}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    sae_poll::signal::install();
+
+    let cfg = ServerConfig {
+        executors: args.executors,
+        max_active: args.max_active,
+        max_queued: args.max_queued,
+        shutdown_drain: args.drain,
+        recorder: FlightRecorder::new(65_536),
+        ..ServerConfig::default()
+    };
+
+    let server = match JobServer::bind_to(cfg, args.wire.as_str(), args.http.as_str()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sae-server: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (wire_addr, http_addr) = match (server.wire_addr(), server.http_addr()) {
+        (Ok(w), Ok(h)) => (w, h),
+        _ => {
+            eprintln!("sae-server: listeners lost their addresses");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("sae-server listening http={http_addr} wire={wire_addr}");
+
+    // The in-process fleet: one executor thread per id, each with its own
+    // spill namespace under the spill root.
+    let spill_root = match &args.spill {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("sae-server: --spill {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            None // caller-owned: not cleaned up on exit
+        }
+        None => match TempDir::new("sae-server-spill") {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("sae-server: temp spill dir: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let spill_base = args
+        .spill
+        .clone()
+        .unwrap_or_else(|| spill_root.as_ref().expect("temp dir exists").path().into());
+    let fleet: Vec<LiveExecutor> = (0..args.fleet)
+        .map(|id| {
+            let dir = spill_base.join(format!("exec-{id}"));
+            let _ = std::fs::create_dir_all(&dir);
+            LiveExecutor::launch(wire_addr, LiveExecutorConfig::new(id, dir))
+        })
+        .collect();
+
+    let report = match server.serve() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sae-server: serve loop failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for exec in fleet {
+        let _ = exec.join();
+    }
+
+    // Artifact flush: one journal file per job plus a summary line each.
+    if let Some(dir) = &args.artifacts {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("sae-server: --artifacts {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let mut summary = String::new();
+        for job in &report.jobs {
+            let path = dir.join(format!("job-{}.journal.jsonl", job.id));
+            if let Err(e) = std::fs::write(&path, &job.journal) {
+                eprintln!("sae-server: journal write {}: {e}", path.display());
+            }
+            summary.push_str(&format!(
+                "{{\"job\":{},\"name\":\"{}\",\"tenant\":\"{}\",\"status\":\"{}\",\
+                 \"attempts\":{},\"runtime_secs\":{:.6}}}\n",
+                job.id,
+                job.name,
+                job.tenant,
+                job.status.as_str(),
+                job.attempts,
+                job.runtime_secs
+            ));
+        }
+        let _ = std::fs::write(dir.join("jobs.jsonl"), summary);
+    }
+    println!(
+        "sae-server: drained with {} jobs on the books",
+        report.jobs.len()
+    );
+    ExitCode::SUCCESS
+}

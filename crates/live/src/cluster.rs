@@ -724,7 +724,7 @@ fn spawn_chaos_agent(
                 if disk_fired[i] || now < fault.at {
                     continue;
                 }
-                let path = spill_dir.join(format!("t{}.spill", fault.task));
+                let path = crate::task::spill_path(&spill_dir, crate::task::SINGLE_JOB, fault.task);
                 let Ok(meta) = std::fs::metadata(&path) else {
                     continue; // not spilled yet; retry next tick
                 };

@@ -60,8 +60,12 @@ use sae_pool::{combined_probe, AdaptivePool, CounterProbe};
 use crate::job::LiveStageKind;
 use crate::log::Logger;
 use crate::recorder::{FlightRecorder, LiveEvent};
-use crate::task::run_task;
+use crate::task::{run_task, SINGLE_JOB};
 use crate::wire::{Frame, FrameReader, FrameWriter, Next};
+
+/// Per-job stage parameters `(kind, records_per_task, seed)` shared with
+/// in-flight task closures.
+type JobStages = Arc<Mutex<std::collections::HashMap<u64, (LiveStageKind, usize, u64)>>>;
 
 /// Reincarnation policy: how a dead executor comes back.
 #[derive(Debug, Clone)]
@@ -531,6 +535,11 @@ fn serve(
     } else {
         None
     };
+    // Stage parameters per live job, for multi-job serving. Shared with
+    // task closures so a cancelled job's queued attempts notice the
+    // cancellation at run time and drop silently instead of running a
+    // retired job's stage.
+    let jobs: JobStages = Arc::new(Mutex::new(std::collections::HashMap::new()));
     loop {
         if kill.load(Ordering::Relaxed) {
             log.error(|| "killed: going silent with the socket open".into());
@@ -597,7 +606,15 @@ fn serve(
                     if kill.load(Ordering::Relaxed) {
                         return;
                     }
-                    let outcome = run_task(kind, task, records_per_task, seed, &dir, &task_io);
+                    let outcome = run_task(
+                        kind,
+                        SINGLE_JOB,
+                        task,
+                        records_per_task,
+                        seed,
+                        &dir,
+                        &task_io,
+                    );
                     if kill.load(Ordering::Relaxed) {
                         return; // died mid-task: no report, just silence
                     }
@@ -624,6 +641,87 @@ fn serve(
                         }
                     };
                     let _ = link.send(&frame);
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if kill_after_tasks.is_some_and(|n| done >= n) {
+                        kill.store(true, Ordering::Relaxed);
+                    }
+                });
+            }
+            // Multi-job serving (the job-server path). Unlike StageStart
+            // this does not reset the pool or probes: many jobs interleave
+            // on one fleet, and a reset per job stage would thrash the
+            // MAPE-K controller's measurement intervals.
+            Frame::JobStageStart {
+                job,
+                stage,
+                kind,
+                records_per_task,
+                seed,
+                ..
+            } => {
+                jobs.lock().insert(job, (kind, records_per_task, seed));
+                log.info(|| format!("job {job} stage {stage} announced"));
+            }
+            Frame::JobEnd { job } => {
+                jobs.lock().remove(&job);
+                log.info(|| format!("job {job} retired"));
+            }
+            Frame::AssignJobTask { job, task } => {
+                let Some((kind, records_per_task, seed)) = jobs.lock().get(&job).copied() else {
+                    continue; // assignment for a job we never saw start
+                };
+                let link = Arc::clone(link);
+                let kill = Arc::clone(kill);
+                let completed = Arc::clone(completed);
+                let task_io = task_io.clone();
+                let pool = pool.clone();
+                let jobs = Arc::clone(&jobs);
+                let dir = cfg.spill_dir.clone();
+                let id = cfg.id;
+                let tasks_finished = metrics.tasks_finished.clone();
+                let tasks_failed = metrics.tasks_failed.clone();
+                let log = log.clone();
+                pool.clone().submit(move || {
+                    if kill.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    // Cancellation fast path: the job was retired while
+                    // this attempt sat in the pool queue. Still report an
+                    // outcome — the server frees the slot it booked for
+                    // this assignment only when one arrives.
+                    if !jobs.lock().contains_key(&job) {
+                        let _ = link.send(&Frame::JobTaskOutcome {
+                            job,
+                            task,
+                            executor: id,
+                            attempt: 0,
+                            ok: false,
+                        });
+                        return;
+                    }
+                    let outcome = run_task(kind, job, task, records_per_task, seed, &dir, &task_io);
+                    if kill.load(Ordering::Relaxed) {
+                        return; // died mid-task: no report, just silence
+                    }
+                    let ok = match outcome {
+                        Ok(()) => {
+                            tasks_finished.inc();
+                            true
+                        }
+                        Err(_) => {
+                            tasks_failed.inc();
+                            log.error(|| format!("job {job} task {task} failed"));
+                            pool.interval_poisoned(&format!("job {job} task {task} failed"));
+                            false
+                        }
+                    };
+                    let _ = link.send(&Frame::JobTaskOutcome {
+                        job,
+                        task,
+                        executor: id,
+                        attempt: 0,
+                        ok,
+                    });
                     let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                     if kill_after_tasks.is_some_and(|n| done >= n) {
                         kill.store(true, Ordering::Relaxed);

@@ -47,6 +47,7 @@ pub mod job;
 pub mod log;
 pub mod nemesis;
 pub mod recorder;
+pub mod server;
 pub mod task;
 pub mod wire;
 
@@ -61,3 +62,4 @@ pub use job::{terasort, LiveJob, LiveStageKind, LiveStageSpec};
 pub use log::{LogLevel, Logger};
 pub use nemesis::Nemesis;
 pub use recorder::{chrome_trace, FlightRecorder, LiveEvent};
+pub use server::{JobServer, JobStatus, JobSummary, ServerConfig, ServerReport};

@@ -1,0 +1,1826 @@
+//! `sae-server`: a multi-tenant job server over the live runtime.
+//!
+//! The single-job [`Driver`](crate::Driver) runs one [`LiveJob`] and
+//! exits. This module generalises its protocol state machine into a
+//! long-running server: clients submit jobs over a hand-rolled HTTP/1.1
+//! control API ([`sae_net::http`]), a shared executor fleet serves every
+//! job's tasks concurrently, and a stride scheduler ([`sched::FairShare`])
+//! splits the fleet's slots across tenants by weight.
+//!
+//! One reactor thread owns every socket — the executor wire listener, the
+//! HTTP listener, and all accepted connections — on the same
+//! [`sae_poll::Poller`] event loop the single-job reactor uses. Per
+//! wakeup it drains readiness, decodes frames / HTTP requests, runs due
+//! timers, and dispatches tasks to free slots.
+//!
+//! # Control API
+//!
+//! | Route                  | Meaning                                    |
+//! |------------------------|--------------------------------------------|
+//! | `POST /jobs`           | submit a job spec (JSON), `201` + id       |
+//! | `GET /jobs`            | list all jobs with status                  |
+//! | `GET /jobs/:id`        | one job's live status                      |
+//! | `DELETE /jobs/:id`     | cancel (`409` once terminal)               |
+//! | `GET /jobs/:id/report` | per-stage report (attempts, durations)     |
+//! | `GET /jobs/:id/journal`| the job's deterministic lifecycle journal  |
+//! | `GET /jobs/:id/trace`  | the server's Chrome-trace timeline         |
+//! | `GET /metrics`         | Prometheus text, per-tenant labels         |
+//! | `GET /healthz`         | liveness + draining flag                   |
+//!
+//! # Admission control
+//!
+//! At most [`ServerConfig::max_active`] jobs run concurrently; beyond
+//! that, submissions queue FIFO up to [`ServerConfig::max_queued`] deep.
+//! A full queue answers `429 Too Many Requests`; a draining server (after
+//! SIGINT/SIGTERM or a programmatic stop) answers `503 Service
+//! Unavailable`. Draining stops admission, cancels queued jobs, gives
+//! running jobs up to [`ServerConfig::shutdown_drain`] to finish, then
+//! broadcasts `Shutdown` to the fleet and returns a [`ServerReport`].
+//!
+//! # Fairness and accounting
+//!
+//! Every task dispatch charges the owning job `STRIDE1 / weight` pass
+//! points; free slots go to the runnable job with the lowest pass. Slot
+//! accounting is exact: each `AssignJobTask` is booked in an in-flight
+//! table keyed `(job, task)` and freed only by the matching
+//! `JobTaskOutcome` (executors report outcomes even for attempts whose
+//! job was cancelled before they started) or by the executor being
+//! declared lost. Frames from superseded executor incarnations are fenced
+//! by the same [`EpochRegistry`] the single-job driver uses.
+//!
+//! Each job keeps a **journal**: JSONL lifecycle lines with no wall-clock
+//! times, no executor placement and no server-assigned ids, so two
+//! fault-free runs of the same submission schedule produce byte-identical
+//! journals — the determinism the `jobserver` bench asserts.
+
+pub mod json;
+pub mod sched;
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sae_dag::sched::PendingQueue;
+use sae_dag::Message;
+use sae_metrics::{render_prometheus, Counter, Gauge, MetricRegistry, RegistrySnapshot};
+use sae_net::http::{self, Limits, Method, Request, RequestParser, Response};
+use sae_poll::{Event, Interest, Poller, TimerWheel};
+
+use crate::epochs::{Admission, EpochRegistry};
+use crate::job::{LiveJob, LiveStageKind, LiveStageSpec};
+use crate::log::Logger;
+use crate::recorder::FlightRecorder;
+use crate::wire::{Frame, FrameCursor};
+
+use json::Value;
+use sched::FairShare;
+
+/// Poller token of the executor wire listener.
+const WIRE_LISTENER: u64 = 0;
+/// Poller token of the HTTP control listener.
+const HTTP_LISTENER: u64 = 1;
+/// Connections use `slot + CONN_BASE` as their token.
+const CONN_BASE: u64 = 2;
+/// Timer-wheel payload of the periodic sweep.
+const TIMER_TICK: u64 = 0;
+/// Bytes one socket read may pull in per call.
+const READ_CHUNK: usize = 16 * 1024;
+/// Executor write-queue depth that masks it from new assignments.
+const HIGH_WATER: usize = 64 * 1024;
+/// Executor write-queue depth that declares the connection broken.
+const HARD_CAP: usize = 4 * 1024 * 1024;
+/// Bound on flushing queued frames (the `Shutdown` broadcast above all)
+/// after the serve loop exits.
+const FINAL_FLUSH: Duration = Duration::from_millis(500);
+
+/// Job-server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Executor ids the fleet may register with (`0..executors`).
+    pub executors: usize,
+    /// Jobs allowed to run concurrently; beyond this submissions queue.
+    pub max_active: usize,
+    /// Queued (admitted, not yet started) jobs beyond `max_active`;
+    /// past this depth submissions are rejected with `429`.
+    pub max_queued: usize,
+    /// A task failing this many attempts fails its job.
+    pub max_task_attempts: usize,
+    /// Executor silence longer than this declares it lost.
+    pub heartbeat_timeout: Duration,
+    /// Period of the heartbeat/drain sweep timer.
+    pub check_interval: Duration,
+    /// On shutdown, how long running jobs may drain before the server
+    /// cancels them and exits.
+    pub shutdown_drain: Duration,
+    /// HTTP parser limits (head and body size caps).
+    pub limits: Limits,
+    /// Shared flight recorder (served verbatim by `GET /jobs/:id/trace`).
+    pub recorder: FlightRecorder,
+    /// Shared metric registry (served by `GET /metrics`).
+    pub metrics: MetricRegistry,
+    /// Programmatic stop: setting this true drains the server exactly
+    /// like SIGINT/SIGTERM — the path tests use.
+    pub stop: Arc<AtomicBool>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            executors: 2,
+            max_active: 8,
+            max_queued: 16,
+            max_task_attempts: 4,
+            heartbeat_timeout: Duration::from_millis(800),
+            check_interval: Duration::from_millis(50),
+            shutdown_drain: Duration::from_secs(2),
+            limits: Limits::default(),
+            recorder: FlightRecorder::disabled(),
+            metrics: MetricRegistry::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for an active slot.
+    Queued,
+    /// Stages in progress.
+    Running,
+    /// Every stage finished.
+    Completed,
+    /// A task exceeded its attempt budget.
+    Failed,
+    /// Cancelled by `DELETE /jobs/:id` or server drain.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// The status as its API string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed => "completed",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    fn terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Completed | JobStatus::Failed | JobStatus::Cancelled
+        )
+    }
+}
+
+/// One finished job as the final [`ServerReport`] records it.
+#[derive(Debug, Clone)]
+pub struct JobSummary {
+    /// Server-assigned job id.
+    pub id: u64,
+    /// Job name from the spec.
+    pub name: String,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Fair-share weight.
+    pub weight: u64,
+    /// Final status.
+    pub status: JobStatus,
+    /// Stages that ran to completion.
+    pub stages_completed: usize,
+    /// Task attempts dispatched on the job's behalf.
+    pub attempts: usize,
+    /// Attempts that failed or were lost with their executor.
+    pub failed_attempts: usize,
+    /// Wall-clock from job start to terminal state (0 if never started).
+    pub runtime_secs: f64,
+    /// The job's deterministic lifecycle journal (JSONL).
+    pub journal: String,
+}
+
+/// What [`JobServer::serve`] returns once the server drains.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Every job the server ever admitted, by id.
+    pub jobs: Vec<JobSummary>,
+    /// Final snapshot of the shared metric registry.
+    pub metrics: RegistrySnapshot,
+}
+
+/// Mutable state of one job's current stage (the multi-job analogue of
+/// the driver's `StageState`).
+struct StageRun {
+    done: Vec<bool>,
+    assigned_to: Vec<Option<usize>>,
+    failures: Vec<usize>,
+    failed_on: Vec<Vec<usize>>,
+    remaining: usize,
+    attempts: usize,
+    failed_attempts: usize,
+    started: Instant,
+}
+
+impl StageRun {
+    fn new(tasks: usize) -> Self {
+        Self {
+            done: vec![false; tasks],
+            assigned_to: vec![None; tasks],
+            failures: vec![0; tasks],
+            failed_on: vec![Vec::new(); tasks],
+            remaining: tasks,
+            attempts: 0,
+            failed_attempts: 0,
+            started: Instant::now(),
+        }
+    }
+}
+
+/// One admitted job.
+struct JobState {
+    id: u64,
+    job: LiveJob,
+    tenant: String,
+    weight: u64,
+    status: JobStatus,
+    stage_idx: usize,
+    queue: PendingQueue,
+    st: StageRun,
+    started_at: Option<Instant>,
+    runtime_secs: f64,
+    total_attempts: usize,
+    total_failed: usize,
+    stages_completed: usize,
+    /// Wall-clock seconds per completed stage, in stage order.
+    stage_durations: Vec<f64>,
+    journal: String,
+}
+
+impl JobState {
+    /// Can this job absorb another slot right now?
+    fn runnable(&self) -> bool {
+        self.status == JobStatus::Running && !self.queue.is_empty()
+    }
+}
+
+/// Server-side view of one executor.
+struct ExecState {
+    registered: bool,
+    alive: bool,
+    slots: usize,
+    running: usize,
+    last_heartbeat: Instant,
+}
+
+impl ExecState {
+    fn usable(&self) -> bool {
+        self.registered && self.alive
+    }
+}
+
+/// Per-executor outbound frame queue (same shape as the single-job
+/// reactor's lanes).
+struct Lane {
+    conn: Option<u64>,
+    queue: VecDeque<u8>,
+}
+
+/// What an accepted connection is.
+enum ConnKind {
+    /// An executor speaking the length-prefixed frame protocol.
+    Wire {
+        cursor: FrameCursor,
+        executor: Option<usize>,
+    },
+    /// An HTTP control client.
+    Http {
+        parser: RequestParser,
+        out: VecDeque<u8>,
+        /// Close once `out` drains (parse error or `Connection: close`).
+        close: bool,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    conn_id: u64,
+    want_write: bool,
+    kind: ConnKind,
+}
+
+/// Cached metric handles; names follow the `server.*{tenant="x"}` label
+/// convention [`render_prometheus`] parses back into label sets.
+struct ServerMetrics {
+    registry: MetricRegistry,
+    http_requests: Counter,
+    jobs_rejected: Counter,
+    tasks_dispatched: Counter,
+    outcomes: Counter,
+    executors_lost: Counter,
+    reincarnations: Counter,
+    frames_fenced: Counter,
+    wakeups: Counter,
+    jobs_running: Gauge,
+    jobs_queued: Gauge,
+    per_tenant: HashMap<String, TenantMetrics>,
+}
+
+struct TenantMetrics {
+    submitted: Counter,
+    completed: Counter,
+    cancelled: Counter,
+    failed: Counter,
+    tasks: Counter,
+}
+
+impl ServerMetrics {
+    fn new(registry: &MetricRegistry) -> Self {
+        Self {
+            registry: registry.clone(),
+            http_requests: registry.counter("server.http_requests"),
+            jobs_rejected: registry.counter("server.jobs_rejected"),
+            tasks_dispatched: registry.counter("server.tasks_dispatched"),
+            outcomes: registry.counter("server.task_outcomes"),
+            executors_lost: registry.counter("server.executors_lost"),
+            reincarnations: registry.counter("server.reincarnations"),
+            frames_fenced: registry.counter("server.frames_fenced"),
+            wakeups: registry.counter("server.wakeups"),
+            jobs_running: registry.gauge("server.jobs_running"),
+            jobs_queued: registry.gauge("server.jobs_queued"),
+            per_tenant: HashMap::new(),
+        }
+    }
+
+    /// Per-tenant handles, created on first use. Tenant names are
+    /// validated at submission to a label-safe charset.
+    fn tenant(&mut self, tenant: &str) -> &TenantMetrics {
+        let registry = &self.registry;
+        self.per_tenant
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantMetrics {
+                submitted: registry
+                    .counter(&format!("server.jobs_submitted{{tenant=\"{tenant}\"}}")),
+                completed: registry
+                    .counter(&format!("server.jobs_completed{{tenant=\"{tenant}\"}}")),
+                cancelled: registry
+                    .counter(&format!("server.jobs_cancelled{{tenant=\"{tenant}\"}}")),
+                failed: registry.counter(&format!("server.jobs_failed{{tenant=\"{tenant}\"}}")),
+                tasks: registry.counter(&format!("server.tasks_completed{{tenant=\"{tenant}\"}}")),
+            })
+    }
+}
+
+/// A bound job server, ready to [`serve`](JobServer::serve).
+#[derive(Debug)]
+pub struct JobServer {
+    wire: TcpListener,
+    http: TcpListener,
+    cfg: ServerConfig,
+}
+
+impl JobServer {
+    /// Binds ephemeral loopback ports for the wire and HTTP listeners.
+    pub fn bind(cfg: ServerConfig) -> io::Result<Self> {
+        Self::bind_to(cfg, "127.0.0.1:0", "127.0.0.1:0")
+    }
+
+    /// Binds the given wire and HTTP addresses (the `sae-server` binary's
+    /// fixed-port path; port 0 picks an ephemeral port).
+    pub fn bind_to(
+        cfg: ServerConfig,
+        wire: impl std::net::ToSocketAddrs,
+        http: impl std::net::ToSocketAddrs,
+    ) -> io::Result<Self> {
+        Ok(Self {
+            wire: TcpListener::bind(wire)?,
+            http: TcpListener::bind(http)?,
+            cfg,
+        })
+    }
+
+    /// The address executors connect to.
+    pub fn wire_addr(&self) -> io::Result<SocketAddr> {
+        self.wire.local_addr()
+    }
+
+    /// The address control clients connect to.
+    pub fn http_addr(&self) -> io::Result<SocketAddr> {
+        self.http.local_addr()
+    }
+
+    /// Runs the serve loop until SIGINT/SIGTERM or the configured stop
+    /// flag, then drains and reports.
+    pub fn serve(self) -> io::Result<ServerReport> {
+        ServerLoop::new(self.wire, self.http, self.cfg)?.run()
+    }
+}
+
+struct ServerLoop {
+    poller: Poller,
+    wire: TcpListener,
+    http: TcpListener,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    freed_now: Vec<usize>,
+    exec_conn: Vec<Option<usize>>,
+    next_conn: u64,
+    events: Vec<Event>,
+    wheel: TimerWheel,
+    read_buf: Vec<u8>,
+    cfg: ServerConfig,
+    epochs: EpochRegistry,
+    execs: Vec<ExecState>,
+    lanes: Vec<Lane>,
+    dirty: Vec<usize>,
+    scratch: Vec<u8>,
+    fair: FairShare,
+    jobs: BTreeMap<u64, JobState>,
+    waiting: VecDeque<u64>,
+    /// `(job, task) -> executor` for every assignment whose outcome has
+    /// not arrived. The only place slot accounting is decremented.
+    inflight: HashMap<(u64, usize), usize>,
+    next_job: u64,
+    draining: Option<Instant>,
+    metrics: ServerMetrics,
+    log: Logger,
+}
+
+impl ServerLoop {
+    fn new(wire: TcpListener, http: TcpListener, cfg: ServerConfig) -> io::Result<Self> {
+        wire.set_nonblocking(true)?;
+        http.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.register(&wire, WIRE_LISTENER, Interest::READABLE)?;
+        poller.register(&http, HTTP_LISTENER, Interest::READABLE)?;
+        let now = Instant::now();
+        Ok(Self {
+            poller,
+            wire,
+            http,
+            conns: Vec::new(),
+            free: Vec::new(),
+            freed_now: Vec::new(),
+            exec_conn: vec![None; cfg.executors],
+            next_conn: 1,
+            events: Vec::new(),
+            wheel: TimerWheel::new(),
+            read_buf: vec![0u8; READ_CHUNK],
+            epochs: EpochRegistry::new(cfg.executors),
+            execs: (0..cfg.executors)
+                .map(|_| ExecState {
+                    registered: false,
+                    alive: false,
+                    slots: 0,
+                    running: 0,
+                    last_heartbeat: now,
+                })
+                .collect(),
+            lanes: (0..cfg.executors)
+                .map(|_| Lane {
+                    conn: None,
+                    queue: VecDeque::new(),
+                })
+                .collect(),
+            dirty: Vec::new(),
+            scratch: Vec::new(),
+            fair: FairShare::new(),
+            jobs: BTreeMap::new(),
+            waiting: VecDeque::new(),
+            inflight: HashMap::new(),
+            next_job: 1,
+            draining: None,
+            metrics: ServerMetrics::new(&cfg.metrics),
+            log: Logger::new("server", cfg.recorder.clone()),
+            cfg,
+        })
+    }
+
+    fn run(&mut self) -> io::Result<ServerReport> {
+        self.log.info(|| {
+            format!(
+                "serving: {} executor slots configured, max_active={}, max_queued={}",
+                self.cfg.executors, self.cfg.max_active, self.cfg.max_queued
+            )
+        });
+        self.wheel
+            .schedule_at(Instant::now() + self.cfg.check_interval, TIMER_TICK);
+        loop {
+            self.flush_dirty();
+            let timeout = self
+                .wheel
+                .next_timeout(Instant::now())
+                .unwrap_or(self.cfg.check_interval);
+            let mut events = std::mem::take(&mut self.events);
+            self.poller.wait(&mut events, Some(timeout))?;
+            self.metrics.wakeups.inc();
+            for ev in &events {
+                match ev.token {
+                    WIRE_LISTENER => self.accept_burst(true),
+                    HTTP_LISTENER => self.accept_burst(false),
+                    token => {
+                        let idx = (token - CONN_BASE) as usize;
+                        if idx >= self.conns.len() || self.conns[idx].is_none() {
+                            continue; // closed earlier in this batch
+                        }
+                        if ev.readable || ev.error {
+                            self.read_drain(idx);
+                        }
+                        if ev.writable {
+                            self.flush_conn(idx);
+                        }
+                    }
+                }
+            }
+            self.events = events;
+            for (_, what) in self.wheel.expire(Instant::now()) {
+                if what == TIMER_TICK {
+                    self.tick();
+                    self.wheel
+                        .schedule_at(Instant::now() + self.cfg.check_interval, TIMER_TICK);
+                }
+            }
+            self.try_assign();
+            self.free.append(&mut self.freed_now);
+            if let Some(since) = self.draining {
+                let running = self.jobs.values().any(|j| !j.status.terminal());
+                if !running || since.elapsed() > self.cfg.shutdown_drain {
+                    break;
+                }
+            }
+        }
+        self.finish()
+    }
+
+    /// The periodic sweep: heartbeat timeouts, the shutdown latch, and
+    /// admission-gauge refresh.
+    fn tick(&mut self) {
+        let now = Instant::now();
+        for e in 0..self.execs.len() {
+            let ex = &self.execs[e];
+            if ex.registered
+                && ex.alive
+                && now.duration_since(ex.last_heartbeat) > self.cfg.heartbeat_timeout
+            {
+                self.declare_lost(e);
+            }
+        }
+        if self.draining.is_none()
+            && (sae_poll::signal::triggered() || self.cfg.stop.load(Ordering::Relaxed))
+        {
+            self.begin_drain();
+        }
+        let running = self
+            .jobs
+            .values()
+            .filter(|j| j.status == JobStatus::Running)
+            .count();
+        self.metrics.jobs_running.set(running as f64);
+        self.metrics.jobs_queued.set(self.waiting.len() as f64);
+    }
+
+    /// Stops admission and cancels queued jobs; running jobs get the
+    /// drain window.
+    fn begin_drain(&mut self) {
+        self.draining = Some(Instant::now());
+        self.log.info(|| {
+            format!(
+                "draining: admission closed, running jobs get {:?}",
+                self.cfg.shutdown_drain
+            )
+        });
+        while let Some(id) = self.waiting.pop_front() {
+            self.cancel_job(id);
+        }
+    }
+
+    /// After the loop: cancel whatever is still running, broadcast
+    /// `Shutdown`, flush, and build the report.
+    fn finish(&mut self) -> io::Result<ServerReport> {
+        let ids: Vec<u64> = self.jobs.keys().copied().collect();
+        for id in ids {
+            if !self.jobs[&id].status.terminal() {
+                self.cancel_job(id);
+            }
+        }
+        self.broadcast(&Frame::Shutdown);
+        self.drain_writes();
+        let jobs = self
+            .jobs
+            .values()
+            .map(|j| JobSummary {
+                id: j.id,
+                name: j.job.name.clone(),
+                tenant: j.tenant.clone(),
+                weight: j.weight,
+                status: j.status,
+                stages_completed: j.stages_completed,
+                // Jobs that ended mid-stage (failed/cancelled) still owe
+                // their in-flight stage's dispatches to the total.
+                attempts: j.total_attempts + j.st.attempts,
+                failed_attempts: j.total_failed,
+                runtime_secs: j.runtime_secs,
+                journal: j.journal.clone(),
+            })
+            .collect();
+        Ok(ServerReport {
+            jobs,
+            metrics: self.cfg.metrics.snapshot(),
+        })
+    }
+
+    // ---- connection plumbing ------------------------------------------
+
+    fn accept_burst(&mut self, is_wire: bool) {
+        loop {
+            let accepted = if is_wire {
+                self.wire.accept()
+            } else {
+                self.http.accept()
+            };
+            match accepted {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let conn_id = self.next_conn;
+                    self.next_conn += 1;
+                    let idx = match self.free.pop() {
+                        Some(idx) => idx,
+                        None => {
+                            self.conns.push(None);
+                            self.conns.len() - 1
+                        }
+                    };
+                    if self
+                        .poller
+                        .register(&stream, idx as u64 + CONN_BASE, Interest::READABLE)
+                        .is_err()
+                    {
+                        self.free.push(idx);
+                        continue;
+                    }
+                    let kind = if is_wire {
+                        ConnKind::Wire {
+                            cursor: FrameCursor::new(),
+                            executor: None,
+                        }
+                    } else {
+                        ConnKind::Http {
+                            parser: RequestParser::with_limits(self.cfg.limits),
+                            out: VecDeque::new(),
+                            close: false,
+                        }
+                    };
+                    self.conns[idx] = Some(Conn {
+                        stream,
+                        conn_id,
+                        want_write: false,
+                        kind,
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.log.error(|| format!("acceptor died: {e}"));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn read_drain(&mut self, idx: usize) {
+        loop {
+            let conn = match self.conns[idx].as_mut() {
+                Some(c) => c,
+                None => return,
+            };
+            match conn.stream.read(&mut self.read_buf) {
+                Ok(0) => return self.close_conn(idx),
+                Ok(n) => {
+                    let bytes: Vec<u8> = self.read_buf[..n].to_vec();
+                    match &mut conn.kind {
+                        ConnKind::Wire { cursor, .. } => {
+                            cursor.extend(&bytes);
+                            if !self.pump_wire(idx) {
+                                return;
+                            }
+                        }
+                        ConnKind::Http { parser, .. } => {
+                            parser.extend(&bytes);
+                            if !self.pump_http(idx) {
+                                return;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return self.close_conn(idx),
+            }
+        }
+    }
+
+    /// Decodes and handles every complete frame buffered on a wire
+    /// connection. Returns `false` once the connection is gone.
+    fn pump_wire(&mut self, idx: usize) -> bool {
+        loop {
+            let conn = match self.conns[idx].as_mut() {
+                Some(c) => c,
+                None => return false,
+            };
+            let ConnKind::Wire { cursor, executor } = &mut conn.kind else {
+                return true;
+            };
+            let frame = match cursor.next() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return true,
+                Err(_) => {
+                    // Framing lost: the connection is unusable.
+                    self.close_conn(idx);
+                    return false;
+                }
+            };
+            let conn_id = conn.conn_id;
+            match *executor {
+                Some(e) => self.handle_wire_frame(e, conn_id, frame),
+                None => {
+                    let Frame::Register { executor: e, slots } = frame else {
+                        self.close_conn(idx);
+                        return false;
+                    };
+                    if e >= self.cfg.executors {
+                        self.log.error(|| {
+                            format!("executor {e} registered from outside the configured fleet")
+                        });
+                        self.close_conn(idx);
+                        return false;
+                    }
+                    *executor = Some(e);
+                    self.exec_conn[e] = Some(idx);
+                    self.handle_register(e, slots, conn_id);
+                }
+            }
+        }
+    }
+
+    /// Parses and answers every complete HTTP request buffered on a
+    /// control connection. Returns `false` once the connection is gone.
+    fn pump_http(&mut self, idx: usize) -> bool {
+        loop {
+            let conn = match self.conns[idx].as_mut() {
+                Some(c) => c,
+                None => return false,
+            };
+            let ConnKind::Http { parser, .. } = &mut conn.kind else {
+                return true;
+            };
+            match parser.next() {
+                Ok(Some(req)) => {
+                    self.metrics.http_requests.inc();
+                    let close_requested = req
+                        .header("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                    let resp = self.route(&req);
+                    self.scratch.clear();
+                    resp.encode(&mut self.scratch);
+                    let Some(conn) = self.conns[idx].as_mut() else {
+                        return false;
+                    };
+                    if let ConnKind::Http { out, close, .. } = &mut conn.kind {
+                        out.extend(self.scratch.iter().copied());
+                        *close |= close_requested;
+                    }
+                    self.flush_conn(idx);
+                    if self.conns[idx].is_none() {
+                        return false;
+                    }
+                }
+                Ok(None) => return true,
+                Err(e) => {
+                    // Malformed request: answer with the mapped status and
+                    // close — framing can no longer be trusted.
+                    let resp = Response::error(e.status(), &format!("{e:?}"));
+                    self.scratch.clear();
+                    resp.encode(&mut self.scratch);
+                    if let ConnKind::Http { out, close, .. } = &mut conn.kind {
+                        out.extend(self.scratch.iter().copied());
+                        *close = true;
+                    }
+                    self.flush_conn(idx);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Flushes whatever the connection has queued: the executor lane for
+    /// wire connections, the response buffer for HTTP ones.
+    fn flush_conn(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_ref() else {
+            return;
+        };
+        match &conn.kind {
+            ConnKind::Wire { executor, .. } => {
+                if let Some(e) = *executor {
+                    self.flush_executor(e);
+                }
+            }
+            ConnKind::Http { .. } => self.flush_http(idx),
+        }
+    }
+
+    fn flush_dirty(&mut self) {
+        while let Some(e) = self.dirty.pop() {
+            self.flush_executor(e);
+        }
+    }
+
+    fn flush_executor(&mut self, e: usize) {
+        let Some(idx) = self.exec_conn[e] else {
+            return;
+        };
+        loop {
+            let lane = &mut self.lanes[e];
+            let conn = match self.conns[idx].as_mut() {
+                Some(c) => c,
+                None => return,
+            };
+            if lane.conn != Some(conn.conn_id) {
+                return; // lane retargeted to a newer incarnation
+            }
+            if lane.queue.is_empty() {
+                if conn.want_write {
+                    conn.want_write = false;
+                    let _ = self.poller.modify(
+                        &conn.stream,
+                        idx as u64 + CONN_BASE,
+                        Interest::READABLE,
+                    );
+                }
+                return;
+            }
+            let (a, b) = lane.queue.as_slices();
+            let bufs = [IoSlice::new(a), IoSlice::new(b)];
+            match conn.stream.write_vectored(&bufs) {
+                Ok(0) => return self.close_conn(idx),
+                Ok(n) => {
+                    lane.queue.drain(..n);
+                }
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    if lane.queue.len() > HARD_CAP {
+                        self.log.error(|| {
+                            format!("executor {e} write queue overflowed; closing its connection")
+                        });
+                        return self.close_conn(idx);
+                    }
+                    if !conn.want_write {
+                        conn.want_write = true;
+                        let _ = self.poller.modify(
+                            &conn.stream,
+                            idx as u64 + CONN_BASE,
+                            Interest::BOTH,
+                        );
+                    }
+                    return;
+                }
+                Err(_) => return self.close_conn(idx),
+            }
+        }
+    }
+
+    fn flush_http(&mut self, idx: usize) {
+        loop {
+            let conn = match self.conns[idx].as_mut() {
+                Some(c) => c,
+                None => return,
+            };
+            let ConnKind::Http { out, close, .. } = &mut conn.kind else {
+                return;
+            };
+            if out.is_empty() {
+                if *close {
+                    return self.close_conn(idx);
+                }
+                if conn.want_write {
+                    conn.want_write = false;
+                    let _ = self.poller.modify(
+                        &conn.stream,
+                        idx as u64 + CONN_BASE,
+                        Interest::READABLE,
+                    );
+                }
+                return;
+            }
+            let (a, b) = out.as_slices();
+            let bufs = [IoSlice::new(a), IoSlice::new(b)];
+            match conn.stream.write_vectored(&bufs) {
+                Ok(0) => return self.close_conn(idx),
+                Ok(n) => {
+                    out.drain(..n);
+                }
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    if !conn.want_write {
+                        conn.want_write = true;
+                        let _ = self.poller.modify(
+                            &conn.stream,
+                            idx as u64 + CONN_BASE,
+                            Interest::BOTH,
+                        );
+                    }
+                    return;
+                }
+                Err(_) => return self.close_conn(idx),
+            }
+        }
+    }
+
+    /// Tears a connection down. Wire connections report through the epoch
+    /// registry so current incarnations are declared lost.
+    fn close_conn(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].take() else {
+            return;
+        };
+        let _ = self.poller.deregister(&conn.stream);
+        self.freed_now.push(idx);
+        if let ConnKind::Wire {
+            executor: Some(e), ..
+        } = conn.kind
+        {
+            if self.exec_conn.get(e).copied().flatten() == Some(idx) {
+                self.exec_conn[e] = None;
+            }
+            if self.epochs.disconnect(e, conn.conn_id) {
+                if self.lanes[e].conn == Some(conn.conn_id) {
+                    self.lanes[e].conn = None;
+                    self.lanes[e].queue.clear();
+                }
+                if self.execs[e].alive {
+                    self.declare_lost(e);
+                }
+            }
+        }
+    }
+
+    /// Final flush of queued executor frames (the `Shutdown` broadcast),
+    /// bounded by [`FINAL_FLUSH`].
+    fn drain_writes(&mut self) {
+        let deadline = Instant::now() + FINAL_FLUSH;
+        loop {
+            let mut blocked = false;
+            for e in 0..self.lanes.len() {
+                self.flush_executor(e);
+                if !self.lanes[e].queue.is_empty() && self.exec_conn[e].is_some() {
+                    blocked = true;
+                }
+            }
+            let now = Instant::now();
+            if !blocked || now >= deadline {
+                return;
+            }
+            let mut events = std::mem::take(&mut self.events);
+            let nap = (deadline - now).min(Duration::from_millis(5));
+            let _ = self.poller.wait(&mut events, Some(nap));
+            self.events = events;
+        }
+    }
+
+    // ---- executor fleet -----------------------------------------------
+
+    fn handle_register(&mut self, e: usize, slots: usize, conn: u64) {
+        let reg = self.epochs.register(e, conn);
+        let lane = &mut self.lanes[e];
+        lane.conn = Some(conn);
+        lane.queue.clear();
+        if reg.reincarnation {
+            self.metrics.reincarnations.inc();
+            self.requeue_inflight_on(e);
+        }
+        let ex = &mut self.execs[e];
+        ex.registered = true;
+        ex.alive = true;
+        ex.slots = slots;
+        ex.running = 0;
+        ex.last_heartbeat = Instant::now();
+        self.log.info(|| {
+            if reg.reincarnation {
+                format!(
+                    "executor {e} reincarnated (epoch {}) with {slots} slots",
+                    reg.epoch
+                )
+            } else {
+                format!("executor {e} registered with {slots} slots")
+            }
+        });
+        self.announce_jobs_to(e);
+    }
+
+    fn handle_wire_frame(&mut self, e: usize, conn: u64, frame: Frame) {
+        if self.epochs.admit(e, conn) == Admission::Stale {
+            self.metrics.frames_fenced.inc();
+            self.log.debug(|| {
+                format!(
+                    "fenced a {} frame from a stale incarnation of executor {e}",
+                    frame.kind_str()
+                )
+            });
+            return;
+        }
+        if !self.execs[e].alive {
+            // Frames flowing on the current connection of an executor we
+            // declared lost: the partition healed. New epoch, rejoin.
+            let epoch = self.epochs.resurrect(e);
+            self.execs[e].alive = true;
+            self.execs[e].running = 0;
+            self.metrics.reincarnations.inc();
+            self.log
+                .info(|| format!("executor {e} resurrected on live traffic (epoch {epoch})"));
+            self.announce_jobs_to(e);
+        }
+        match frame {
+            Frame::Core(Message::Heartbeat { executor }) if executor == e => {
+                self.execs[e].last_heartbeat = Instant::now();
+            }
+            Frame::Core(Message::PoolSizeChanged { executor, size }) if executor == e => {
+                // §5.4: the executor's pool resized; scheduling follows.
+                self.execs[e].last_heartbeat = Instant::now();
+                self.execs[e].slots = size;
+                self.log
+                    .debug(|| format!("executor {e} resized its pool to {size}"));
+            }
+            Frame::JobTaskOutcome { job, task, ok, .. } => {
+                self.execs[e].last_heartbeat = Instant::now();
+                self.handle_outcome(job, task, e, ok);
+            }
+            // Single-job frames (TaskFinished/TaskFailed) or echoes: the
+            // server only speaks the job-scoped protocol.
+            _ => {}
+        }
+    }
+
+    /// Re-announces every live job's current stage to one executor (a
+    /// fresh or reincarnated peer has an empty job table).
+    fn announce_jobs_to(&mut self, e: usize) {
+        let frames: Vec<Frame> = self
+            .jobs
+            .values()
+            .filter(|j| j.status == JobStatus::Running)
+            .map(stage_frame)
+            .collect();
+        for frame in frames {
+            self.send_frame(e, &frame);
+        }
+    }
+
+    fn declare_lost(&mut self, e: usize) {
+        self.execs[e].alive = false;
+        self.execs[e].running = 0;
+        self.metrics.executors_lost.inc();
+        self.log
+            .error(|| format!("executor {e} declared lost; requeueing its work"));
+        self.requeue_inflight_on(e);
+        // Survivors poison their monitoring interval: requeued work is not
+        // the workload they were probing.
+        let attached: Vec<usize> = (0..self.lanes.len())
+            .filter(|&x| x != e && self.lanes[x].conn.is_some())
+            .collect();
+        for x in attached {
+            self.send_frame(x, &Frame::FaultNotice { executor: e });
+        }
+    }
+
+    /// Books a failure for (and requeues) every in-flight assignment on
+    /// `e` — the executor died or was superseded.
+    fn requeue_inflight_on(&mut self, e: usize) {
+        let hit: Vec<(u64, usize)> = self
+            .inflight
+            .iter()
+            .filter(|(_, ex)| **ex == e)
+            .map(|(k, _)| *k)
+            .collect();
+        for (job, task) in hit {
+            self.inflight.remove(&(job, task));
+            self.record_failure(job, task, e);
+        }
+    }
+
+    // ---- job lifecycle ------------------------------------------------
+
+    fn handle_outcome(&mut self, job: u64, task: usize, from: usize, ok: bool) {
+        // The in-flight table is the slot ledger: only a booked assignment
+        // frees a slot, and only once. Late outcomes of requeued or
+        // retired work miss the table and change nothing.
+        let Some(e) = self.inflight.remove(&(job, task)) else {
+            return;
+        };
+        self.execs[e].running = self.execs[e].running.saturating_sub(1);
+        self.metrics.outcomes.inc();
+        if from != e {
+            // An outcome for an assignment booked on another executor:
+            // account the slot (done above) but treat the result as lost.
+            return;
+        }
+        let Some(js) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if js.status != JobStatus::Running
+            || task >= js.st.done.len()
+            || js.st.done[task]
+            || js.st.assigned_to[task] != Some(e)
+        {
+            return;
+        }
+        js.st.assigned_to[task] = None;
+        if ok {
+            js.st.done[task] = true;
+            js.st.remaining -= 1;
+            let tenant = js.tenant.clone();
+            self.metrics.tenant(&tenant).tasks.inc();
+            if self.jobs[&job].st.remaining == 0 {
+                self.finish_stage(job);
+            }
+        } else {
+            self.record_failure(job, task, e);
+        }
+    }
+
+    fn record_failure(&mut self, job: u64, task: usize, e: usize) {
+        let Some(js) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if js.status != JobStatus::Running || task >= js.st.done.len() || js.st.done[task] {
+            return;
+        }
+        js.st.assigned_to[task] = None;
+        js.st.failures[task] += 1;
+        js.st.failed_attempts += 1;
+        js.total_failed += 1;
+        if !js.st.failed_on[task].contains(&e) {
+            js.st.failed_on[task].push(e);
+        }
+        if js.st.failures[task] >= self.cfg.max_task_attempts {
+            self.log
+                .error(|| format!("job {job} task {task} exceeded its attempt budget"));
+            self.fail_job(job, task);
+            return;
+        }
+        if !js.queue.contains(task) {
+            let preferred = [task % self.cfg.executors.max(1)];
+            js.queue.push(task, &preferred);
+        }
+    }
+
+    fn begin_stage(&mut self, job: u64) {
+        let executors = self.cfg.executors;
+        let js = self.jobs.get_mut(&job).expect("job exists");
+        let spec = &js.job.stages[js.stage_idx];
+        let tasks = spec.tasks;
+        js.st = StageRun::new(tasks);
+        js.queue.reset(tasks, executors);
+        for t in 0..tasks {
+            js.queue.push(t, &[t % executors.max(1)]);
+        }
+        js.journal.push_str(&format!(
+            "{{\"event\":\"stage-start\",\"stage\":{},\"kind\":\"{}\",\"tasks\":{}}}\n",
+            js.stage_idx,
+            kind_name(spec.kind),
+            tasks
+        ));
+        let frame = stage_frame(js);
+        self.log
+            .info(|| format!("job {job} stage started: {tasks} tasks"));
+        self.broadcast(&frame);
+    }
+
+    fn finish_stage(&mut self, job: u64) {
+        let js = self.jobs.get_mut(&job).expect("job exists");
+        let stage = js.stage_idx;
+        // Journal per-task attempt counts in task order — content depends
+        // only on the job's logical history, never on completion order.
+        for t in 0..js.st.done.len() {
+            js.journal.push_str(&format!(
+                "{{\"event\":\"task\",\"stage\":{},\"task\":{},\"attempts\":{}}}\n",
+                stage,
+                t,
+                js.st.failures[t] + 1
+            ));
+        }
+        js.journal.push_str(&format!(
+            "{{\"event\":\"stage-end\",\"stage\":{},\"attempts\":{},\"failed_attempts\":{}}}\n",
+            stage, js.st.attempts, js.st.failed_attempts
+        ));
+        js.total_attempts += js.st.attempts;
+        // Absorbed into the running total: zero the stage counter so the
+        // live views' `total + current` sum stays exact after the final
+        // stage, which no `begin_stage` call will replace.
+        js.st.attempts = 0;
+        js.st.failed_attempts = 0;
+        js.stage_durations
+            .push(js.st.started.elapsed().as_secs_f64());
+        js.stages_completed += 1;
+        js.stage_idx += 1;
+        if js.stage_idx == js.job.stages.len() {
+            js.status = JobStatus::Completed;
+            js.journal.push_str(&format!(
+                "{{\"event\":\"completed\",\"stages\":{}}}\n",
+                js.job.stages.len()
+            ));
+            js.runtime_secs = js
+                .started_at
+                .map(|t| t.elapsed().as_secs_f64())
+                .unwrap_or(0.0);
+            let tenant = js.tenant.clone();
+            self.metrics.tenant(&tenant).completed.inc();
+            self.retire_job(job);
+            self.log.info(|| format!("job {job} completed"));
+        } else {
+            self.begin_stage(job);
+        }
+    }
+
+    fn fail_job(&mut self, job: u64, task: usize) {
+        let js = self.jobs.get_mut(&job).expect("job exists");
+        js.status = JobStatus::Failed;
+        js.journal.push_str(&format!(
+            "{{\"event\":\"failed\",\"stage\":{},\"task\":{}}}\n",
+            js.stage_idx, task
+        ));
+        js.runtime_secs = js
+            .started_at
+            .map(|t| t.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
+        let tenant = js.tenant.clone();
+        self.metrics.tenant(&tenant).failed.inc();
+        self.retire_job(job);
+    }
+
+    fn cancel_job(&mut self, job: u64) {
+        let Some(js) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        let was_queued = js.status == JobStatus::Queued;
+        js.status = JobStatus::Cancelled;
+        js.journal.push_str(&format!(
+            "{{\"event\":\"cancelled\",\"stage\":{}}}\n",
+            js.stage_idx
+        ));
+        js.runtime_secs = js
+            .started_at
+            .map(|t| t.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
+        let tenant = js.tenant.clone();
+        self.metrics.tenant(&tenant).cancelled.inc();
+        if was_queued {
+            self.waiting.retain(|&id| id != job);
+        }
+        self.retire_job(job);
+        self.log.info(|| format!("job {job} cancelled"));
+    }
+
+    /// Common terminal-state bookkeeping: out of the allocator, `JobEnd`
+    /// to the fleet (which fences queued-but-unstarted attempts on the
+    /// executors), and a queued job promoted into the freed active slot.
+    /// In-flight table entries stay — their outcomes still free slots.
+    fn retire_job(&mut self, job: u64) {
+        self.fair.retire(job);
+        self.broadcast(&Frame::JobEnd { job });
+        self.promote_waiting();
+    }
+
+    fn promote_waiting(&mut self) {
+        while self.active_jobs() < self.cfg.max_active {
+            let Some(id) = self.waiting.pop_front() else {
+                return;
+            };
+            if self.jobs[&id].status == JobStatus::Queued {
+                self.start_job(id);
+            }
+        }
+    }
+
+    fn active_jobs(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.status == JobStatus::Running)
+            .count()
+    }
+
+    fn start_job(&mut self, job: u64) {
+        let js = self.jobs.get_mut(&job).expect("job exists");
+        js.status = JobStatus::Running;
+        js.started_at = Some(Instant::now());
+        let weight = js.weight;
+        self.fair.admit(job, weight);
+        self.begin_stage(job);
+    }
+
+    /// Hands free slots to queued tasks, fair-share order, until nothing
+    /// more can move.
+    fn try_assign(&mut self) {
+        for e in 0..self.execs.len() {
+            loop {
+                if !self.execs[e].usable()
+                    || self.execs[e].running >= self.execs[e].slots
+                    || self.lanes[e].queue.len() >= HIGH_WATER
+                {
+                    break;
+                }
+                // Select the fair-share winner that can actually give this
+                // executor a task; jobs whose remaining tasks all failed
+                // here are passed over without being charged a stride.
+                let mut tried: Vec<u64> = Vec::new();
+                let mut picked = None;
+                loop {
+                    let fair = &self.fair;
+                    let jobs = &self.jobs;
+                    let Some(j) = fair.peek(|id| {
+                        !tried.contains(&id) && jobs.get(&id).is_some_and(JobState::runnable)
+                    }) else {
+                        break;
+                    };
+                    let js = self.jobs.get_mut(&j).expect("peeked job exists");
+                    let JobState { queue, st, .. } = js;
+                    match queue.pick(e, |t| st.failed_on[t].contains(&e)) {
+                        Some(task) => {
+                            picked = Some((j, task));
+                            break;
+                        }
+                        None => tried.push(j),
+                    }
+                }
+                let Some((job, task)) = picked else {
+                    break;
+                };
+                self.fair.charge(job);
+                let js = self.jobs.get_mut(&job).expect("job exists");
+                js.st.assigned_to[task] = Some(e);
+                js.st.attempts += 1;
+                self.inflight.insert((job, task), e);
+                self.execs[e].running += 1;
+                self.metrics.tasks_dispatched.inc();
+                if !self.send_frame(e, &Frame::AssignJobTask { job, task }) {
+                    // No usable lane: treat like a broken socket.
+                    self.declare_lost(e);
+                    break;
+                }
+            }
+        }
+    }
+
+    // ---- outbound frames ----------------------------------------------
+
+    /// Queues `frame` for `e`; `false` means no attached connection.
+    fn send_frame(&mut self, e: usize, frame: &Frame) -> bool {
+        let lane = &mut self.lanes[e];
+        if lane.conn.is_none() {
+            return false;
+        }
+        self.scratch.clear();
+        frame.encode(&mut self.scratch);
+        if lane.queue.is_empty() {
+            self.dirty.push(e);
+        }
+        lane.queue.extend(self.scratch.iter().copied());
+        true
+    }
+
+    fn broadcast(&mut self, frame: &Frame) {
+        for e in 0..self.lanes.len() {
+            if self.lanes[e].conn.is_some() {
+                self.send_frame(e, frame);
+            }
+        }
+    }
+
+    // ---- HTTP routing -------------------------------------------------
+
+    fn route(&mut self, req: &Request) -> Response {
+        let segments = req.path_segments();
+        match (req.method, segments.as_slice()) {
+            (Method::Get, ["healthz"]) => Response::json(
+                200,
+                format!(
+                    "{{\"status\":\"ok\",\"draining\":{}}}",
+                    self.draining.is_some()
+                ),
+            ),
+            (Method::Get, ["metrics"]) => Response::text(200, render_prometheus(&self.cfg.metrics)),
+            (Method::Post, ["jobs"]) => self.submit(req),
+            (Method::Get, ["jobs"]) => self.list_jobs(),
+            (Method::Get, ["jobs", id]) => match self.parse_id(id) {
+                Some(job) => self.job_status(job),
+                None => Response::error(404, "no such job"),
+            },
+            (Method::Delete, ["jobs", id]) => match self.parse_id(id) {
+                Some(job) => self.cancel_request(job),
+                None => Response::error(404, "no such job"),
+            },
+            (Method::Get, ["jobs", id, "report"]) => match self.parse_id(id) {
+                Some(job) => self.job_report(job),
+                None => Response::error(404, "no such job"),
+            },
+            (Method::Get, ["jobs", id, "journal"]) => match self.parse_id(id) {
+                Some(job) => Response::text(200, self.jobs[&job].journal.clone()),
+                None => Response::error(404, "no such job"),
+            },
+            (Method::Get, ["jobs", _, "trace"]) => {
+                Response::json(200, self.cfg.recorder.chrome_trace())
+            }
+            (_, ["jobs"] | ["jobs", _] | ["jobs", _, _] | ["metrics"] | ["healthz"]) => {
+                Response::error(405, "method not allowed on this route")
+            }
+            _ => Response::error(404, "unknown route"),
+        }
+    }
+
+    fn parse_id(&self, s: &str) -> Option<u64> {
+        let id = s.parse::<u64>().ok()?;
+        self.jobs.contains_key(&id).then_some(id)
+    }
+
+    fn submit(&mut self, req: &Request) -> Response {
+        if self.draining.is_some() {
+            self.metrics.jobs_rejected.inc();
+            return Response::error(503, "server is draining");
+        }
+        let body = match std::str::from_utf8(&req.body) {
+            Ok(s) => s,
+            Err(_) => return Response::error(400, "body is not UTF-8"),
+        };
+        let spec = match parse_job_spec(body) {
+            Ok(spec) => spec,
+            Err(detail) => return Response::error(400, detail),
+        };
+        let queue_full = self.waiting.len() >= self.cfg.max_queued;
+        let start_now = self.active_jobs() < self.cfg.max_active;
+        if !start_now && queue_full {
+            self.metrics.jobs_rejected.inc();
+            return Response::error(429, "admission queue is full");
+        }
+        let id = self.next_job;
+        self.next_job += 1;
+        let mut js = JobState {
+            id,
+            tenant: spec.tenant.clone(),
+            weight: spec.weight,
+            status: JobStatus::Queued,
+            stage_idx: 0,
+            queue: PendingQueue::new(),
+            st: StageRun::new(0),
+            started_at: None,
+            runtime_secs: 0.0,
+            total_attempts: 0,
+            total_failed: 0,
+            stages_completed: 0,
+            stage_durations: Vec::new(),
+            journal: String::new(),
+            job: spec.job,
+        };
+        js.journal.push_str(&format!(
+            "{{\"event\":\"submitted\",\"name\":\"{}\",\"tenant\":\"{}\",\"weight\":{},\"stages\":{}}}\n",
+            http::escape_json(&js.job.name),
+            js.tenant,
+            js.weight,
+            js.job.stages.len()
+        ));
+        let tenant = js.tenant.clone();
+        self.metrics.tenant(&tenant).submitted.inc();
+        self.jobs.insert(id, js);
+        let status = if start_now {
+            self.start_job(id);
+            JobStatus::Running
+        } else {
+            self.waiting.push_back(id);
+            JobStatus::Queued
+        };
+        Response::json(
+            201,
+            format!("{{\"job\":{},\"status\":\"{}\"}}", id, status.as_str()),
+        )
+    }
+
+    fn cancel_request(&mut self, job: u64) -> Response {
+        if self.jobs[&job].status.terminal() {
+            return Response::error(409, "job already terminal");
+        }
+        self.cancel_job(job);
+        Response::json(200, format!("{{\"job\":{job},\"status\":\"cancelled\"}}"))
+    }
+
+    fn status_line(&self, js: &JobState) -> String {
+        let (done, total) = if js.status == JobStatus::Running {
+            (js.st.done.iter().filter(|d| **d).count(), js.st.done.len())
+        } else {
+            (0, 0)
+        };
+        format!(
+            "{{\"job\":{},\"name\":\"{}\",\"tenant\":\"{}\",\"weight\":{},\"status\":\"{}\",\
+             \"stage\":{},\"stages\":{},\"tasks_done\":{},\"tasks_total\":{},\
+             \"attempts\":{},\"failed_attempts\":{}}}",
+            js.id,
+            http::escape_json(&js.job.name),
+            js.tenant,
+            js.weight,
+            js.status.as_str(),
+            js.stage_idx,
+            js.job.stages.len(),
+            done,
+            total,
+            js.total_attempts + js.st.attempts,
+            js.total_failed
+        )
+    }
+
+    fn job_status(&self, job: u64) -> Response {
+        Response::json(200, self.status_line(&self.jobs[&job]))
+    }
+
+    fn list_jobs(&self) -> Response {
+        let items: Vec<String> = self.jobs.values().map(|js| self.status_line(js)).collect();
+        Response::json(200, format!("{{\"jobs\":[{}]}}", items.join(",")))
+    }
+
+    fn job_report(&self, job: u64) -> Response {
+        let js = &self.jobs[&job];
+        let runtime = match js.status {
+            JobStatus::Running => js
+                .started_at
+                .map(|t| t.elapsed().as_secs_f64())
+                .unwrap_or(0.0),
+            _ => js.runtime_secs,
+        };
+        let stages: Vec<String> = js
+            .job
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                format!(
+                    "{{\"stage\":{},\"name\":\"{}\",\"kind\":\"{}\",\"tasks\":{},\"done\":{},\
+                     \"duration_secs\":{:.6}}}",
+                    i,
+                    http::escape_json(&s.name),
+                    kind_name(s.kind),
+                    s.tasks,
+                    i < js.stages_completed,
+                    js.stage_durations.get(i).copied().unwrap_or(0.0)
+                )
+            })
+            .collect();
+        Response::json(
+            200,
+            format!(
+                "{{\"job\":{},\"status\":\"{}\",\"runtime_secs\":{:.6},\"attempts\":{},\
+                 \"failed_attempts\":{},\"stages\":[{}]}}",
+                js.id,
+                js.status.as_str(),
+                runtime,
+                js.total_attempts + js.st.attempts,
+                js.total_failed,
+                stages.join(",")
+            ),
+        )
+    }
+}
+
+/// The current stage announcement for one job.
+fn stage_frame(js: &JobState) -> Frame {
+    let spec = &js.job.stages[js.stage_idx];
+    Frame::JobStageStart {
+        job: js.id,
+        stage: js.stage_idx,
+        kind: spec.kind,
+        tasks: spec.tasks,
+        records_per_task: spec.records_per_task,
+        seed: spec.seed,
+    }
+}
+
+fn kind_name(kind: LiveStageKind) -> &'static str {
+    match kind {
+        LiveStageKind::Spill => "spill",
+        LiveStageKind::Sort => "sort",
+    }
+}
+
+/// A validated submission.
+struct SubmittedSpec {
+    job: LiveJob,
+    tenant: String,
+    weight: u64,
+}
+
+/// Caps that keep one submission from monopolising the server.
+const MAX_STAGES: usize = 16;
+const MAX_TASKS: u64 = 4096;
+const MAX_RECORDS: u64 = 50_000_000;
+
+/// Parses and validates a `POST /jobs` body.
+///
+/// Accepted shapes:
+/// ```json
+/// {"name":"x","tenant":"a","weight":4,
+///  "stages":[{"kind":"spill","tasks":8,"records_per_task":1000,"seed":42}]}
+/// ```
+/// or the Terasort shorthand (spill stage + sort stage over the same
+/// parameters):
+/// ```json
+/// {"tenant":"a","tasks":8,"records_per_task":1000,"seed":42}
+/// ```
+fn parse_job_spec(body: &str) -> Result<SubmittedSpec, &'static str> {
+    let doc = json::parse(body).map_err(|_| "body is not valid JSON")?;
+    let Value::Obj(_) = doc else {
+        return Err("body must be a JSON object");
+    };
+    let tenant = match doc.get("tenant") {
+        None => "default".to_string(),
+        Some(v) => {
+            let t = v.as_str().ok_or("tenant must be a string")?;
+            let ok = !t.is_empty()
+                && t.len() <= 32
+                && t.bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_');
+            if !ok {
+                return Err("tenant must be 1-32 chars of [A-Za-z0-9_-]");
+            }
+            t.to_string()
+        }
+    };
+    let weight = match doc.get("weight") {
+        None => 1,
+        Some(v) => {
+            let w = v.as_u64().ok_or("weight must be a positive integer")?;
+            if w == 0 || w > 1024 {
+                return Err("weight must be in 1..=1024");
+            }
+            w
+        }
+    };
+    // The default name must not embed the server-assigned id: journals
+    // carry the name, and same-spec resubmissions must journal
+    // identically regardless of what id they landed on.
+    let name = match doc.get("name") {
+        None => "job".to_string(),
+        Some(v) => {
+            let n = v.as_str().ok_or("name must be a string")?;
+            if n.is_empty() || n.len() > 64 {
+                return Err("name must be 1-64 chars");
+            }
+            n.to_string()
+        }
+    };
+    let stages = match doc.get("stages") {
+        Some(v) => {
+            let arr = v.as_arr().ok_or("stages must be an array")?;
+            if arr.is_empty() || arr.len() > MAX_STAGES {
+                return Err("stages must have 1-16 entries");
+            }
+            let mut out = Vec::with_capacity(arr.len());
+            for (i, s) in arr.iter().enumerate() {
+                let kind = match s.get("kind").and_then(Value::as_str) {
+                    Some("spill") => LiveStageKind::Spill,
+                    Some("sort") => LiveStageKind::Sort,
+                    _ => return Err("stage kind must be \"spill\" or \"sort\""),
+                };
+                let (tasks, records, seed) = stage_numbers(s)?;
+                out.push(LiveStageSpec {
+                    name: format!("{}-{i}", kind_name(kind)),
+                    kind,
+                    tasks: tasks as usize,
+                    records_per_task: records as usize,
+                    seed,
+                });
+            }
+            out
+        }
+        None => {
+            // Terasort shorthand: spill then sort, same parameters.
+            let (tasks, records, seed) = stage_numbers(&doc)?;
+            vec![
+                LiveStageSpec {
+                    name: "spill-0".into(),
+                    kind: LiveStageKind::Spill,
+                    tasks: tasks as usize,
+                    records_per_task: records as usize,
+                    seed,
+                },
+                LiveStageSpec {
+                    name: "sort-1".into(),
+                    kind: LiveStageKind::Sort,
+                    tasks: tasks as usize,
+                    records_per_task: records as usize,
+                    seed,
+                },
+            ]
+        }
+    };
+    Ok(SubmittedSpec {
+        job: LiveJob { name, stages },
+        tenant,
+        weight,
+    })
+}
+
+/// Pulls `(tasks, records_per_task, seed)` out of a stage (or shorthand)
+/// object with range validation.
+fn stage_numbers(v: &Value) -> Result<(u64, u64, u64), &'static str> {
+    let tasks = v
+        .get("tasks")
+        .and_then(Value::as_u64)
+        .ok_or("tasks must be a positive integer")?;
+    if tasks == 0 || tasks > MAX_TASKS {
+        return Err("tasks must be in 1..=4096");
+    }
+    let records = v
+        .get("records_per_task")
+        .and_then(Value::as_u64)
+        .ok_or("records_per_task must be a positive integer")?;
+    if records == 0 || records > MAX_RECORDS {
+        return Err("records_per_task must be in 1..=50000000");
+    }
+    let seed = v.get("seed").and_then(Value::as_u64).unwrap_or(42);
+    Ok((tasks, records, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_spec_parses_both_shapes() {
+        let full = parse_job_spec(
+            r#"{"name":"x","tenant":"alice","weight":4,
+                "stages":[{"kind":"spill","tasks":8,"records_per_task":100,"seed":7},
+                          {"kind":"sort","tasks":8,"records_per_task":100,"seed":7}]}"#,
+        )
+        .unwrap();
+        assert_eq!(full.tenant, "alice");
+        assert_eq!(full.weight, 4);
+        assert_eq!(full.job.stages.len(), 2);
+        assert_eq!(full.job.stages[1].kind, LiveStageKind::Sort);
+
+        let short = parse_job_spec(r#"{"tasks":4,"records_per_task":50}"#).unwrap();
+        assert_eq!(short.tenant, "default");
+        assert_eq!(short.weight, 1);
+        assert_eq!(short.job.name, "job");
+        assert_eq!(short.job.stages.len(), 2);
+        assert_eq!(short.job.stages[0].kind, LiveStageKind::Spill);
+        assert_eq!(short.job.stages[0].seed, 42);
+    }
+
+    #[test]
+    fn job_spec_rejects_bad_inputs() {
+        for (body, why) in [
+            ("not json", "malformed"),
+            ("[1]", "non-object"),
+            (r#"{"tasks":0,"records_per_task":5}"#, "zero tasks"),
+            (r#"{"tasks":5,"records_per_task":0}"#, "zero records"),
+            (r#"{"tasks":9999,"records_per_task":5}"#, "tasks cap"),
+            (
+                r#"{"tenant":"has space","tasks":1,"records_per_task":1}"#,
+                "tenant charset",
+            ),
+            (
+                r#"{"weight":0,"tasks":1,"records_per_task":1}"#,
+                "zero weight",
+            ),
+            (r#"{"stages":[]}"#, "empty stages"),
+            (
+                r#"{"stages":[{"kind":"fry","tasks":1,"records_per_task":1}]}"#,
+                "unknown kind",
+            ),
+        ] {
+            assert!(parse_job_spec(body).is_err(), "accepted {why}: {body}");
+        }
+    }
+
+    #[test]
+    fn default_config_is_consistent() {
+        let cfg = ServerConfig::default();
+        assert!(cfg.max_active >= 1);
+        assert!(cfg.max_queued >= 1);
+        assert!(cfg.shutdown_drain > Duration::ZERO);
+    }
+
+    #[test]
+    fn status_strings_round_trip() {
+        for s in [
+            JobStatus::Queued,
+            JobStatus::Running,
+            JobStatus::Completed,
+            JobStatus::Failed,
+            JobStatus::Cancelled,
+        ] {
+            assert!(!s.as_str().is_empty());
+        }
+        assert!(JobStatus::Completed.terminal());
+        assert!(!JobStatus::Running.terminal());
+    }
+}

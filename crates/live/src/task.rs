@@ -20,14 +20,22 @@ use sae_workloads::spill::{read_records, write_records, RECORD_BYTES};
 
 use crate::job::LiveStageKind;
 
-/// Path of task `task`'s spill partition inside `dir`.
-pub fn spill_path(dir: &Path, task: usize) -> PathBuf {
-    dir.join(format!("t{task}.spill"))
+/// Job id used by the single-job `Run` path, which predates multi-job
+/// serving: its artifacts live in the `j0-` namespace.
+pub const SINGLE_JOB: u64 = 0;
+
+/// Path of job `job` task `task`'s spill partition inside `dir`.
+///
+/// The job prefix namespaces the shared spill dir: a job server runs many
+/// jobs against one fleet and one TempDir, and two jobs' task 3 must not
+/// collide (same-keyed files would cross-contaminate lineage recovery).
+pub fn spill_path(dir: &Path, job: u64, task: usize) -> PathBuf {
+    dir.join(format!("j{job}-t{task}.spill"))
 }
 
-/// Path of task `task`'s sorted output inside `dir`.
-pub fn sorted_path(dir: &Path, task: usize) -> PathBuf {
-    dir.join(format!("t{task}.sorted"))
+/// Path of job `job` task `task`'s sorted output inside `dir`.
+pub fn sorted_path(dir: &Path, job: u64, task: usize) -> PathBuf {
+    dir.join(format!("j{job}-t{task}.sorted"))
 }
 
 /// Derives task `task`'s record-stream seed from the stage seed.
@@ -36,8 +44,8 @@ fn task_seed(seed: u64, task: usize) -> u64 {
 }
 
 /// Path a corrupt spill is quarantined under for post-mortem inspection.
-fn quarantine_path(dir: &Path, task: usize) -> PathBuf {
-    dir.join(format!("t{task}.spill.corrupt"))
+fn quarantine_path(dir: &Path, job: u64, task: usize) -> PathBuf {
+    dir.join(format!("j{job}-t{task}.spill.corrupt"))
 }
 
 /// Reads task `task`'s spill partition, recovering from the two spill
@@ -53,21 +61,22 @@ fn quarantine_path(dir: &Path, task: usize) -> PathBuf {
 ///   the sort proceeds.
 fn read_or_regenerate(
     dir: &Path,
+    job: u64,
     task: usize,
     records_per_task: usize,
     seed: u64,
     io_probe: &CounterProbe,
 ) -> io::Result<Vec<sae_workloads::datagen::TeraRecord>> {
-    match read_records(&spill_path(dir, task)) {
+    match read_records(&spill_path(dir, job, task)) {
         Ok(records) => Ok(records),
         Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-            let _ = std::fs::rename(spill_path(dir, task), quarantine_path(dir, task));
+            let _ = std::fs::rename(spill_path(dir, job, task), quarantine_path(dir, job, task));
             Err(e)
         }
         Err(e) if e.kind() == io::ErrorKind::NotFound => {
             let records = teragen(records_per_task, task_seed(seed, task));
             let started = Instant::now();
-            let bytes = write_records(&spill_path(dir, task), &records)?;
+            let bytes = write_records(&spill_path(dir, job, task), &records)?;
             io_probe.record(bytes, started.elapsed());
             Ok(records)
         }
@@ -83,6 +92,7 @@ fn read_or_regenerate(
 /// lineage and completes).
 pub fn run_task(
     kind: LiveStageKind,
+    job: u64,
     task: usize,
     records_per_task: usize,
     seed: u64,
@@ -93,12 +103,12 @@ pub fn run_task(
         LiveStageKind::Spill => {
             let records = teragen(records_per_task, task_seed(seed, task));
             let started = Instant::now();
-            let bytes = write_records(&spill_path(dir, task), &records)?;
+            let bytes = write_records(&spill_path(dir, job, task), &records)?;
             io_probe.record(bytes, started.elapsed());
         }
         LiveStageKind::Sort => {
             let read_started = Instant::now();
-            let mut records = read_or_regenerate(dir, task, records_per_task, seed, io_probe)?;
+            let mut records = read_or_regenerate(dir, job, task, records_per_task, seed, io_probe)?;
             io_probe.record(
                 (records.len() * RECORD_BYTES) as u64,
                 read_started.elapsed(),
@@ -111,7 +121,7 @@ pub fn run_task(
                 ));
             }
             let write_started = Instant::now();
-            let bytes = write_records(&sorted_path(dir, task), &records)?;
+            let bytes = write_records(&sorted_path(dir, job, task), &records)?;
             io_probe.record(bytes, write_started.elapsed());
         }
     }
@@ -133,9 +143,9 @@ mod tests {
     fn spill_then_sort_produces_a_sorted_run() {
         let dir = temp_dir("spill-sort");
         let probe = CounterProbe::new();
-        run_task(LiveStageKind::Spill, 4, 300, 11, &dir, &probe).unwrap();
-        run_task(LiveStageKind::Sort, 4, 300, 11, &dir, &probe).unwrap();
-        let sorted = read_records(&sorted_path(&dir, 4)).unwrap();
+        run_task(LiveStageKind::Spill, 0, 4, 300, 11, &dir, &probe).unwrap();
+        run_task(LiveStageKind::Sort, 0, 4, 300, 11, &dir, &probe).unwrap();
+        let sorted = read_records(&sorted_path(&dir, 0, 4)).unwrap();
         assert_eq!(sorted.len(), 300);
         assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
         let (wait_secs, mb) = probe.sample();
@@ -157,10 +167,10 @@ mod tests {
         // No spill task ever ran here: the sort regenerates the partition
         // from its deterministic lineage and still produces the same run a
         // spill-then-sort pair would.
-        run_task(LiveStageKind::Sort, 0, 10, 1, &dir, &probe).unwrap();
+        run_task(LiveStageKind::Sort, 0, 0, 10, 1, &dir, &probe).unwrap();
         let mut expected = teragen(10, task_seed(1, 0));
         expected.sort_unstable_by_key(|r| r.key);
-        assert_eq!(read_records(&sorted_path(&dir, 0)).unwrap(), expected);
+        assert_eq!(read_records(&sorted_path(&dir, 0, 0)).unwrap(), expected);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -168,21 +178,21 @@ mod tests {
     fn corrupt_spill_fails_retryably_then_recovers() {
         let dir = temp_dir("corrupt-spill");
         let probe = CounterProbe::new();
-        run_task(LiveStageKind::Spill, 3, 200, 17, &dir, &probe).unwrap();
+        run_task(LiveStageKind::Spill, 0, 3, 200, 17, &dir, &probe).unwrap();
         // Bit rot lands in the middle of the spill.
-        let path = spill_path(&dir, 3);
+        let path = spill_path(&dir, 0, 3);
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
         // First sort attempt: a retryable failure, the corpse quarantined.
-        let err = run_task(LiveStageKind::Sort, 3, 200, 17, &dir, &probe).unwrap_err();
+        let err = run_task(LiveStageKind::Sort, 0, 3, 200, 17, &dir, &probe).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(!path.exists(), "corrupt spill must be quarantined");
-        assert!(quarantine_path(&dir, 3).exists());
+        assert!(quarantine_path(&dir, 0, 3).exists());
         // The retry regenerates from lineage and completes.
-        run_task(LiveStageKind::Sort, 3, 200, 17, &dir, &probe).unwrap();
-        let sorted = read_records(&sorted_path(&dir, 3)).unwrap();
+        run_task(LiveStageKind::Sort, 0, 3, 200, 17, &dir, &probe).unwrap();
+        let sorted = read_records(&sorted_path(&dir, 0, 3)).unwrap();
         assert_eq!(sorted.len(), 200);
         assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -193,10 +203,10 @@ mod tests {
         let dir = temp_dir("retry");
         let probe = CounterProbe::new();
         // A "crashed" first attempt leaves a partial record behind.
-        std::fs::write(spill_path(&dir, 2), [0u8; 42]).unwrap();
-        run_task(LiveStageKind::Spill, 2, 50, 3, &dir, &probe).unwrap();
-        run_task(LiveStageKind::Sort, 2, 50, 3, &dir, &probe).unwrap();
-        assert_eq!(read_records(&sorted_path(&dir, 2)).unwrap().len(), 50);
+        std::fs::write(spill_path(&dir, 0, 2), [0u8; 42]).unwrap();
+        run_task(LiveStageKind::Spill, 0, 2, 50, 3, &dir, &probe).unwrap();
+        run_task(LiveStageKind::Sort, 0, 2, 50, 3, &dir, &probe).unwrap();
+        assert_eq!(read_records(&sorted_path(&dir, 0, 2)).unwrap().len(), 50);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -33,6 +33,14 @@ const TAG_TASK_FINISHED: u8 = 0x13;
 const TAG_SHUTDOWN: u8 = 0x14;
 /// Envelope tag: driver tells executors a peer was declared lost.
 const TAG_FAULT_NOTICE: u8 = 0x15;
+/// Envelope tag: the job server announces one job's stage.
+const TAG_JOB_STAGE_START: u8 = 0x16;
+/// Envelope tag: the job server assigns one task of one job.
+const TAG_ASSIGN_JOB_TASK: u8 = 0x17;
+/// Envelope tag: an executor reports a job-task attempt's outcome.
+const TAG_JOB_TASK_OUTCOME: u8 = 0x18;
+/// Envelope tag: the job server retires a job (completed or cancelled).
+const TAG_JOB_END: u8 = 0x19;
 
 /// One unit of driver↔executor traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +90,54 @@ pub enum Frame {
         /// The executor that was declared lost.
         executor: usize,
     },
+    /// The job server announces one job's current stage. Unlike
+    /// [`Frame::StageStart`] this does not reset the executor's pool or
+    /// probes — many jobs run interleaved on one fleet, so per-stage
+    /// resets would thrash the MAPE-K controller; it only installs the
+    /// stage parameters task assignments for `job` will reference.
+    JobStageStart {
+        /// Server-assigned job id.
+        job: u64,
+        /// Stage index within the job.
+        stage: usize,
+        /// What the stage's tasks do.
+        kind: LiveStageKind,
+        /// Number of tasks in the stage.
+        tasks: usize,
+        /// Records each task generates or sorts.
+        records_per_task: usize,
+        /// Base RNG seed for the stage's data.
+        seed: u64,
+    },
+    /// The job server assigns one task of one job's current stage.
+    AssignJobTask {
+        /// Job the task belongs to.
+        job: u64,
+        /// Task id within the job's current stage.
+        task: usize,
+    },
+    /// An executor reports a job-task attempt finished (success or
+    /// failure — the multi-job analogue of [`Frame::TaskFinished`] and
+    /// `Message::TaskFailed` in one frame).
+    JobTaskOutcome {
+        /// Job the task belongs to.
+        job: u64,
+        /// Task id within the job's stage.
+        task: usize,
+        /// Reporting executor.
+        executor: usize,
+        /// Attempt ordinal (0-based).
+        attempt: usize,
+        /// Whether the attempt succeeded.
+        ok: bool,
+    },
+    /// The job server retires a job: completed, failed, or cancelled.
+    /// Executors drop the job's stage entry; in-flight attempts of the
+    /// job report their outcome and are ignored server-side.
+    JobEnd {
+        /// The retired job.
+        job: u64,
+    },
 }
 
 impl Frame {
@@ -98,6 +154,10 @@ impl Frame {
             Frame::TaskFinished { .. } => "task-finished",
             Frame::Shutdown => "shutdown",
             Frame::FaultNotice { .. } => "fault-notice",
+            Frame::JobStageStart { .. } => "job-stage-start",
+            Frame::AssignJobTask { .. } => "assign-job-task",
+            Frame::JobTaskOutcome { .. } => "job-task-outcome",
+            Frame::JobEnd { .. } => "job-end",
         }
     }
 
@@ -152,6 +212,45 @@ impl Frame {
                 out.push(TAG_FAULT_NOTICE);
                 codec::put_u64(out, executor as u64);
             }
+            Frame::JobStageStart {
+                job,
+                stage,
+                kind,
+                tasks,
+                records_per_task,
+                seed,
+            } => {
+                out.push(TAG_JOB_STAGE_START);
+                codec::put_u64(out, job);
+                codec::put_u64(out, stage as u64);
+                codec::put_u64(out, kind.to_wire());
+                codec::put_u64(out, tasks as u64);
+                codec::put_u64(out, records_per_task as u64);
+                codec::put_u64(out, seed);
+            }
+            Frame::AssignJobTask { job, task } => {
+                out.push(TAG_ASSIGN_JOB_TASK);
+                codec::put_u64(out, job);
+                codec::put_u64(out, task as u64);
+            }
+            Frame::JobTaskOutcome {
+                job,
+                task,
+                executor,
+                attempt,
+                ok,
+            } => {
+                out.push(TAG_JOB_TASK_OUTCOME);
+                codec::put_u64(out, job);
+                codec::put_u64(out, task as u64);
+                codec::put_u64(out, executor as u64);
+                codec::put_u64(out, attempt as u64);
+                codec::put_u64(out, ok as u64);
+            }
+            Frame::JobEnd { job } => {
+                out.push(TAG_JOB_END);
+                codec::put_u64(out, job);
+            }
         }
     }
 
@@ -204,6 +303,40 @@ impl Frame {
                 expect_len(body, 1)?;
                 Ok(Frame::FaultNotice {
                     executor: codec::get_usize(body, 1)?,
+                })
+            }
+            TAG_JOB_STAGE_START => {
+                expect_len(body, 6)?;
+                Ok(Frame::JobStageStart {
+                    job: codec::get_u64(body, 1)?,
+                    stage: codec::get_usize(body, 9)?,
+                    kind: LiveStageKind::from_wire(codec::get_u64(body, 17)?)?,
+                    tasks: codec::get_usize(body, 25)?,
+                    records_per_task: codec::get_usize(body, 33)?,
+                    seed: codec::get_u64(body, 41)?,
+                })
+            }
+            TAG_ASSIGN_JOB_TASK => {
+                expect_len(body, 2)?;
+                Ok(Frame::AssignJobTask {
+                    job: codec::get_u64(body, 1)?,
+                    task: codec::get_usize(body, 9)?,
+                })
+            }
+            TAG_JOB_TASK_OUTCOME => {
+                expect_len(body, 5)?;
+                Ok(Frame::JobTaskOutcome {
+                    job: codec::get_u64(body, 1)?,
+                    task: codec::get_usize(body, 9)?,
+                    executor: codec::get_usize(body, 17)?,
+                    attempt: codec::get_usize(body, 25)?,
+                    ok: codec::get_u64(body, 33)? != 0,
+                })
+            }
+            TAG_JOB_END => {
+                expect_len(body, 1)?;
+                Ok(Frame::JobEnd {
+                    job: codec::get_u64(body, 1)?,
                 })
             }
             other => Err(FrameError::UnknownTag(other)),
@@ -460,6 +593,30 @@ mod tests {
             },
             Frame::Shutdown,
             Frame::FaultNotice { executor: 1 },
+            Frame::JobStageStart {
+                job: 12,
+                stage: 1,
+                kind: LiveStageKind::Sort,
+                tasks: 16,
+                records_per_task: 5_000,
+                seed: 0xFEED,
+            },
+            Frame::AssignJobTask { job: 12, task: 7 },
+            Frame::JobTaskOutcome {
+                job: 12,
+                task: 7,
+                executor: 3,
+                attempt: 1,
+                ok: true,
+            },
+            Frame::JobTaskOutcome {
+                job: 13,
+                task: 0,
+                executor: 0,
+                attempt: 0,
+                ok: false,
+            },
+            Frame::JobEnd { job: 12 },
         ]
     }
 
@@ -560,8 +717,9 @@ mod tests {
         let mut kinds: Vec<&str> = all_frames().iter().map(Frame::kind_str).collect();
         kinds.sort_unstable();
         kinds.dedup();
-        // all_frames carries two StageStart samples sharing one label.
-        assert_eq!(kinds.len(), all_frames().len() - 1);
+        // all_frames carries two StageStart and two JobTaskOutcome samples,
+        // each pair sharing one label.
+        assert_eq!(kinds.len(), all_frames().len() - 2);
     }
 
     #[test]

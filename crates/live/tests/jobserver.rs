@@ -1,0 +1,287 @@
+//! End-to-end job-server tests: real sockets, a real executor fleet, and
+//! the HTTP control API exercised exactly as a client would.
+//!
+//! Each test binds a [`JobServer`] on ephemeral loopback ports, launches
+//! in-thread [`LiveExecutor`]s against the wire port, runs the serve loop
+//! on its own thread, and drives everything else through HTTP. The serve
+//! loop is stopped with the config's programmatic stop flag (the same
+//! path a SIGINT takes, minus the process-global signal latch).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sae_live::executor::LiveExecutorConfig;
+use sae_live::server::{JobServer, ServerConfig, ServerReport};
+use sae_live::{LiveExecutor, TempDir};
+use sae_net::http::parse_response;
+
+/// One HTTP request over a fresh connection; returns (status, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect control port");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: sae\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("write request");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read response");
+    let (resp, _) = parse_response(&buf)
+        .expect("well-formed response")
+        .expect("complete response");
+    (resp.status, resp.body_str())
+}
+
+/// Crude field extraction from the server's flat JSON bodies.
+fn json_field(body: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":");
+    let start = body.find(&pat).unwrap_or_else(|| {
+        panic!("no field {key} in {body}");
+    }) + pat.len();
+    let rest = &body[start..];
+    let end = rest
+        .char_indices()
+        .find(|(i, c)| {
+            if rest.starts_with('"') {
+                *i > 0 && *c == '"'
+            } else {
+                *c == ',' || *c == '}'
+            }
+        })
+        .map(|(i, _)| if rest.starts_with('"') { i + 1 } else { i })
+        .unwrap_or(rest.len());
+    rest[..end].trim_matches('"').to_string()
+}
+
+struct Harness {
+    http_addr: SocketAddr,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    serve: thread::JoinHandle<std::io::Result<ServerReport>>,
+    fleet: Vec<LiveExecutor>,
+    _spill: TempDir,
+}
+
+impl Harness {
+    fn launch(mut cfg: ServerConfig, executors: usize) -> Self {
+        cfg.executors = executors;
+        let stop = Arc::clone(&cfg.stop);
+        let server = JobServer::bind(cfg).expect("bind server");
+        let wire_addr = server.wire_addr().unwrap();
+        let http_addr = server.http_addr().unwrap();
+        let spill = TempDir::new("jobserver-e2e").unwrap();
+        let fleet = (0..executors)
+            .map(|id| {
+                let dir = spill.path().join(format!("exec-{id}"));
+                std::fs::create_dir_all(&dir).unwrap();
+                LiveExecutor::launch(wire_addr, LiveExecutorConfig::new(id, dir))
+            })
+            .collect();
+        let serve = thread::spawn(move || server.serve());
+        Self {
+            http_addr,
+            stop,
+            serve,
+            fleet,
+            _spill: spill,
+        }
+    }
+
+    fn submit(&self, body: &str) -> (u16, String) {
+        http(self.http_addr, "POST", "/jobs", body)
+    }
+
+    /// Polls `GET /jobs/:id` until the job reaches a terminal status.
+    fn await_terminal(&self, id: &str) -> String {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (status, body) = http(self.http_addr, "GET", &format!("/jobs/{id}"), "");
+            assert_eq!(status, 200, "status poll failed: {body}");
+            let state = json_field(&body, "status");
+            if state != "queued" && state != "running" {
+                return state;
+            }
+            assert!(Instant::now() < deadline, "job {id} never finished: {body}");
+            thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn shutdown(self) -> ServerReport {
+        self.stop.store(true, Ordering::Relaxed);
+        let report = self.serve.join().expect("serve thread").expect("serve ok");
+        for exec in self.fleet {
+            let _ = exec.join();
+        }
+        report
+    }
+}
+
+#[test]
+fn concurrent_jobs_complete_and_cancel_mid_stage() {
+    let h = Harness::launch(ServerConfig::default(), 2);
+    // Three concurrent jobs: two small ones that must complete, one big
+    // enough to still be running when the DELETE lands.
+    let (s1, b1) = h.submit(r#"{"tenant":"alice","tasks":4,"records_per_task":2000,"seed":1}"#);
+    let (s2, b2) =
+        h.submit(r#"{"tenant":"bob","weight":4,"tasks":4,"records_per_task":2000,"seed":2}"#);
+    let (s3, b3) = h.submit(r#"{"tenant":"carol","tasks":8,"records_per_task":200000,"seed":3}"#);
+    assert_eq!((s1, s2, s3), (201, 201, 201), "{b1} {b2} {b3}");
+    let (id1, id2, id3) = (
+        json_field(&b1, "job"),
+        json_field(&b2, "job"),
+        json_field(&b3, "job"),
+    );
+
+    // Cancel the big job while its first stage is in flight.
+    let (sc, bc) = http(h.http_addr, "DELETE", &format!("/jobs/{id3}"), "");
+    assert_eq!(sc, 200, "{bc}");
+    assert_eq!(json_field(&bc, "status"), "cancelled");
+    // A second cancel is a conflict: the job is already terminal.
+    let (sc2, _) = http(h.http_addr, "DELETE", &format!("/jobs/{id3}"), "");
+    assert_eq!(sc2, 409);
+
+    // The survivors complete despite the mid-flight cancellation.
+    assert_eq!(h.await_terminal(&id1), "completed");
+    assert_eq!(h.await_terminal(&id2), "completed");
+
+    // Per-job journals: completed jobs record every stage and task of
+    // their own history, the cancelled one records where it stopped.
+    let (sj, journal1) = http(h.http_addr, "GET", &format!("/jobs/{id1}/journal"), "");
+    assert_eq!(sj, 200);
+    assert!(journal1.contains("\"event\":\"submitted\""), "{journal1}");
+    assert!(
+        journal1.contains("\"event\":\"stage-end\",\"stage\":1"),
+        "{journal1}"
+    );
+    assert!(journal1.contains("\"event\":\"completed\""), "{journal1}");
+    assert_eq!(
+        journal1.matches("\"event\":\"task\"").count(),
+        8,
+        "4 tasks x 2 stages: {journal1}"
+    );
+    let (_, journal3) = http(h.http_addr, "GET", &format!("/jobs/{id3}/journal"), "");
+    assert!(journal3.contains("\"event\":\"cancelled\""), "{journal3}");
+    assert!(!journal3.contains("\"event\":\"completed\""), "{journal3}");
+
+    // The report endpoint knows stage structure and durations.
+    let (sr, report) = http(h.http_addr, "GET", &format!("/jobs/{id2}/report"), "");
+    assert_eq!(sr, 200);
+    assert!(report.contains("\"kind\":\"spill\""), "{report}");
+    assert!(report.contains("\"kind\":\"sort\""), "{report}");
+
+    // Metrics carry per-tenant labels.
+    let (sm, metrics) = http(h.http_addr, "GET", "/metrics", "");
+    assert_eq!(sm, 200);
+    assert!(
+        metrics.contains("tenant=\"alice\""),
+        "no tenant labels in:\n{metrics}"
+    );
+
+    let report = h.shutdown();
+    assert_eq!(report.jobs.len(), 3);
+    let cancelled = report
+        .jobs
+        .iter()
+        .filter(|j| j.status == sae_live::JobStatus::Cancelled)
+        .count();
+    assert_eq!(cancelled, 1);
+}
+
+#[test]
+fn same_submission_schedule_yields_bit_identical_journals() {
+    let h = Harness::launch(ServerConfig::default(), 2);
+    let spec = r#"{"name":"det","tenant":"alice","tasks":4,"records_per_task":1000,"seed":7}"#;
+    let mut journals = Vec::new();
+    for _ in 0..2 {
+        let (s, b) = h.submit(spec);
+        assert_eq!(s, 201, "{b}");
+        let id = json_field(&b, "job");
+        assert_eq!(h.await_terminal(&id), "completed");
+        let (_, journal) = http(h.http_addr, "GET", &format!("/jobs/{id}/journal"), "");
+        journals.push(journal);
+    }
+    assert_eq!(
+        journals[0], journals[1],
+        "journals must not depend on timing, placement, or job ids"
+    );
+    h.shutdown();
+}
+
+#[test]
+fn admission_control_queues_then_rejects() {
+    let cfg = ServerConfig {
+        max_active: 1,
+        max_queued: 1,
+        ..ServerConfig::default()
+    };
+    let h = Harness::launch(cfg, 1);
+    // Big enough to hold the single active slot while we probe admission.
+    let big = r#"{"tasks":4,"records_per_task":200000}"#;
+    let (s1, b1) = h.submit(big);
+    assert_eq!(s1, 201);
+    assert_eq!(json_field(&b1, "status"), "running");
+    let (s2, b2) = h.submit(big);
+    assert_eq!(s2, 201, "{b2}");
+    assert_eq!(json_field(&b2, "status"), "queued", "{b2}");
+    // Active slot taken, queue full: the third submission bounces.
+    let (s3, b3) = h.submit(big);
+    assert_eq!(s3, 429, "{b3}");
+    h.shutdown();
+}
+
+#[test]
+fn drain_stops_admission_and_serves_status_while_draining() {
+    let cfg = ServerConfig {
+        shutdown_drain: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let h = Harness::launch(cfg, 1);
+    let (s1, b1) = h.submit(r#"{"tasks":4,"records_per_task":300000}"#);
+    assert_eq!(s1, 201);
+    let id = json_field(&b1, "job");
+    // Flip the stop flag: the next tick begins the drain.
+    h.stop.store(true, Ordering::Relaxed);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = http(h.http_addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        if body.contains("\"draining\":true") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "server never started draining");
+        thread::sleep(Duration::from_millis(10));
+    }
+    // Draining: status queries still answered, submissions refused.
+    let (sq, _) = http(h.http_addr, "GET", &format!("/jobs/{id}"), "");
+    assert_eq!(sq, 200);
+    let (sp, bp) = h.submit(r#"{"tasks":1,"records_per_task":10}"#);
+    assert_eq!(sp, 503, "{bp}");
+    // The running job gets its drain window and finishes cleanly.
+    let report = h.shutdown();
+    let job = &report.jobs[0];
+    assert_eq!(
+        job.status,
+        sae_live::JobStatus::Completed,
+        "{:?}",
+        job.status
+    );
+    assert!(job.journal.contains("\"event\":\"completed\""));
+}
+
+#[test]
+fn unknown_routes_and_methods_are_mapped() {
+    let h = Harness::launch(ServerConfig::default(), 1);
+    assert_eq!(http(h.http_addr, "GET", "/nope", "").0, 404);
+    assert_eq!(http(h.http_addr, "GET", "/jobs/999", "").0, 404);
+    assert_eq!(http(h.http_addr, "PUT", "/jobs", "{}").0, 405);
+    assert_eq!(http(h.http_addr, "POST", "/jobs", "not json").0, 400);
+    let (s, body) = http(h.http_addr, "GET", "/healthz", "");
+    assert_eq!(s, 200);
+    assert!(body.contains("\"ok\""));
+    h.shutdown();
+}

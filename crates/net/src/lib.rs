@@ -1,4 +1,9 @@
-//! Network fabric model for the SAE simulator.
+//! Network protocols for SAE: the simulator's fabric model and the live
+//! runtime's HTTP/1.1 control-plane codec.
+//!
+//! [`http`] holds the sans-io HTTP/1.1 request parser and response
+//! serializer behind `sae-server`'s control API. The rest of this crate
+//! is the simulator-side network fabric model, described below.
 //!
 //! Shuffle traffic in the engine follows a two-hop model: a remote fetch
 //! first reads the map output through the serving node's shuffle-serve
@@ -24,6 +29,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod http;
 
 use sae_sim::{CapacityCurve, Kernel, ResourceId};
 

@@ -1,0 +1,158 @@
+//! Property tests for the HTTP/1.1 request parser.
+//!
+//! The parser fronts an open port on a long-running server, so the
+//! properties are adversarial: *no* byte sequence may panic, truncation
+//! must always read as "need more bytes" (never a phantom request or a
+//! premature error-then-success), every failure must map to a real error
+//! status, and well-formed requests must survive arbitrary re-chunking.
+
+use proptest::prelude::*;
+use sae_net::http::{parse_response, HttpError, Limits, Method, Request, RequestParser, Response};
+
+/// Feeds `wire` to a fresh parser in one piece and returns the verdict.
+fn parse_all(wire: &[u8]) -> Result<Option<Request>, HttpError> {
+    let mut p = RequestParser::new();
+    p.extend(wire);
+    p.next()
+}
+
+fn small_limits() -> Limits {
+    Limits {
+        max_head_bytes: 256,
+        max_body_bytes: 64,
+    }
+}
+
+/// A generator of well-formed requests paired with their wire encoding.
+fn well_formed() -> impl Strategy<Value = (Vec<u8>, Method, String, Vec<u8>)> {
+    const METHODS: [(&str, Method); 4] = [
+        ("GET", Method::Get),
+        ("POST", Method::Post),
+        ("DELETE", Method::Delete),
+        ("PATCH", Method::Other),
+    ];
+    let method = (0usize..METHODS.len()).prop_map(|i| METHODS[i]);
+    // Path segments drawn from [a-z0-9], 1..=8 chars each, 0..4 segments.
+    let seg = prop::collection::vec(0u8..36, 1..9).prop_map(|chars| {
+        chars
+            .into_iter()
+            .map(|c| {
+                if c < 26 {
+                    (b'a' + c) as char
+                } else {
+                    (b'0' + c - 26) as char
+                }
+            })
+            .collect::<String>()
+    });
+    let path = prop::collection::vec(seg, 0..4).prop_map(|segs| format!("/{}", segs.join("/")));
+    let body = prop::collection::vec(any::<u8>(), 0..48);
+    (method, path, body).prop_map(|((m, method), path, body)| {
+        let wire = format!(
+            "{m} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes()
+        .into_iter()
+        .chain(body.iter().copied())
+        .collect::<Vec<u8>>();
+        (wire, method, path, body)
+    })
+}
+
+proptest! {
+    /// Arbitrary bytes never panic; they parse, wait, or fail typed.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut p = RequestParser::with_limits(small_limits());
+        p.extend(&bytes);
+        // Drain until the parser stops producing; bound the loop so a
+        // hypothetical non-consuming success can't spin forever.
+        for _ in 0..=bytes.len() {
+            match p.next() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    // Every error maps to a real, well-formed error response.
+                    let resp = Response::error(e.status(), &e.to_string());
+                    let mut out = Vec::new();
+                    resp.encode(&mut out);
+                    let (parsed, used) = parse_response(&out).unwrap().unwrap();
+                    prop_assert_eq!(used, out.len());
+                    prop_assert_eq!(parsed.status, e.status());
+                    prop_assert!(matches!(parsed.status, 400 | 413 | 431 | 501 | 505));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Every strict prefix of a valid request is "need more", and the
+    /// full request then parses — regardless of the cut point.
+    #[test]
+    fn truncation_is_never_an_error(case in well_formed(), cut in 0usize..64) {
+        let (wire, method, path, body) = case;
+        let cut = cut.min(wire.len());
+        let mut p = RequestParser::new();
+        p.extend(&wire[..cut]);
+        if cut < wire.len() {
+            prop_assert_eq!(p.next().unwrap(), None, "phantom request at cut {}", cut);
+        }
+        p.extend(&wire[cut..]);
+        let req = p.next().unwrap().unwrap();
+        prop_assert_eq!(req.method, method);
+        prop_assert_eq!(req.path(), path.as_str());
+        prop_assert_eq!(req.body, body);
+        prop_assert_eq!(p.pending_bytes(), 0);
+    }
+
+    /// Chunk boundaries are invisible: any partition of the wire bytes
+    /// yields the same request.
+    #[test]
+    fn rechunking_is_invisible(case in well_formed(),
+                               cuts in prop::collection::vec(0usize..256, 0..6)) {
+        let (wire, method, _path, body) = case;
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (wire.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut p = RequestParser::new();
+        let mut prev = 0;
+        for cut in cuts.into_iter().chain(std::iter::once(wire.len())) {
+            p.extend(&wire[prev..cut]);
+            prev = cut;
+        }
+        let req = p.next().unwrap().unwrap();
+        prop_assert_eq!(req.method, method);
+        prop_assert_eq!(req.body, body);
+    }
+
+    /// Oversized declared bodies and runaway heads fail with the right
+    /// status instead of buffering without bound.
+    #[test]
+    fn oversized_inputs_fail_bounded(extra in 1usize..10_000, pad in 0usize..4096) {
+        let limits = small_limits();
+        let mut p = RequestParser::with_limits(limits);
+        let len = limits.max_body_bytes + extra;
+        p.extend(format!("POST /jobs HTTP/1.1\r\nContent-Length: {len}\r\n\r\n").as_bytes());
+        prop_assert_eq!(p.next().unwrap_err().status(), 413);
+
+        let mut p = RequestParser::with_limits(limits);
+        p.extend(b"GET / HTTP/1.1\r\nX-Pad: ");
+        p.extend(&vec![b'a'; limits.max_head_bytes + pad]);
+        prop_assert_eq!(p.next().unwrap_err().status(), 431);
+    }
+
+    /// Garbage prepended to a request line is an error, not a resync:
+    /// after any error the caller closes, so no request may follow one.
+    #[test]
+    fn leading_garbage_errors(garbage in prop::collection::vec(any::<u8>(), 1..16)) {
+        // Keep the garbage out of the token alphabet so the line cannot
+        // accidentally become a valid method.
+        let mut wire: Vec<u8> = garbage
+            .into_iter()
+            .map(|b| if b.is_ascii_uppercase() || b == b'\r' || b == b'\n' || b == b' ' { b'!' } else { b })
+            .collect();
+        wire.extend_from_slice(b" /x HTTP/1.1\r\n\r\n");
+        let verdict = parse_all(&wire);
+        prop_assert!(verdict.is_err(), "garbage method accepted: {verdict:?}");
+    }
+}

@@ -25,6 +25,7 @@
 use std::io;
 use std::time::Duration;
 
+pub mod signal;
 mod sys;
 mod wheel;
 

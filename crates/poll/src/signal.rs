@@ -1,0 +1,94 @@
+//! A SIGINT/SIGTERM latch for graceful shutdown.
+//!
+//! The job server's reactor needs exactly one bit from the OS signal
+//! machinery: "has anyone asked this process to stop?". [`install`] points
+//! `SIGINT` and `SIGTERM` at a handler that sets a process-wide atomic
+//! flag — the only action that is async-signal-safe without ceremony —
+//! and the event loop polls [`triggered`] on its timer tick. No signal
+//! masks, no self-pipes: the reactor already wakes at least every check
+//! interval, so flag polling bounds shutdown latency by that interval.
+//!
+//! This lives in `sae-poll` rather than `sae-live` because the handler
+//! registration is an FFI call against the C library `std` already links
+//! (no `libc` crate is vendored), and this crate is where the workspace
+//! confines its `unsafe` system shims — see the `sys` module's docs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // void (*signal(int signum, void (*handler)(int)))(int) — the
+        // handler travels as a plain pointer-sized value, which is what
+        // the C ABI passes anyway.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn latch(_signum: i32) {
+        // A relaxed store is async-signal-safe: no locks, no allocation.
+        TRIGGERED.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        let handler = latch as extern "C" fn(i32) as usize;
+        // SAFETY: `signal` replaces the process's disposition for the two
+        // signals with `latch`, which only stores to a static atomic —
+        // async-signal-safe. The call itself passes two scalars.
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Points `SIGINT` and `SIGTERM` at the latch. Idempotent; call once at
+/// process start. On non-Unix targets this is a no-op (the latch then
+/// only trips via [`trigger`]).
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a shutdown signal has arrived since the last [`reset`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Relaxed)
+}
+
+/// Trips the latch from code — the programmatic shutdown path tests use
+/// in place of delivering a real signal.
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::Relaxed);
+}
+
+/// Clears the latch (between tests, or before a second serve cycle).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_trips_and_resets() {
+        reset();
+        assert!(!triggered());
+        trigger();
+        assert!(triggered());
+        assert!(triggered(), "the latch must stay set until reset");
+        reset();
+        assert!(!triggered());
+    }
+}

@@ -3,7 +3,8 @@
 //! Linux gets real `epoll` through a hand-declared FFI shim (no `libc`
 //! crate is vendored, but `std` already links the C library, so the four
 //! symbols we need resolve at link time). Everything `unsafe` in the
-//! workspace lives in this file. Other platforms get a portable fallback
+//! workspace lives in this crate — here and in the [`crate::signal`]
+//! latch. Other platforms get a portable fallback
 //! that sweeps registered fds with short sleeps — slower, but the reactor
 //! only needs level-triggered *eventual* readiness, which the sweep
 //! provides.
