@@ -668,7 +668,19 @@ fn serve(
             }
             Frame::AssignJobTask { job, task } => {
                 let Some((kind, records_per_task, seed)) = jobs.lock().get(&job).copied() else {
-                    continue; // assignment for a job we never saw start
+                    // Assignment for a job we never saw start (announcement
+                    // lost or job already retired). The server booked a slot
+                    // for this assignment; report a failed outcome so it is
+                    // freed and the task requeued instead of sitting assigned
+                    // until we are declared lost.
+                    let _ = link.send(&Frame::JobTaskOutcome {
+                        job,
+                        task,
+                        executor: cfg.id,
+                        attempt: 0,
+                        ok: false,
+                    });
+                    continue;
                 };
                 let link = Arc::clone(link);
                 let kill = Arc::clone(kill);

@@ -1117,16 +1117,20 @@ impl ServerLoop {
         // The in-flight table is the slot ledger: only a booked assignment
         // frees a slot, and only once. Late outcomes of requeued or
         // retired work miss the table and change nothing.
-        let Some(e) = self.inflight.remove(&(job, task)) else {
+        let Some(&e) = self.inflight.get(&(job, task)) else {
             return;
         };
-        self.execs[e].running = self.execs[e].running.saturating_sub(1);
-        self.metrics.outcomes.inc();
         if from != e {
-            // An outcome for an assignment booked on another executor:
-            // account the slot (done above) but treat the result as lost.
+            // A stale outcome from an executor that no longer holds the
+            // booking (the task was requeued and reassigned, e.g. after a
+            // lost-then-resurrected peer replayed its result). Leave the
+            // booking — and the current assignee's slot — untouched; the
+            // real outcome from `e` will settle the ledger.
             return;
         }
+        self.inflight.remove(&(job, task));
+        self.execs[e].running = self.execs[e].running.saturating_sub(1);
+        self.metrics.outcomes.inc();
         let Some(js) = self.jobs.get_mut(&job) else {
             return;
         };
@@ -1430,9 +1434,10 @@ impl ServerLoop {
                 Some(job) => Response::text(200, self.jobs[&job].journal.clone()),
                 None => Response::error(404, "no such job"),
             },
-            (Method::Get, ["jobs", _, "trace"]) => {
-                Response::json(200, self.cfg.recorder.chrome_trace())
-            }
+            (Method::Get, ["jobs", id, "trace"]) => match self.parse_id(id) {
+                Some(_) => Response::json(200, self.cfg.recorder.chrome_trace()),
+                None => Response::error(404, "no such job"),
+            },
             (_, ["jobs"] | ["jobs", _] | ["jobs", _, _] | ["metrics"] | ["healthz"]) => {
                 Response::error(405, "method not allowed on this route")
             }
@@ -1807,6 +1812,60 @@ mod tests {
         assert!(cfg.max_active >= 1);
         assert!(cfg.max_queued >= 1);
         assert!(cfg.shutdown_drain > Duration::ZERO);
+    }
+
+    /// A server loop with no attached executors, one Running job with
+    /// `tasks` tasks, and task 0 booked in-flight on executor 1.
+    fn loop_with_booked_task(tasks: usize) -> ServerLoop {
+        let wire = TcpListener::bind("127.0.0.1:0").unwrap();
+        let http = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut sl = ServerLoop::new(wire, http, ServerConfig::default()).unwrap();
+        let spec = parse_job_spec(&format!("{{\"tasks\":{tasks},\"records_per_task\":1}}")).unwrap();
+        let mut st = StageRun::new(tasks);
+        st.assigned_to[0] = Some(1);
+        sl.jobs.insert(
+            1,
+            JobState {
+                id: 1,
+                tenant: spec.tenant.clone(),
+                weight: spec.weight,
+                status: JobStatus::Running,
+                stage_idx: 0,
+                queue: PendingQueue::new(),
+                st,
+                started_at: Some(Instant::now()),
+                runtime_secs: 0.0,
+                total_attempts: 1,
+                total_failed: 0,
+                stages_completed: 0,
+                stage_durations: Vec::new(),
+                journal: String::new(),
+                job: spec.job,
+            },
+        );
+        sl.execs[1].running = 1;
+        sl.inflight.insert((1, 0), 1);
+        sl
+    }
+
+    #[test]
+    fn stale_outcome_from_wrong_executor_leaves_booking_intact() {
+        // Task (1,0) was requeued off executor 0 and reassigned to 1; a
+        // late outcome replayed by resurrected executor 0 must not free
+        // executor 1's booking or mark the task done.
+        let mut sl = loop_with_booked_task(2);
+        sl.handle_outcome(1, 0, 0, true);
+        assert_eq!(sl.inflight.get(&(1, 0)), Some(&1), "booking was dropped");
+        assert_eq!(sl.execs[1].running, 1, "assignee's slot was over-freed");
+        assert!(!sl.jobs[&1].st.done[0]);
+        assert_eq!(sl.jobs[&1].st.assigned_to[0], Some(1));
+
+        // The real outcome from executor 1 then settles the ledger once.
+        sl.handle_outcome(1, 0, 1, true);
+        assert!(sl.inflight.is_empty());
+        assert_eq!(sl.execs[1].running, 0);
+        assert!(sl.jobs[&1].st.done[0]);
+        assert_eq!(sl.jobs[&1].st.remaining, 1);
     }
 
     #[test]

@@ -220,6 +220,7 @@ impl RequestParser {
         let (method, target) = parse_request_line(request_line)?;
         let mut headers = Vec::new();
         let mut content_length: usize = 0;
+        let mut saw_content_length = false;
         for line in lines {
             if line.starts_with(' ') || line.starts_with('\t') {
                 return Err(HttpError::BadRequest("obsolete header folding"));
@@ -236,6 +237,12 @@ impl RequestParser {
                 return Err(HttpError::TransferEncodingUnsupported);
             }
             if name == "content-length" {
+                // Conflicting duplicates desynchronize framing (request
+                // smuggling behind a proxy); reject rather than pick one.
+                if saw_content_length {
+                    return Err(HttpError::BadRequest("duplicate content-length"));
+                }
+                saw_content_length = true;
                 content_length = value
                     .parse::<usize>()
                     .map_err(|_| HttpError::BadRequest("unparseable content-length"))?;
@@ -528,6 +535,18 @@ mod tests {
         assert_eq!(p.next().unwrap().unwrap().target, "/a");
         assert_eq!(p.next().unwrap().unwrap().target, "/b");
         assert!(p.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length_with_400() {
+        // Conflicting or repeated values must not pick a winner: that
+        // desynchronizes framing with any proxy in front of us.
+        for bad in [
+            &b"POST /jobs HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nabcd"[..],
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd",
+        ] {
+            assert_eq!(parse_one(bad).unwrap_err().status(), 400, "{bad:?}");
+        }
     }
 
     #[test]
