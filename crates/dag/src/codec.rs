@@ -118,6 +118,70 @@ pub fn get_usize(body: &[u8], at: usize) -> Result<usize, FrameError> {
     usize::try_from(v).map_err(|_| FrameError::FieldOverflow(v))
 }
 
+/// Appends `v` to `out` as the big-endian bit pattern of an `f64`.
+///
+/// Floats ride the wire as [`f64::to_bits`] so a value round-trips
+/// *exactly* — an incrementally streamed telemetry sample must compare
+/// bit-identical to the same sample replayed from a journal at shutdown.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Reads the `f64` whose bit pattern sits at byte offset `at` of `body`.
+pub fn get_f64(body: &[u8], at: usize) -> Result<f64, FrameError> {
+    Ok(f64::from_bits(get_u64(body, at)?))
+}
+
+/// The cross-process trace correlation key: everything needed to place an
+/// event from *any* process of a fleet onto one causally-ordered timeline.
+///
+/// Executors stamp per-task telemetry frames with this key; receivers
+/// (driver or job server) use it to merge events from many OS processes
+/// into a single Perfetto trace incrementally, while the run is still in
+/// flight, instead of waiting for a shutdown-time journal merge.
+///
+/// Encoded as five consecutive big-endian `u64` fields — see
+/// [`TraceKey::encode`] / [`TraceKey::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// The job the event belongs to.
+    pub job: u64,
+    /// Stage index within the job.
+    pub stage: usize,
+    /// Task index within the stage.
+    pub task: usize,
+    /// Attempt number of the task execution.
+    pub attempt: usize,
+    /// The executor incarnation (registration epoch) that produced the
+    /// event — what distinguishes a span from a pre-crash incarnation.
+    pub epoch: u64,
+}
+
+impl TraceKey {
+    /// The key's encoded width: five `u64` fields.
+    pub const FIELDS: usize = 5;
+
+    /// Appends the key's five fields to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.job);
+        put_u64(out, self.stage as u64);
+        put_u64(out, self.task as u64);
+        put_u64(out, self.attempt as u64);
+        put_u64(out, self.epoch);
+    }
+
+    /// Reads a key from byte offset `at` of `body`.
+    pub fn decode(body: &[u8], at: usize) -> Result<Self, FrameError> {
+        Ok(Self {
+            job: get_u64(body, at)?,
+            stage: get_usize(body, at + 8)?,
+            task: get_usize(body, at + 16)?,
+            attempt: get_usize(body, at + 24)?,
+            epoch: get_u64(body, at + 32)?,
+        })
+    }
+}
+
 /// Appends the tag-and-fields body of `msg` to `out` (no length prefix).
 pub fn encode_body(msg: &Message, out: &mut Vec<u8>) {
     match *msg {
@@ -351,6 +415,37 @@ mod tests {
             decode_frame(&buf),
             Err(FrameError::Truncated { needed: 1, got: 0 })
         );
+    }
+
+    #[test]
+    fn trace_key_round_trips_at_any_offset() {
+        let key = TraceKey {
+            job: 42,
+            stage: 3,
+            task: 1_000_000,
+            attempt: 2,
+            epoch: 9,
+        };
+        for pad in [0usize, 1, 9] {
+            let mut buf = vec![0xAA; pad];
+            key.encode(&mut buf);
+            assert_eq!(buf.len(), pad + 8 * TraceKey::FIELDS);
+            assert_eq!(TraceKey::decode(&buf, pad).unwrap(), key);
+        }
+        // Truncated buffers report "need more", never panic.
+        let mut buf = Vec::new();
+        key.encode(&mut buf);
+        assert!(TraceKey::decode(&buf[..buf.len() - 1], 0).is_err());
+    }
+
+    #[test]
+    fn f64_fields_round_trip_exactly() {
+        for v in [0.0, -0.0, 1.5, 1e-300, f64::INFINITY, 0.1 + 0.2] {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            let back = get_f64(&buf, 0).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
     }
 
     #[test]

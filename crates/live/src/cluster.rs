@@ -508,14 +508,23 @@ impl LiveCluster {
             };
             match sae_core::parse_jsonl(&text) {
                 Ok(records) => {
-                    for rec in records {
-                        self.recorder
-                            .push(LiveEvent::Trace(TraceEvent::IntervalClosed {
-                                executor: rec.executor,
-                                threads: rec.threads,
-                                zeta: rec.zeta,
-                                at: rec.at,
-                            }));
+                    // The journal file is the complete record; the cluster's
+                    // per-child journal handle gets every entry. The merged
+                    // trace, though, already holds whatever the driver
+                    // admitted as live ZetaSample frames — push only the
+                    // unstreamed tail so the incremental merge and the
+                    // shutdown merge together cover each record exactly once.
+                    let streamed = self.recorder.zeta_streamed(child.id) as usize;
+                    for (i, rec) in records.into_iter().enumerate() {
+                        if i >= streamed {
+                            self.recorder
+                                .push(LiveEvent::Trace(TraceEvent::IntervalClosed {
+                                    executor: rec.executor,
+                                    threads: rec.threads,
+                                    zeta: rec.zeta,
+                                    at: rec.at,
+                                }));
+                        }
                         if let Some(journal) = self.journals.get(child.id) {
                             journal.push(rec);
                         }

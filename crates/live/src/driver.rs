@@ -739,6 +739,47 @@ impl<'j, Obs: FnMut(&PoolDecision, &[SlotInfo]), O: Outbound> Run<'j, Obs, O> {
                 self.execs[from].last_heartbeat = Instant::now();
                 self.task_finished(from, task);
             }
+            // Pure telemetry: merge the executor's task span into the live
+            // timeline with its full trace key. Never touches scheduling
+            // state — outcome frames remain the control path.
+            Frame::TaskSpan {
+                key,
+                executor,
+                start_bits,
+                end_bits,
+                ok,
+            } if executor == from => {
+                self.recorder.push(LiveEvent::TaskSpan {
+                    job: key.job,
+                    stage: key.stage,
+                    task: key.task,
+                    attempt: key.attempt,
+                    epoch: key.epoch,
+                    executor: from,
+                    start: f64::from_bits(start_bits),
+                    end: f64::from_bits(end_bits),
+                    ok,
+                });
+            }
+            // A ζ decision record streamed as it closed: merge it into the
+            // trace now and count it, so the shutdown-time journal replay
+            // (and the process-fleet reaper) skips what already streamed.
+            Frame::ZetaSample {
+                executor,
+                threads,
+                zeta_bits,
+                at_bits,
+            } if executor == from => {
+                self.execs[from].last_heartbeat = Instant::now();
+                self.recorder.note_zeta_streamed(from);
+                self.recorder
+                    .push(LiveEvent::Trace(TraceEvent::IntervalClosed {
+                        executor: from,
+                        threads,
+                        zeta: f64::from_bits(zeta_bits),
+                        at: f64::from_bits(at_bits),
+                    }));
+            }
             // A mis-addressed core message, a duplicate Register, or a
             // driver-only frame echoed back: ignore, the protocol is
             // defensive against confused peers.

@@ -57,15 +57,17 @@ use sae_metrics::{Counter, FloatCounter, MetricRegistry};
 use sae_pool::procfs::proc_stage_probe;
 use sae_pool::{combined_probe, AdaptivePool, CounterProbe};
 
+use sae_dag::codec::TraceKey;
+
 use crate::job::LiveStageKind;
 use crate::log::Logger;
 use crate::recorder::{FlightRecorder, LiveEvent};
 use crate::task::{run_task, SINGLE_JOB};
 use crate::wire::{Frame, FrameReader, FrameWriter, Next};
 
-/// Per-job stage parameters `(kind, records_per_task, seed)` shared with
-/// in-flight task closures.
-type JobStages = Arc<Mutex<std::collections::HashMap<u64, (LiveStageKind, usize, u64)>>>;
+/// Per-job stage parameters `(stage, kind, records_per_task, seed)`
+/// shared with in-flight task closures.
+type JobStages = Arc<Mutex<std::collections::HashMap<u64, (usize, LiveStageKind, usize, u64)>>>;
 
 /// Reincarnation policy: how a dead executor comes back.
 #[derive(Debug, Clone)]
@@ -336,8 +338,11 @@ fn run_executor(
 ) -> io::Result<()> {
     let log = Logger::new(format!("executor-{}", cfg.id), cfg.recorder.clone());
     let mut incarnation: usize = 0;
+    // Journal records already streamed as live ZetaSample frames; spans
+    // incarnations because the journal does too.
+    let mut zeta_sent: usize = 0;
     let result = loop {
-        let exit = run_incarnation(addr, &cfg, &kill, incarnation, &log);
+        let exit = run_incarnation(addr, &cfg, &kill, incarnation, &mut zeta_sent, &log);
         let respawn = match &cfg.respawn {
             Some(r) if incarnation < r.max_respawns => r,
             _ => {
@@ -366,8 +371,12 @@ fn run_executor(
     };
     // Replay the journal's ζ samples onto the recorder exactly once, after
     // the last incarnation: the shared journal spans every rebirth, and
-    // the merged trace gains its zeta-exec{N} counter track.
-    for rec in cfg.journal.records() {
+    // the merged trace gains its zeta-exec{N} counter track. Samples the
+    // receiver already merged from live `ZetaSample` frames are skipped —
+    // the recorder's per-executor streamed count is the receiver-side
+    // truth, so samples lost in flight (or fenced) still land here.
+    let streamed = cfg.recorder.zeta_streamed(cfg.id) as usize;
+    for rec in cfg.journal.records().iter().skip(streamed) {
         cfg.recorder
             .push(LiveEvent::Trace(TraceEvent::IntervalClosed {
                 executor: rec.executor,
@@ -385,6 +394,7 @@ fn run_incarnation(
     cfg: &LiveExecutorConfig,
     kill: &Arc<AtomicBool>,
     incarnation: usize,
+    zeta_sent: &mut usize,
     log: &Logger,
 ) -> io::Result<Exit> {
     let stream = match (incarnation, &cfg.respawn) {
@@ -480,7 +490,7 @@ fn run_incarnation(
     };
 
     let completed = Arc::new(AtomicUsize::new(0));
-    let mut current_stage: Option<(LiveStageKind, usize, u64)> = None;
+    let mut current_stage: Option<(usize, LiveStageKind, usize, u64)> = None;
     let result = serve(
         cfg,
         incarnation,
@@ -492,6 +502,7 @@ fn run_incarnation(
         kill,
         &completed,
         &mut current_stage,
+        zeta_sent,
         &metrics,
         log,
     );
@@ -524,7 +535,8 @@ fn serve(
     stage_probe: &sae_pool::procfs::StageIoProbe,
     kill: &Arc<AtomicBool>,
     completed: &Arc<AtomicUsize>,
-    current_stage: &mut Option<(LiveStageKind, usize, u64)>,
+    current_stage: &mut Option<(usize, LiveStageKind, usize, u64)>,
+    zeta_sent: &mut usize,
     metrics: &ExecMetrics,
     log: &Logger,
 ) -> io::Result<Exit> {
@@ -544,6 +556,25 @@ fn serve(
         if kill.load(Ordering::Relaxed) {
             log.error(|| "killed: going silent with the socket open".into());
             return Ok(Exit::Killed);
+        }
+        // Stream ζ intervals the MAPE-K controller closed since the last
+        // pass, so the receiver's timeline gains its zeta-exec{N} track
+        // during the run instead of at the shutdown-time journal replay.
+        if cfg.journal.len() > *zeta_sent {
+            for rec in cfg.journal.records().iter().skip(*zeta_sent) {
+                if link
+                    .send(&Frame::ZetaSample {
+                        executor: rec.executor,
+                        threads: rec.threads,
+                        zeta_bits: rec.zeta.to_bits(),
+                        at_bits: rec.at.to_bits(),
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+                *zeta_sent += 1;
+            }
         }
         let frame = match reader.next_frame()? {
             Next::Idle => continue,
@@ -586,10 +617,10 @@ fn serve(
                 stage_probe.rebase();
                 pool.stage_started(Some(hint));
                 log.info(|| format!("stage {stage} announced: pool reset, hint {hint}"));
-                *current_stage = Some((kind, records_per_task, seed));
+                *current_stage = Some((stage, kind, records_per_task, seed));
             }
             Frame::Core(Message::AssignTask { task, .. }) => {
-                let Some((kind, records_per_task, seed)) = *current_stage else {
+                let Some((stage, kind, records_per_task, seed)) = *current_stage else {
                     continue; // assignment before any stage: confused peer
                 };
                 let link = Arc::clone(link);
@@ -606,6 +637,7 @@ fn serve(
                     if kill.load(Ordering::Relaxed) {
                         return;
                     }
+                    let started = link.recorder.now();
                     let outcome = run_task(
                         kind,
                         SINGLE_JOB,
@@ -618,6 +650,23 @@ fn serve(
                     if kill.load(Ordering::Relaxed) {
                         return; // died mid-task: no report, just silence
                     }
+                    let ok = outcome.is_ok();
+                    // Span first, outcome second: the receiver merges the
+                    // span into the live timeline before it acts on the
+                    // outcome, keeping the trace causally ordered.
+                    let _ = link.send(&Frame::TaskSpan {
+                        key: TraceKey {
+                            job: SINGLE_JOB,
+                            stage,
+                            task,
+                            attempt: 0,
+                            epoch: incarnation as u64,
+                        },
+                        executor: id,
+                        start_bits: started.to_bits(),
+                        end_bits: link.recorder.now().to_bits(),
+                        ok,
+                    });
                     let frame = match outcome {
                         Ok(()) => {
                             tasks_finished.inc();
@@ -659,7 +708,8 @@ fn serve(
                 seed,
                 ..
             } => {
-                jobs.lock().insert(job, (kind, records_per_task, seed));
+                jobs.lock()
+                    .insert(job, (stage, kind, records_per_task, seed));
                 log.info(|| format!("job {job} stage {stage} announced"));
             }
             Frame::JobEnd { job } => {
@@ -667,7 +717,8 @@ fn serve(
                 log.info(|| format!("job {job} retired"));
             }
             Frame::AssignJobTask { job, task } => {
-                let Some((kind, records_per_task, seed)) = jobs.lock().get(&job).copied() else {
+                let Some((stage, kind, records_per_task, seed)) = jobs.lock().get(&job).copied()
+                else {
                     // Assignment for a job we never saw start (announcement
                     // lost or job already retired). The server booked a slot
                     // for this assignment; report a failed outcome so it is
@@ -711,6 +762,7 @@ fn serve(
                         });
                         return;
                     }
+                    let started = link.recorder.now();
                     let outcome = run_task(kind, job, task, records_per_task, seed, &dir, &task_io);
                     if kill.load(Ordering::Relaxed) {
                         return; // died mid-task: no report, just silence
@@ -727,6 +779,19 @@ fn serve(
                             false
                         }
                     };
+                    let _ = link.send(&Frame::TaskSpan {
+                        key: TraceKey {
+                            job,
+                            stage,
+                            task,
+                            attempt: 0,
+                            epoch: incarnation as u64,
+                        },
+                        executor: id,
+                        start_bits: started.to_bits(),
+                        end_bits: link.recorder.now().to_bits(),
+                        ok,
+                    });
                     let _ = link.send(&Frame::JobTaskOutcome {
                         job,
                         task,

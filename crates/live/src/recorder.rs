@@ -23,11 +23,12 @@
 //! capture what the simulator has no wire for: frames sent and received,
 //! heartbeats, slot-registry changes, and log lines.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use sae_dag::{append_chrome_entries, TraceEvent};
 
 use crate::log::LogLevel;
@@ -137,6 +138,55 @@ pub enum LiveEvent {
         /// Seconds since the recorder epoch.
         at: f64,
     },
+    /// One task attempt's execution span, streamed off the wire with its
+    /// full (job, stage, task, attempt, epoch) trace key — the
+    /// cross-process correlation record that lets a multi-process fleet's
+    /// events merge into one causally-ordered trace during the run.
+    TaskSpan {
+        /// Job the task belongs to ([`crate::wire::SINGLE_JOB`] for the
+        /// single-job driver).
+        job: u64,
+        /// Stage index within the job.
+        stage: usize,
+        /// Task index within the stage.
+        task: usize,
+        /// Attempt number as reported by the executor.
+        attempt: usize,
+        /// The executor incarnation that ran the attempt.
+        epoch: u64,
+        /// The executor that ran the attempt.
+        executor: usize,
+        /// Span start, seconds since the *executor's* recorder epoch.
+        start: f64,
+        /// Span end, same clock as `start`.
+        end: f64,
+        /// Whether the attempt succeeded.
+        ok: bool,
+    },
+    /// A job changed lifecycle state on the multi-tenant server.
+    JobStatusChanged {
+        /// The job.
+        job: u64,
+        /// Owning tenant.
+        tenant: String,
+        /// The new status label ("queued", "running", "completed", ...).
+        status: &'static str,
+        /// Seconds since the recorder epoch.
+        at: f64,
+    },
+    /// The server appended one line to a job's journal. Streamed to
+    /// per-job `/events` subscribers; the line number doubles as the SSE
+    /// event id that `Last-Event-ID` resume counts from.
+    JournalLine {
+        /// The job.
+        job: u64,
+        /// Zero-based line number within the job's journal.
+        line_no: u64,
+        /// The JSONL line, without the trailing newline.
+        line: String,
+        /// Seconds since the recorder epoch.
+        at: f64,
+    },
 }
 
 impl LiveEvent {
@@ -153,7 +203,10 @@ impl LiveEvent {
             | LiveEvent::EpochFenced { at, .. }
             | LiveEvent::Degraded { at, .. }
             | LiveEvent::DegradedRecovered { at, .. }
-            | LiveEvent::Log { at, .. } => *at,
+            | LiveEvent::Log { at, .. }
+            | LiveEvent::JobStatusChanged { at, .. }
+            | LiveEvent::JournalLine { at, .. } => *at,
+            LiveEvent::TaskSpan { end, .. } => *end,
         }
     }
 }
@@ -163,6 +216,84 @@ struct Inner {
     cursor: AtomicU64,
     dropped: AtomicU64,
     epoch: Instant,
+    /// Live fan-out subscribers. Behind an `RwLock` so the hot push path
+    /// takes only a read lock; `has_subs` short-circuits even that when
+    /// nobody is listening.
+    subs: RwLock<Vec<Arc<SubShared>>>,
+    has_subs: AtomicBool,
+    /// Cumulative events dropped across all subscriber queues, surviving
+    /// subscriber disconnect (per-subscriber counters die with them).
+    sub_dropped: AtomicU64,
+    /// Per-executor count of ζ decision records already pushed onto this
+    /// recorder from *streamed* `ZetaSample` frames, so the shutdown-time
+    /// journal replay (in-thread executors and the process-fleet reaper
+    /// alike) replays only the unstreamed tail instead of duplicating the
+    /// live merge.
+    zeta_streamed: Mutex<Vec<u64>>,
+}
+
+/// State shared between a [`Subscription`] handle and the recorder.
+struct SubShared {
+    queue: Mutex<VecDeque<(u64, LiveEvent)>>,
+    capacity: usize,
+    dropped: AtomicU64,
+    closed: AtomicBool,
+}
+
+/// A handle onto one bounded fan-out queue of live events.
+///
+/// Created by [`FlightRecorder::subscribe`]. Every event pushed to the
+/// recorder after that point is cloned into the subscriber's queue; when
+/// the queue is full the **oldest** queued event is overwritten and the
+/// subscriber's `dropped` counter incremented — a slow consumer loses
+/// telemetry (visibly) but can never stall a writer or grow memory.
+/// Dropping the handle unsubscribes.
+pub struct Subscription {
+    shared: Arc<SubShared>,
+}
+
+impl std::fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("capacity", &self.shared.capacity)
+            .field("queued", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl Subscription {
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events this subscriber lost to queue overwrites.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Removes and returns the oldest queued event with its global
+    /// sequence number.
+    pub fn pop(&self) -> Option<(u64, LiveEvent)> {
+        self.shared.queue.lock().pop_front()
+    }
+
+    /// Drains every queued event, oldest first.
+    pub fn drain(&self) -> Vec<(u64, LiveEvent)> {
+        self.shared.queue.lock().drain(..).collect()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
 }
 
 /// A shared, bounded, overwrite-on-full event ring.
@@ -214,6 +345,10 @@ impl FlightRecorder {
                 cursor: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
                 epoch,
+                subs: RwLock::new(Vec::new()),
+                has_subs: AtomicBool::new(false),
+                sub_dropped: AtomicU64::new(0),
+                zeta_streamed: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -244,17 +379,113 @@ impl FlightRecorder {
     }
 
     /// Records one event; the oldest event is overwritten when full.
+    ///
+    /// The event also fans out to every live [`Subscription`] — including
+    /// when the ring itself is disabled (capacity 0): streaming consumers
+    /// and the post-hoc ring are independent sinks.
     pub fn push(&self, event: LiveEvent) {
         let capacity = self.inner.slots.len();
-        if capacity == 0 {
+        let has_subs = self.inner.has_subs.load(Ordering::Acquire);
+        if capacity == 0 && !has_subs {
             return;
         }
         let seq = self.inner.cursor.fetch_add(1, Ordering::Relaxed);
+        if has_subs {
+            self.fan_out(seq, &event);
+        }
+        if capacity == 0 {
+            return;
+        }
         let mut slot = self.inner.slots[seq as usize % capacity].lock();
         if slot.is_some() {
             self.inner.dropped.fetch_add(1, Ordering::Relaxed);
         }
         *slot = Some((seq, event));
+    }
+
+    /// Clones `event` into every live subscriber queue, overwriting the
+    /// oldest queued event (and counting a drop) when one is full. Closed
+    /// subscribers found along the way are garbage-collected opportunistically.
+    fn fan_out(&self, seq: u64, event: &LiveEvent) {
+        let mut saw_closed = false;
+        {
+            let subs = self.inner.subs.read();
+            for sub in subs.iter() {
+                if sub.closed.load(Ordering::Acquire) {
+                    saw_closed = true;
+                    continue;
+                }
+                let mut queue = sub.queue.lock();
+                if queue.len() >= sub.capacity {
+                    queue.pop_front();
+                    sub.dropped.fetch_add(1, Ordering::Relaxed);
+                    self.inner.sub_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                queue.push_back((seq, event.clone()));
+            }
+        }
+        if saw_closed {
+            // Rare path: only taken on the first push after a disconnect.
+            let mut subs = self.inner.subs.write();
+            subs.retain(|s| !s.closed.load(Ordering::Acquire));
+            self.inner
+                .has_subs
+                .store(!subs.is_empty(), Ordering::Release);
+        }
+    }
+
+    /// Registers a fan-out subscriber with a bounded queue of `capacity`
+    /// events (minimum 1). See [`Subscription`] for the overwrite-oldest
+    /// drop discipline.
+    pub fn subscribe(&self, capacity: usize) -> Subscription {
+        let shared = Arc::new(SubShared {
+            queue: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        });
+        let mut subs = self.inner.subs.write();
+        subs.retain(|s| !s.closed.load(Ordering::Acquire));
+        subs.push(Arc::clone(&shared));
+        self.inner.has_subs.store(true, Ordering::Release);
+        Subscription { shared }
+    }
+
+    /// Live (not yet dropped) subscriber handles.
+    pub fn subscribers(&self) -> usize {
+        self.inner
+            .subs
+            .read()
+            .iter()
+            .filter(|s| !s.closed.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Cumulative events lost across all subscriber queues, including
+    /// queues whose subscribers have since disconnected.
+    pub fn subscriber_dropped(&self) -> u64 {
+        self.inner.sub_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Notes that one streamed ζ sample from `executor` was pushed onto
+    /// this recorder, so the shutdown-time journal replay skips it.
+    pub fn note_zeta_streamed(&self, executor: usize) {
+        let mut counts = self.inner.zeta_streamed.lock();
+        if counts.len() <= executor {
+            counts.resize(executor + 1, 0);
+        }
+        counts[executor] += 1;
+    }
+
+    /// How many of `executor`'s ζ decision records already reached this
+    /// recorder via live `ZetaSample` frames.
+    pub fn zeta_streamed(&self, executor: usize) -> u64 {
+        self.inner
+            .zeta_streamed
+            .lock()
+            .get(executor)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Total events ever pushed (recorded or overwritten).
@@ -449,6 +680,38 @@ pub fn chrome_trace(events: &[LiveEvent]) -> String {
                     esc_json(message)
                 ));
             }
+            LiveEvent::TaskSpan {
+                job,
+                stage,
+                task,
+                attempt,
+                epoch,
+                executor,
+                start,
+                end,
+                ok,
+            } => {
+                let dur = ((end - start).max(0.0) * 1e6).round() as i64;
+                entries.push(format!(
+                    r#"{{"name":"span:j{job}:s{stage}:t{task}:a{attempt}","ph":"X","ts":{},"dur":{dur},"pid":1,"tid":{executor},"args":{{"job":{job},"stage":{stage},"task":{task},"attempt":{attempt},"epoch":{epoch},"ok":{ok}}}}}"#,
+                    us(*start)
+                ));
+            }
+            LiveEvent::JobStatusChanged {
+                job,
+                tenant,
+                status,
+                at,
+            } => {
+                entries.push(format!(
+                    r#"{{"name":"job{job}:{status}","ph":"i","ts":{},"pid":0,"tid":0,"s":"g","args":{{"tenant":"{}"}}}}"#,
+                    us(*at),
+                    esc_json(tenant)
+                ));
+            }
+            // Journal lines are the streaming plane's payload, not trace
+            // geometry — the journal artifact itself is the archival form.
+            LiveEvent::JournalLine { .. } => {}
         }
     }
     format!("[{}]", entries.join(","))
@@ -531,6 +794,93 @@ mod tests {
         assert_eq!(rec.recorded(), 800);
         assert_eq!(rec.snapshot().len(), 800);
         assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn subscribers_receive_pushed_events_in_order() {
+        let rec = FlightRecorder::new(16);
+        let sub = rec.subscribe(8);
+        assert_eq!(rec.subscribers(), 1);
+        for i in 0..5 {
+            rec.push(heartbeat(i, i as f64));
+        }
+        let got = sub.drain();
+        assert_eq!(got.len(), 5);
+        for (i, (seq, ev)) in got.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(ev.at(), i as f64);
+        }
+        assert_eq!(sub.dropped(), 0);
+        // The ring is unaffected by fan-out.
+        assert_eq!(rec.snapshot().len(), 5);
+    }
+
+    #[test]
+    fn slow_subscriber_overwrites_oldest_and_counts_drops() {
+        let rec = FlightRecorder::new(64);
+        let sub = rec.subscribe(4);
+        for i in 0..10 {
+            rec.push(heartbeat(i, i as f64));
+        }
+        assert_eq!(sub.len(), 4);
+        assert_eq!(sub.dropped(), 6);
+        assert_eq!(rec.subscriber_dropped(), 6);
+        let ats: Vec<f64> = sub.drain().iter().map(|(_, e)| e.at()).collect();
+        assert_eq!(ats, vec![6.0, 7.0, 8.0, 9.0]);
+        // The ring itself dropped nothing; the sinks are independent.
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn dropped_subscription_is_garbage_collected() {
+        let rec = FlightRecorder::new(16);
+        let sub = rec.subscribe(4);
+        drop(sub);
+        rec.push(heartbeat(0, 0.0)); // GC pass runs inside push
+        assert_eq!(rec.subscribers(), 0);
+        rec.push(heartbeat(0, 1.0));
+        assert_eq!(rec.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn disabled_ring_still_fans_out_to_subscribers() {
+        let rec = FlightRecorder::disabled();
+        let sub = rec.subscribe(8);
+        rec.push(heartbeat(0, 0.5));
+        assert_eq!(sub.len(), 1);
+        assert!(rec.snapshot().is_empty());
+    }
+
+    #[test]
+    fn zeta_streamed_counts_accumulate_per_executor() {
+        let rec = FlightRecorder::new(4);
+        assert_eq!(rec.zeta_streamed(3), 0);
+        rec.note_zeta_streamed(3);
+        rec.note_zeta_streamed(3);
+        rec.note_zeta_streamed(0);
+        assert_eq!(rec.zeta_streamed(3), 2);
+        assert_eq!(rec.zeta_streamed(0), 1);
+        assert_eq!(rec.zeta_streamed(7), 0);
+    }
+
+    #[test]
+    fn task_span_renders_as_complete_event_with_trace_key() {
+        let rec = FlightRecorder::new(8);
+        rec.push(LiveEvent::TaskSpan {
+            job: 3,
+            stage: 1,
+            task: 7,
+            attempt: 0,
+            epoch: 2,
+            executor: 4,
+            start: 0.5,
+            end: 0.75,
+            ok: true,
+        });
+        let json = rec.chrome_trace();
+        assert!(json.contains(r#""name":"span:j3:s1:t7:a0","ph":"X""#));
+        assert!(json.contains(r#""ts":500000,"dur":250000"#));
+        assert!(json.contains(r#""epoch":2,"ok":true"#));
     }
 
     #[test]

@@ -54,6 +54,14 @@ impl Value {
         }
     }
 
+    /// The numeric content, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// The array items, if this is an array.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {

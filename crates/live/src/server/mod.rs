@@ -24,8 +24,24 @@
 //! | `GET /jobs/:id/report` | per-stage report (attempts, durations)     |
 //! | `GET /jobs/:id/journal`| the job's deterministic lifecycle journal  |
 //! | `GET /jobs/:id/trace`  | the server's Chrome-trace timeline         |
+//! | `GET /jobs/:id/events` | SSE stream of the job's journal (resumable)|
+//! | `GET /events`          | cluster-wide SSE stream (journal, ζ, spans)|
 //! | `GET /metrics`         | Prometheus text, per-tenant labels         |
 //! | `GET /healthz`         | liveness + draining flag                   |
+//!
+//! # Streaming telemetry
+//!
+//! The two `/events` routes answer with `Transfer-Encoding: chunked`
+//! server-sent events ([`sae_net::sse`]). A cluster stream subscribes to
+//! the shared [`FlightRecorder`] fan-out and forwards journal records,
+//! job lifecycle transitions, task spans, ζ samples, and periodic metric
+//! deltas as JSON SSE frames. A per-job stream follows that job's journal
+//! line by line — the line number is the SSE event id, so a client that
+//! reconnects with `Last-Event-ID` resumes exactly where it left off.
+//! Stream output rides the same reactor write buffers as everything else
+//! and stops being refilled past [`HIGH_WATER`], so a stalled consumer
+//! loses events (counted per subscriber) but can never stall the serve
+//! loop or change a journal byte.
 //!
 //! # Admission control
 //!
@@ -64,15 +80,18 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sae_dag::sched::PendingQueue;
-use sae_dag::Message;
-use sae_metrics::{render_prometheus, Counter, Gauge, MetricRegistry, RegistrySnapshot};
+use sae_dag::{Message, TraceEvent};
+use sae_metrics::{
+    render_prometheus, Counter, Gauge, MetricRegistry, RegistrySnapshot, EXPOSITION_CONTENT_TYPE,
+};
 use sae_net::http::{self, Limits, Method, Request, RequestParser, Response};
+use sae_net::sse::{SseFrame, StreamEncoder};
 use sae_poll::{Event, Interest, Poller, TimerWheel};
 
 use crate::epochs::{Admission, EpochRegistry};
 use crate::job::{LiveJob, LiveStageKind, LiveStageSpec};
 use crate::log::Logger;
-use crate::recorder::FlightRecorder;
+use crate::recorder::{FlightRecorder, LiveEvent, Subscription};
 use crate::wire::{Frame, FrameCursor};
 
 use json::Value;
@@ -90,11 +109,19 @@ const TIMER_TICK: u64 = 0;
 const READ_CHUNK: usize = 16 * 1024;
 /// Executor write-queue depth that masks it from new assignments.
 const HIGH_WATER: usize = 64 * 1024;
+/// Streaming connections coalesce writes: buffered SSE frames are pushed
+/// to the socket on the periodic tick, or as soon as this many bytes are
+/// queued — one wakeup per batch for every subscriber instead of one per
+/// event, which is what keeps 8 idle dashboards off the data plane's
+/// critical path.
+const STREAM_FLUSH: usize = 8 * 1024;
 /// Executor write-queue depth that declares the connection broken.
 const HARD_CAP: usize = 4 * 1024 * 1024;
 /// Bound on flushing queued frames (the `Shutdown` broadcast above all)
 /// after the serve loop exits.
 const FINAL_FLUSH: Duration = Duration::from_millis(500);
+/// Recorder fan-out queue depth behind one cluster `/events` stream.
+const EVENT_SUB_CAPACITY: usize = 1024;
 
 /// Job-server tuning knobs.
 #[derive(Debug, Clone)]
@@ -259,6 +286,8 @@ struct JobState {
     /// Wall-clock seconds per completed stage, in stage order.
     stage_durations: Vec<f64>,
     journal: String,
+    /// Lines in `journal` — the next journal SSE event id.
+    journal_lines: u64,
 }
 
 impl JobState {
@@ -303,7 +332,31 @@ enum ConnKind {
         out: VecDeque<u8>,
         /// Close once `out` drains (parse error or `Connection: close`).
         close: bool,
+        /// A live `/events` SSE stream, once one is established. The
+        /// connection stops serving further requests.
+        stream: Option<StreamState>,
     },
+}
+
+/// State of one live SSE stream on an HTTP connection.
+struct StreamState {
+    /// Cluster-wide streams pull from a recorder fan-out subscription.
+    sub: Option<Subscription>,
+    /// `Some(job)` for a per-job `GET /jobs/:id/events` stream, which
+    /// follows the job's journal instead of the recorder.
+    job: Option<u64>,
+    /// First journal line to emit — 0, or `Last-Event-ID + 1` on resume.
+    start_line: u64,
+    /// Journal lines already examined (skipped or streamed); the line
+    /// number of the next unexamined line, and the SSE id it gets.
+    line_no: u64,
+    /// Byte offset into the journal matching `line_no`, so following an
+    /// append-only journal costs only the new bytes per pump.
+    next_byte: usize,
+    /// Last status label a per-job stream announced.
+    last_status: Option<&'static str>,
+    /// The terminal chunk is queued; close once it flushes.
+    done: bool,
 }
 
 struct Conn {
@@ -327,6 +380,8 @@ struct ServerMetrics {
     wakeups: Counter,
     jobs_running: Gauge,
     jobs_queued: Gauge,
+    recorder_ring_dropped: Counter,
+    recorder_sub_dropped: Counter,
     per_tenant: HashMap<String, TenantMetrics>,
 }
 
@@ -352,6 +407,9 @@ impl ServerMetrics {
             wakeups: registry.counter("server.wakeups"),
             jobs_running: registry.gauge("server.jobs_running"),
             jobs_queued: registry.gauge("server.jobs_queued"),
+            recorder_ring_dropped: registry.counter("live.recorder.dropped_total{kind=\"ring\"}"),
+            recorder_sub_dropped: registry
+                .counter("live.recorder.dropped_total{kind=\"subscriber\"}"),
             per_tenant: HashMap::new(),
         }
     }
@@ -447,6 +505,13 @@ struct ServerLoop {
     next_job: u64,
     draining: Option<Instant>,
     metrics: ServerMetrics,
+    /// Last metric values streamed to cluster `/events` subscribers;
+    /// ticks send only what changed.
+    last_metrics: BTreeMap<String, f64>,
+    /// Recorder ring drops already mirrored into the registry.
+    published_ring_drops: u64,
+    /// Recorder subscriber drops already mirrored into the registry.
+    published_sub_drops: u64,
     log: Logger,
 }
 
@@ -495,6 +560,9 @@ impl ServerLoop {
             next_job: 1,
             draining: None,
             metrics: ServerMetrics::new(&cfg.metrics),
+            last_metrics: BTreeMap::new(),
+            published_ring_drops: 0,
+            published_sub_drops: 0,
             log: Logger::new("server", cfg.recorder.clone()),
             cfg,
         })
@@ -545,6 +613,7 @@ impl ServerLoop {
                 }
             }
             self.try_assign();
+            self.pump_streams();
             self.free.append(&mut self.freed_now);
             if let Some(since) = self.draining {
                 let running = self.jobs.values().any(|j| !j.status.terminal());
@@ -581,6 +650,80 @@ impl ServerLoop {
             .count();
         self.metrics.jobs_running.set(running as f64);
         self.metrics.jobs_queued.set(self.waiting.len() as f64);
+        self.publish_drop_totals();
+        self.stream_metric_deltas();
+        self.flush_streams();
+    }
+
+    /// Mirrors the recorder's cumulative drop counters (ring overwrites
+    /// and per-subscriber queue drops) into the metric registry.
+    fn publish_drop_totals(&mut self) {
+        let ring = self.cfg.recorder.dropped();
+        if ring > self.published_ring_drops {
+            self.metrics
+                .recorder_ring_dropped
+                .add(ring - self.published_ring_drops);
+            self.published_ring_drops = ring;
+        }
+        let subs = self.cfg.recorder.subscriber_dropped();
+        if subs > self.published_sub_drops {
+            self.metrics
+                .recorder_sub_dropped
+                .add(subs - self.published_sub_drops);
+            self.published_sub_drops = subs;
+        }
+    }
+
+    /// Appends a `metrics` SSE frame with every changed counter/gauge to
+    /// each cluster `/events` stream whose write buffer has room.
+    fn stream_metric_deltas(&mut self) {
+        let any_cluster_stream = self.conns.iter().flatten().any(|c| {
+            matches!(&c.kind, ConnKind::Http { stream: Some(st), .. }
+                if st.job.is_none() && !st.done)
+        });
+        if !any_cluster_stream {
+            return;
+        }
+        let snap = self.cfg.metrics.snapshot();
+        let mut cur: BTreeMap<String, f64> = BTreeMap::new();
+        for (k, v) in &snap.counters {
+            cur.insert(k.clone(), *v as f64);
+        }
+        for (k, v) in &snap.float_counters {
+            cur.insert(k.clone(), *v);
+        }
+        for (k, v) in &snap.gauges {
+            cur.insert(k.clone(), *v);
+        }
+        let changed: Vec<String> = cur
+            .iter()
+            .filter(|(k, v)| self.last_metrics.get(*k) != Some(v))
+            .map(|(k, v)| format!("\"{}\":{}", http::escape_json(k), fmt_num(*v)))
+            .collect();
+        if changed.is_empty() {
+            return;
+        }
+        self.last_metrics = cur;
+        let mut chunk = Vec::new();
+        let frame = SseFrame::new(format!("{{{}}}", changed.join(","))).with_event("metrics");
+        push_sse(&mut chunk, &frame);
+        // Queued only: the tick's stream flush that follows pushes these
+        // to the sockets together with any coalesced event frames.
+        for slot in self.conns.iter_mut() {
+            let Some(conn) = slot else { continue };
+            let ConnKind::Http {
+                out,
+                stream: Some(st),
+                ..
+            } = &mut conn.kind
+            else {
+                continue;
+            };
+            if st.job.is_some() || st.done || out.len() >= HIGH_WATER {
+                continue;
+            }
+            out.extend(chunk.iter().copied());
+        }
     }
 
     /// Stops admission and cancels queued jobs; running jobs get the
@@ -607,8 +750,37 @@ impl ServerLoop {
                 self.cancel_job(id);
             }
         }
+        // Let event streams carry the terminal journal lines, then close
+        // each with an `end` frame and the terminal chunk.
+        self.pump_streams();
+        for idx in 0..self.conns.len() {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                continue;
+            };
+            let ConnKind::Http {
+                out,
+                close,
+                stream: Some(st),
+                ..
+            } = &mut conn.kind
+            else {
+                continue;
+            };
+            if !st.done {
+                let mut buf = Vec::new();
+                push_sse(
+                    &mut buf,
+                    &SseFrame::new("{\"reason\":\"server-drain\"}").with_event("end"),
+                );
+                StreamEncoder::sse(200).finish(&mut buf);
+                out.extend(buf);
+                st.done = true;
+            }
+            *close = true;
+        }
         self.broadcast(&Frame::Shutdown);
         self.drain_writes();
+        self.drain_http_writes();
         let jobs = self
             .jobs
             .values()
@@ -675,6 +847,7 @@ impl ServerLoop {
                             parser: RequestParser::with_limits(self.cfg.limits),
                             out: VecDeque::new(),
                             close: false,
+                            stream: None,
                         }
                     };
                     self.conns[idx] = Some(Conn {
@@ -777,15 +950,61 @@ impl ServerLoop {
                 Some(c) => c,
                 None => return false,
             };
-            let ConnKind::Http { parser, .. } = &mut conn.kind else {
+            let ConnKind::Http { parser, stream, .. } = &mut conn.kind else {
                 return true;
             };
+            if stream.is_some() {
+                // An established SSE stream owns this connection; bytes
+                // after the streaming request are ignored.
+                return true;
+            }
             match parser.next() {
                 Ok(Some(req)) => {
                     self.metrics.http_requests.inc();
                     let close_requested = req
                         .header("connection")
                         .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                    if let Some(routed) = self.route_events(&req) {
+                        match routed {
+                            Ok((head, state)) => {
+                                let Some(conn) = self.conns[idx].as_mut() else {
+                                    return false;
+                                };
+                                // Bound the kernel's queue in front of
+                                // this long-lived stream: once a stalled
+                                // consumer fills it, writes block and the
+                                // HIGH_WATER/drop discipline takes over.
+                                let _ = sae_poll::set_send_buffer(&conn.stream, HIGH_WATER);
+                                if let ConnKind::Http { out, stream, .. } = &mut conn.kind {
+                                    out.extend(head);
+                                    *stream = Some(state);
+                                }
+                                // Replay anything already available (a
+                                // per-job stream's existing journal) and
+                                // push the head out without waiting for
+                                // the coalescing tick.
+                                self.pump_stream(idx);
+                                self.flush_conn(idx);
+                                return self.conns[idx].is_some();
+                            }
+                            Err(resp) => {
+                                self.scratch.clear();
+                                resp.encode(&mut self.scratch);
+                                let Some(conn) = self.conns[idx].as_mut() else {
+                                    return false;
+                                };
+                                if let ConnKind::Http { out, close, .. } = &mut conn.kind {
+                                    out.extend(self.scratch.iter().copied());
+                                    *close |= close_requested;
+                                }
+                                self.flush_conn(idx);
+                                if self.conns[idx].is_none() {
+                                    return false;
+                                }
+                                continue;
+                            }
+                        }
+                    }
                     let resp = self.route(&req);
                     self.scratch.clear();
                     resp.encode(&mut self.scratch);
@@ -992,6 +1211,32 @@ impl ServerLoop {
         }
     }
 
+    /// Final flush of buffered HTTP bytes (stream terminators above all),
+    /// bounded by [`FINAL_FLUSH`].
+    fn drain_http_writes(&mut self) {
+        let deadline = Instant::now() + FINAL_FLUSH;
+        loop {
+            for idx in 0..self.conns.len() {
+                if self.conns[idx].is_some() {
+                    self.flush_conn(idx);
+                }
+            }
+            let blocked = self
+                .conns
+                .iter()
+                .flatten()
+                .any(|c| matches!(&c.kind, ConnKind::Http { out, .. } if !out.is_empty()));
+            let now = Instant::now();
+            if !blocked || now >= deadline {
+                return;
+            }
+            let mut events = std::mem::take(&mut self.events);
+            let nap = (deadline - now).min(Duration::from_millis(5));
+            let _ = self.poller.wait(&mut events, Some(nap));
+            self.events = events;
+        }
+    }
+
     // ---- executor fleet -----------------------------------------------
 
     fn handle_register(&mut self, e: usize, slots: usize, conn: u64) {
@@ -1058,6 +1303,42 @@ impl ServerLoop {
             Frame::JobTaskOutcome { job, task, ok, .. } => {
                 self.execs[e].last_heartbeat = Instant::now();
                 self.handle_outcome(job, task, e, ok);
+            }
+            Frame::ZetaSample {
+                executor,
+                threads,
+                zeta_bits,
+                at_bits,
+            } if executor == e => {
+                self.execs[e].last_heartbeat = Instant::now();
+                self.cfg.recorder.note_zeta_streamed(e);
+                self.cfg
+                    .recorder
+                    .push(LiveEvent::Trace(TraceEvent::IntervalClosed {
+                        executor: e,
+                        threads,
+                        zeta: f64::from_bits(zeta_bits),
+                        at: f64::from_bits(at_bits),
+                    }));
+            }
+            Frame::TaskSpan {
+                key,
+                executor,
+                start_bits,
+                end_bits,
+                ok,
+            } if executor == e => {
+                self.cfg.recorder.push(LiveEvent::TaskSpan {
+                    job: key.job,
+                    stage: key.stage,
+                    task: key.task,
+                    attempt: key.attempt,
+                    epoch: key.epoch,
+                    executor: e,
+                    start: f64::from_bits(start_bits),
+                    end: f64::from_bits(end_bits),
+                    ok,
+                });
             }
             // Single-job frames (TaskFinished/TaskFailed) or echoes: the
             // server only speaks the job-scoped protocol.
@@ -1183,20 +1464,23 @@ impl ServerLoop {
 
     fn begin_stage(&mut self, job: u64) {
         let executors = self.cfg.executors;
+        let recorder = self.cfg.recorder.clone();
         let js = self.jobs.get_mut(&job).expect("job exists");
         let spec = &js.job.stages[js.stage_idx];
         let tasks = spec.tasks;
+        let kind = spec.kind;
         js.st = StageRun::new(tasks);
         js.queue.reset(tasks, executors);
         for t in 0..tasks {
             js.queue.push(t, &[t % executors.max(1)]);
         }
-        js.journal.push_str(&format!(
-            "{{\"event\":\"stage-start\",\"stage\":{},\"kind\":\"{}\",\"tasks\":{}}}\n",
+        let line = format!(
+            "{{\"event\":\"stage-start\",\"stage\":{},\"kind\":\"{}\",\"tasks\":{}}}",
             js.stage_idx,
-            kind_name(spec.kind),
+            kind_name(kind),
             tasks
-        ));
+        );
+        journal_line(&recorder, js, line);
         let frame = stage_frame(js);
         self.log
             .info(|| format!("job {job} stage started: {tasks} tasks"));
@@ -1204,22 +1488,25 @@ impl ServerLoop {
     }
 
     fn finish_stage(&mut self, job: u64) {
+        let recorder = self.cfg.recorder.clone();
         let js = self.jobs.get_mut(&job).expect("job exists");
         let stage = js.stage_idx;
         // Journal per-task attempt counts in task order — content depends
         // only on the job's logical history, never on completion order.
         for t in 0..js.st.done.len() {
-            js.journal.push_str(&format!(
-                "{{\"event\":\"task\",\"stage\":{},\"task\":{},\"attempts\":{}}}\n",
+            let line = format!(
+                "{{\"event\":\"task\",\"stage\":{},\"task\":{},\"attempts\":{}}}",
                 stage,
                 t,
                 js.st.failures[t] + 1
-            ));
+            );
+            journal_line(&recorder, js, line);
         }
-        js.journal.push_str(&format!(
-            "{{\"event\":\"stage-end\",\"stage\":{},\"attempts\":{},\"failed_attempts\":{}}}\n",
+        let line = format!(
+            "{{\"event\":\"stage-end\",\"stage\":{},\"attempts\":{},\"failed_attempts\":{}}}",
             stage, js.st.attempts, js.st.failed_attempts
-        ));
+        );
+        journal_line(&recorder, js, line);
         js.total_attempts += js.st.attempts;
         // Absorbed into the running total: zero the stage counter so the
         // live views' `total + current` sum stays exact after the final
@@ -1232,14 +1519,16 @@ impl ServerLoop {
         js.stage_idx += 1;
         if js.stage_idx == js.job.stages.len() {
             js.status = JobStatus::Completed;
-            js.journal.push_str(&format!(
-                "{{\"event\":\"completed\",\"stages\":{}}}\n",
+            let line = format!(
+                "{{\"event\":\"completed\",\"stages\":{}}}",
                 js.job.stages.len()
-            ));
+            );
+            journal_line(&recorder, js, line);
             js.runtime_secs = js
                 .started_at
                 .map(|t| t.elapsed().as_secs_f64())
                 .unwrap_or(0.0);
+            status_event(&recorder, js);
             let tenant = js.tenant.clone();
             self.metrics.tenant(&tenant).completed.inc();
             self.retire_job(job);
@@ -1250,35 +1539,38 @@ impl ServerLoop {
     }
 
     fn fail_job(&mut self, job: u64, task: usize) {
+        let recorder = self.cfg.recorder.clone();
         let js = self.jobs.get_mut(&job).expect("job exists");
         js.status = JobStatus::Failed;
-        js.journal.push_str(&format!(
-            "{{\"event\":\"failed\",\"stage\":{},\"task\":{}}}\n",
+        let line = format!(
+            "{{\"event\":\"failed\",\"stage\":{},\"task\":{}}}",
             js.stage_idx, task
-        ));
+        );
+        journal_line(&recorder, js, line);
         js.runtime_secs = js
             .started_at
             .map(|t| t.elapsed().as_secs_f64())
             .unwrap_or(0.0);
+        status_event(&recorder, js);
         let tenant = js.tenant.clone();
         self.metrics.tenant(&tenant).failed.inc();
         self.retire_job(job);
     }
 
     fn cancel_job(&mut self, job: u64) {
+        let recorder = self.cfg.recorder.clone();
         let Some(js) = self.jobs.get_mut(&job) else {
             return;
         };
         let was_queued = js.status == JobStatus::Queued;
         js.status = JobStatus::Cancelled;
-        js.journal.push_str(&format!(
-            "{{\"event\":\"cancelled\",\"stage\":{}}}\n",
-            js.stage_idx
-        ));
+        let line = format!("{{\"event\":\"cancelled\",\"stage\":{}}}", js.stage_idx);
+        journal_line(&recorder, js, line);
         js.runtime_secs = js
             .started_at
             .map(|t| t.elapsed().as_secs_f64())
             .unwrap_or(0.0);
+        status_event(&recorder, js);
         let tenant = js.tenant.clone();
         self.metrics.tenant(&tenant).cancelled.inc();
         if was_queued {
@@ -1317,9 +1609,11 @@ impl ServerLoop {
     }
 
     fn start_job(&mut self, job: u64) {
+        let recorder = self.cfg.recorder.clone();
         let js = self.jobs.get_mut(&job).expect("job exists");
         js.status = JobStatus::Running;
         js.started_at = Some(Instant::now());
+        status_event(&recorder, js);
         let weight = js.weight;
         self.fair.admit(job, weight);
         self.begin_stage(job);
@@ -1415,7 +1709,11 @@ impl ServerLoop {
                     self.draining.is_some()
                 ),
             ),
-            (Method::Get, ["metrics"]) => Response::text(200, render_prometheus(&self.cfg.metrics)),
+            (Method::Get, ["metrics"]) => {
+                let mut resp = Response::text(200, render_prometheus(&self.cfg.metrics));
+                resp.content_type = EXPOSITION_CONTENT_TYPE;
+                resp
+            }
             (Method::Post, ["jobs"]) => self.submit(req),
             (Method::Get, ["jobs"]) => self.list_jobs(),
             (Method::Get, ["jobs", id]) => match self.parse_id(id) {
@@ -1438,10 +1736,209 @@ impl ServerLoop {
                 Some(_) => Response::json(200, self.cfg.recorder.chrome_trace()),
                 None => Response::error(404, "no such job"),
             },
-            (_, ["jobs"] | ["jobs", _] | ["jobs", _, _] | ["metrics"] | ["healthz"]) => {
-                Response::error(405, "method not allowed on this route")
-            }
+            (
+                _,
+                ["jobs"] | ["jobs", _] | ["jobs", _, _] | ["metrics"] | ["healthz"] | ["events"],
+            ) => Response::error(405, "method not allowed on this route"),
             _ => Response::error(404, "unknown route"),
+        }
+    }
+
+    /// Routes the SSE endpoints: `Some(Ok)` carries the response head and
+    /// the stream state to install, `Some(Err)` a plain error response,
+    /// `None` means the request is not a stream route.
+    fn route_events(&mut self, req: &Request) -> Option<Result<(Vec<u8>, StreamState), Response>> {
+        let segments = req.path_segments();
+        match (req.method, segments.as_slice()) {
+            (Method::Get, ["events"]) => {
+                let mut head = Vec::new();
+                StreamEncoder::sse(200).head(&mut head);
+                // A new subscriber needs the full metric state once;
+                // ticks only stream deltas from here on.
+                let snap = self.cfg.metrics.snapshot();
+                let mut all: Vec<String> = Vec::new();
+                for (k, v) in &snap.counters {
+                    all.push(format!(
+                        "\"{}\":{}",
+                        http::escape_json(k),
+                        fmt_num(*v as f64)
+                    ));
+                }
+                for (k, v) in &snap.float_counters {
+                    all.push(format!("\"{}\":{}", http::escape_json(k), fmt_num(*v)));
+                }
+                for (k, v) in &snap.gauges {
+                    all.push(format!("\"{}\":{}", http::escape_json(k), fmt_num(*v)));
+                }
+                push_sse(
+                    &mut head,
+                    &SseFrame::new(format!("{{{}}}", all.join(","))).with_event("metrics"),
+                );
+                Some(Ok((
+                    head,
+                    StreamState {
+                        sub: Some(self.cfg.recorder.subscribe(EVENT_SUB_CAPACITY)),
+                        job: None,
+                        start_line: 0,
+                        line_no: 0,
+                        next_byte: 0,
+                        last_status: None,
+                        done: false,
+                    },
+                )))
+            }
+            (Method::Get, ["jobs", id, "events"]) => match self.parse_id(id) {
+                Some(job) => {
+                    let mut head = Vec::new();
+                    StreamEncoder::sse(200).head(&mut head);
+                    // `Last-Event-ID: n` means line n was delivered;
+                    // resume from the next one.
+                    let start_line = req
+                        .header("last-event-id")
+                        .and_then(|v| v.trim().parse::<u64>().ok())
+                        .map(|n| n + 1)
+                        .unwrap_or(0);
+                    Some(Ok((
+                        head,
+                        StreamState {
+                            sub: None,
+                            job: Some(job),
+                            start_line,
+                            line_no: 0,
+                            next_byte: 0,
+                            last_status: None,
+                            done: false,
+                        },
+                    )))
+                }
+                None => Some(Err(Response::error(404, "no such job"))),
+            },
+            _ => None,
+        }
+    }
+
+    /// Refills every streaming connection's write buffer up to
+    /// [`HIGH_WATER`] — past that the stream stops pulling and a slow
+    /// consumer's events age out of its bounded queue instead of
+    /// accumulating in server memory.
+    fn pump_streams(&mut self) {
+        for idx in 0..self.conns.len() {
+            self.pump_stream(idx);
+        }
+    }
+
+    fn pump_stream(&mut self, idx: usize) {
+        let mut wrote = false;
+        {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            let ConnKind::Http {
+                out,
+                close,
+                stream: Some(st),
+                ..
+            } = &mut conn.kind
+            else {
+                return;
+            };
+            if st.done {
+                return;
+            }
+            let mut buf = Vec::new();
+            if let Some(job) = st.job {
+                let Some(js) = self.jobs.get(&job) else {
+                    return;
+                };
+                let status = js.status.as_str();
+                if st.last_status != Some(status) {
+                    st.last_status = Some(status);
+                    push_sse(
+                        &mut buf,
+                        &SseFrame::new(format!("{{\"job\":{job},\"status\":\"{status}\"}}"))
+                            .with_event("status"),
+                    );
+                }
+                // Follow the append-only journal from where the last
+                // pump left off — only the new bytes are scanned. Every
+                // journal line is newline-terminated, so the tail never
+                // splits a record.
+                let mut drained = true;
+                for line in js.journal[st.next_byte..].lines() {
+                    if st.line_no >= st.start_line {
+                        if out.len() + buf.len() >= HIGH_WATER {
+                            drained = false;
+                            break;
+                        }
+                        push_sse(
+                            &mut buf,
+                            &SseFrame::new(line)
+                                .with_event("journal")
+                                .with_id(st.line_no.to_string()),
+                        );
+                    }
+                    st.line_no += 1;
+                    st.next_byte += line.len() + 1;
+                }
+                if js.status.terminal() && drained && out.len() + buf.len() < HIGH_WATER {
+                    push_sse(
+                        &mut buf,
+                        &SseFrame::new(format!("{{\"status\":\"{status}\"}}")).with_event("end"),
+                    );
+                    StreamEncoder::sse(200).finish(&mut buf);
+                    st.done = true;
+                    *close = true;
+                }
+            } else if let Some(sub) = &st.sub {
+                while out.len() + buf.len() < HIGH_WATER {
+                    let Some((seq, ev)) = sub.pop() else {
+                        break;
+                    };
+                    if let Some(frame) = cluster_frame(seq, &ev) {
+                        push_sse(&mut buf, &frame);
+                    }
+                }
+            }
+            if !buf.is_empty() {
+                out.extend(buf);
+                wrote = true;
+            }
+        }
+        // Coalesce: small batches wait for the tick flush; only a closing
+        // stream or a high backlog goes to the socket immediately.
+        if wrote && self.stream_flush_due(idx) {
+            self.flush_conn(idx);
+        }
+    }
+
+    /// Whether a streaming connection's buffered output should be pushed
+    /// to the socket now rather than waiting for the periodic tick.
+    fn stream_flush_due(&self, idx: usize) -> bool {
+        match self.conns[idx].as_ref().map(|c| &c.kind) {
+            Some(ConnKind::Http {
+                out,
+                stream: Some(st),
+                ..
+            }) => st.done || out.len() >= STREAM_FLUSH,
+            _ => false,
+        }
+    }
+
+    /// Tick-time flush of every streaming connection with buffered
+    /// output — the slow path that bounds coalescing latency.
+    fn flush_streams(&mut self) {
+        for idx in 0..self.conns.len() {
+            let pending = matches!(
+                self.conns[idx].as_ref().map(|c| &c.kind),
+                Some(ConnKind::Http {
+                    out,
+                    stream: Some(_),
+                    ..
+                }) if !out.is_empty()
+            );
+            if pending {
+                self.flush_conn(idx);
+            }
         }
     }
 
@@ -1486,15 +1983,17 @@ impl ServerLoop {
             stages_completed: 0,
             stage_durations: Vec::new(),
             journal: String::new(),
+            journal_lines: 0,
             job: spec.job,
         };
-        js.journal.push_str(&format!(
-            "{{\"event\":\"submitted\",\"name\":\"{}\",\"tenant\":\"{}\",\"weight\":{},\"stages\":{}}}\n",
+        let line = format!(
+            "{{\"event\":\"submitted\",\"name\":\"{}\",\"tenant\":\"{}\",\"weight\":{},\"stages\":{}}}",
             http::escape_json(&js.job.name),
             js.tenant,
             js.weight,
             js.job.stages.len()
-        ));
+        );
+        journal_line(&self.cfg.recorder, &mut js, line);
         let tenant = js.tenant.clone();
         self.metrics.tenant(&tenant).submitted.inc();
         self.jobs.insert(id, js);
@@ -1503,6 +2002,7 @@ impl ServerLoop {
             JobStatus::Running
         } else {
             self.waiting.push_back(id);
+            status_event(&self.cfg.recorder, &self.jobs[&id]);
             JobStatus::Queued
         };
         Response::json(
@@ -1593,6 +2093,128 @@ impl ServerLoop {
             ),
         )
     }
+}
+
+/// Appends one line to a job's journal and mirrors it to the recorder as
+/// a [`LiveEvent::JournalLine`] for `/events` subscribers. The journal
+/// string gets exactly the bytes it always got — streaming (or the
+/// absence of any subscriber) never changes a journal byte.
+fn journal_line(recorder: &FlightRecorder, js: &mut JobState, line: String) {
+    js.journal.push_str(&line);
+    js.journal.push('\n');
+    let line_no = js.journal_lines;
+    js.journal_lines += 1;
+    let at = recorder.now();
+    recorder.push(LiveEvent::JournalLine {
+        job: js.id,
+        line_no,
+        line,
+        at,
+    });
+}
+
+/// Announces a job lifecycle transition to `/events` subscribers.
+fn status_event(recorder: &FlightRecorder, js: &JobState) {
+    recorder.push(LiveEvent::JobStatusChanged {
+        job: js.id,
+        tenant: js.tenant.clone(),
+        status: js.status.as_str(),
+        at: recorder.now(),
+    });
+}
+
+/// Encodes one SSE frame as a single HTTP chunk.
+fn push_sse(out: &mut Vec<u8>, frame: &SseFrame) {
+    let mut payload = Vec::with_capacity(frame.data.len() + 32);
+    frame.encode(&mut payload);
+    sae_net::sse::encode_chunk(&payload, out);
+}
+
+/// Formats a metric value as a JSON number (integers without a fraction).
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// One recorder event as a cluster `/events` SSE frame; events with no
+/// streaming representation return `None`.
+fn cluster_frame(seq: u64, ev: &LiveEvent) -> Option<SseFrame> {
+    let (event, data) = match ev {
+        LiveEvent::JournalLine {
+            job, line_no, line, ..
+        } => (
+            "journal",
+            format!("{{\"job\":{job},\"line\":{line_no},\"record\":{line}}}"),
+        ),
+        LiveEvent::JobStatusChanged {
+            job,
+            tenant,
+            status,
+            at,
+        } => (
+            "status",
+            format!(
+                "{{\"job\":{job},\"tenant\":\"{}\",\"status\":\"{status}\",\"at\":{}}}",
+                http::escape_json(tenant),
+                fmt_num(*at)
+            ),
+        ),
+        LiveEvent::TaskSpan {
+            job,
+            stage,
+            task,
+            attempt,
+            epoch,
+            executor,
+            start,
+            end,
+            ok,
+        } => (
+            "span",
+            format!(
+                "{{\"job\":{job},\"stage\":{stage},\"task\":{task},\"attempt\":{attempt},\
+                 \"epoch\":{epoch},\"executor\":{executor},\"start\":{},\"end\":{},\"ok\":{ok}}}",
+                fmt_num(*start),
+                fmt_num(*end)
+            ),
+        ),
+        LiveEvent::Trace(TraceEvent::IntervalClosed {
+            executor,
+            threads,
+            zeta,
+            at,
+        }) => (
+            "zeta",
+            format!(
+                "{{\"executor\":{executor},\"threads\":{threads},\"zeta\":{},\"at\":{}}}",
+                fmt_num(*zeta),
+                fmt_num(*at)
+            ),
+        ),
+        LiveEvent::ExecutorReincarnated {
+            executor,
+            epoch,
+            at,
+            ..
+        } => (
+            "reincarnated",
+            format!(
+                "{{\"executor\":{executor},\"epoch\":{epoch},\"at\":{}}}",
+                fmt_num(*at)
+            ),
+        ),
+        _ => return None,
+    };
+    Some(
+        SseFrame::new(data)
+            .with_event(event)
+            .with_id(seq.to_string()),
+    )
 }
 
 /// The current stage announcement for one job.
@@ -1820,7 +2442,8 @@ mod tests {
         let wire = TcpListener::bind("127.0.0.1:0").unwrap();
         let http = TcpListener::bind("127.0.0.1:0").unwrap();
         let mut sl = ServerLoop::new(wire, http, ServerConfig::default()).unwrap();
-        let spec = parse_job_spec(&format!("{{\"tasks\":{tasks},\"records_per_task\":1}}")).unwrap();
+        let spec =
+            parse_job_spec(&format!("{{\"tasks\":{tasks},\"records_per_task\":1}}")).unwrap();
         let mut st = StageRun::new(tasks);
         st.assigned_to[0] = Some(1);
         sl.jobs.insert(
@@ -1840,6 +2463,7 @@ mod tests {
                 stages_completed: 0,
                 stage_durations: Vec::new(),
                 journal: String::new(),
+                journal_lines: 0,
                 job: spec.job,
             },
         );

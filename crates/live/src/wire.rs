@@ -16,7 +16,7 @@
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 
-use sae_dag::codec::{self, FrameError, LEN_PREFIX};
+use sae_dag::codec::{self, FrameError, TraceKey, LEN_PREFIX};
 use sae_dag::Message;
 
 use crate::job::LiveStageKind;
@@ -41,6 +41,11 @@ const TAG_ASSIGN_JOB_TASK: u8 = 0x17;
 const TAG_JOB_TASK_OUTCOME: u8 = 0x18;
 /// Envelope tag: the job server retires a job (completed or cancelled).
 const TAG_JOB_END: u8 = 0x19;
+/// Envelope tag: an executor reports one task attempt's execution span,
+/// stamped with its full trace key.
+const TAG_TASK_SPAN: u8 = 0x1A;
+/// Envelope tag: an executor streams one closed MAPE-K interval's ζ.
+const TAG_ZETA_SAMPLE: u8 = 0x1B;
 
 /// One unit of driver↔executor traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +143,40 @@ pub enum Frame {
         /// The retired job.
         job: u64,
     },
+    /// An executor reports one task attempt's execution span, stamped
+    /// with the full cross-process trace key. Pure telemetry: the
+    /// receiver merges it into the live Perfetto timeline but never
+    /// schedules off it (outcome frames remain the control path).
+    TaskSpan {
+        /// The (job, stage, task, attempt, epoch) correlation key.
+        key: TraceKey,
+        /// The executor that ran the attempt.
+        executor: usize,
+        /// Span start as [`f64::to_bits`] seconds since the executor's
+        /// recorder epoch (bits, so the frame stays `Eq` and the value
+        /// round-trips exactly).
+        start_bits: u64,
+        /// Span end, encoded like `start_bits`.
+        end_bits: u64,
+        /// Whether the attempt succeeded.
+        ok: bool,
+    },
+    /// An executor streams one closed MAPE-K monitoring interval's ζ
+    /// decision record as it happens, instead of (only) replaying the
+    /// whole decision journal at shutdown. Receivers count admitted
+    /// samples per executor so the shutdown-time replay skips what
+    /// already streamed.
+    ZetaSample {
+        /// The reporting executor.
+        executor: usize,
+        /// Pool threads when the interval closed.
+        threads: usize,
+        /// ζ for the interval, as [`f64::to_bits`].
+        zeta_bits: u64,
+        /// Interval close time (seconds since the executor's recorder
+        /// epoch), as [`f64::to_bits`].
+        at_bits: u64,
+    },
 }
 
 impl Frame {
@@ -158,6 +197,8 @@ impl Frame {
             Frame::AssignJobTask { .. } => "assign-job-task",
             Frame::JobTaskOutcome { .. } => "job-task-outcome",
             Frame::JobEnd { .. } => "job-end",
+            Frame::TaskSpan { .. } => "task-span",
+            Frame::ZetaSample { .. } => "zeta-sample",
         }
     }
 
@@ -251,6 +292,32 @@ impl Frame {
                 out.push(TAG_JOB_END);
                 codec::put_u64(out, job);
             }
+            Frame::TaskSpan {
+                key,
+                executor,
+                start_bits,
+                end_bits,
+                ok,
+            } => {
+                out.push(TAG_TASK_SPAN);
+                key.encode(out);
+                codec::put_u64(out, executor as u64);
+                codec::put_u64(out, start_bits);
+                codec::put_u64(out, end_bits);
+                codec::put_u64(out, ok as u64);
+            }
+            Frame::ZetaSample {
+                executor,
+                threads,
+                zeta_bits,
+                at_bits,
+            } => {
+                out.push(TAG_ZETA_SAMPLE);
+                codec::put_u64(out, executor as u64);
+                codec::put_u64(out, threads as u64);
+                codec::put_u64(out, zeta_bits);
+                codec::put_u64(out, at_bits);
+            }
         }
     }
 
@@ -337,6 +404,26 @@ impl Frame {
                 expect_len(body, 1)?;
                 Ok(Frame::JobEnd {
                     job: codec::get_u64(body, 1)?,
+                })
+            }
+            TAG_TASK_SPAN => {
+                expect_len(body, TraceKey::FIELDS + 4)?;
+                let after_key = 1 + 8 * TraceKey::FIELDS;
+                Ok(Frame::TaskSpan {
+                    key: TraceKey::decode(body, 1)?,
+                    executor: codec::get_usize(body, after_key)?,
+                    start_bits: codec::get_u64(body, after_key + 8)?,
+                    end_bits: codec::get_u64(body, after_key + 16)?,
+                    ok: codec::get_u64(body, after_key + 24)? != 0,
+                })
+            }
+            TAG_ZETA_SAMPLE => {
+                expect_len(body, 4)?;
+                Ok(Frame::ZetaSample {
+                    executor: codec::get_usize(body, 1)?,
+                    threads: codec::get_usize(body, 9)?,
+                    zeta_bits: codec::get_u64(body, 17)?,
+                    at_bits: codec::get_u64(body, 25)?,
                 })
             }
             other => Err(FrameError::UnknownTag(other)),
@@ -617,6 +704,25 @@ mod tests {
                 ok: false,
             },
             Frame::JobEnd { job: 12 },
+            Frame::TaskSpan {
+                key: TraceKey {
+                    job: 12,
+                    stage: 1,
+                    task: 7,
+                    attempt: 0,
+                    epoch: 3,
+                },
+                executor: 3,
+                start_bits: 0.25f64.to_bits(),
+                end_bits: 0.75f64.to_bits(),
+                ok: true,
+            },
+            Frame::ZetaSample {
+                executor: 2,
+                threads: 4,
+                zeta_bits: 0.87f64.to_bits(),
+                at_bits: 1.5f64.to_bits(),
+            },
         ]
     }
 

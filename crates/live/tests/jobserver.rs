@@ -18,6 +18,7 @@ use sae_live::executor::LiveExecutorConfig;
 use sae_live::server::{JobServer, ServerConfig, ServerReport};
 use sae_live::{LiveExecutor, TempDir};
 use sae_net::http::parse_response;
+use sae_net::sse::{ChunkedDecoder, SseFrame, SseParser};
 
 /// One HTTP request over a fresh connection; returns (status, body).
 fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
@@ -57,6 +58,89 @@ fn json_field(body: &str, key: &str) -> String {
         .map(|(i, _)| if rest.starts_with('"') { i + 1 } else { i })
         .unwrap_or(rest.len());
     rest[..end].trim_matches('"').to_string()
+}
+
+/// Opens `GET {path}` as a streaming SSE client and collects frames until
+/// `done` returns true for one or the server closes the stream. The
+/// request is written immediately; `done` runs on every frame as it
+/// arrives, so a test can react mid-stream (e.g. submit a job once the
+/// subscription is live).
+fn sse_collect(
+    addr: SocketAddr,
+    path: &str,
+    extra_headers: &str,
+    mut done: impl FnMut(&SseFrame) -> bool,
+) -> Vec<SseFrame> {
+    let mut stream = TcpStream::connect(addr).expect("connect control port");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let req = format!(
+        "GET {path} HTTP/1.1\r\nHost: sae\r\nAccept: text/event-stream\r\n{extra_headers}\r\n"
+    );
+    stream.write_all(req.as_bytes()).expect("write request");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let idle = |e: &std::io::Error| {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::Interrupted
+        )
+    };
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 16 * 1024];
+    let head_end = loop {
+        if let Some(p) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break p + 4;
+        }
+        assert!(Instant::now() < deadline, "no response head for {path}");
+        match stream.read(&mut buf) {
+            Ok(0) => panic!("closed before head: {}", String::from_utf8_lossy(&raw)),
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            Err(e) if idle(&e) => {}
+            Err(e) => panic!("read: {e}"),
+        }
+    };
+    let head = String::from_utf8_lossy(&raw[..head_end]).to_string();
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/event-stream"),
+        "{head}"
+    );
+
+    let mut decoder = ChunkedDecoder::new();
+    let mut parser = SseParser::new();
+    decoder.extend(&raw[head_end..]);
+    let mut frames = Vec::new();
+    let mut eof = false;
+    loop {
+        while let Some(chunk) = decoder.next_chunk().expect("well-formed chunking") {
+            parser.extend(&chunk);
+        }
+        while let Some(frame) = parser.next_frame() {
+            let stop = done(&frame);
+            frames.push(frame);
+            if stop {
+                return frames;
+            }
+        }
+        if decoder.finished() || eof {
+            return frames;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stream {path} never produced the awaited frame; got {frames:?}"
+        );
+        match stream.read(&mut buf) {
+            Ok(0) => eof = true,
+            Ok(n) => decoder.extend(&buf[..n]),
+            Err(e) if idle(&e) => {}
+            Err(e) => panic!("read: {e}"),
+        }
+    }
 }
 
 struct Harness {
@@ -271,6 +355,157 @@ fn drain_stops_admission_and_serves_status_while_draining() {
         job.status
     );
     assert!(job.journal.contains("\"event\":\"completed\""));
+}
+
+#[test]
+fn streamed_job_events_match_the_final_journal() {
+    let h = Harness::launch(ServerConfig::default(), 2);
+    let (s, b) = h.submit(r#"{"tenant":"alice","tasks":4,"records_per_task":2000,"seed":11}"#);
+    assert_eq!(s, 201, "{b}");
+    let id = json_field(&b, "job");
+
+    // Follow the job's stream to its `end` frame. The stream replays the
+    // journal from line 0, follows it live, and closes after the job's
+    // terminal record — so every line passes through exactly once.
+    let path = format!("/jobs/{id}/events");
+    let frames = sse_collect(h.http_addr, &path, "", |f| {
+        f.event.as_deref() == Some("end")
+    });
+    let end = frames.last().expect("at least the end frame");
+    assert_eq!(
+        end.event.as_deref(),
+        Some("end"),
+        "no end frame: {frames:?}"
+    );
+    assert!(
+        end.data.contains("\"status\":\"completed\""),
+        "{}",
+        end.data
+    );
+
+    // The `journal` frames, in id order, joined with the journal's own
+    // newlines, must reproduce the journal bit for bit.
+    let journal_frames: Vec<&SseFrame> = frames
+        .iter()
+        .filter(|f| f.event.as_deref() == Some("journal"))
+        .collect();
+    for (i, f) in journal_frames.iter().enumerate() {
+        assert_eq!(
+            f.id.as_deref(),
+            Some(i.to_string().as_str()),
+            "journal event ids must be dense line numbers"
+        );
+    }
+    let streamed: String = journal_frames
+        .iter()
+        .map(|f| format!("{}\n", f.data))
+        .collect();
+    let (sj, journal) = http(h.http_addr, "GET", &format!("/jobs/{id}/journal"), "");
+    assert_eq!(sj, 200);
+    assert_eq!(
+        streamed, journal,
+        "streamed events must match the journal record for record"
+    );
+
+    // `Last-Event-ID: 2` resumes after line 2: the reconnect receives
+    // exactly the remainder, ids picking up at 3.
+    let resumed = sse_collect(h.http_addr, &path, "Last-Event-ID: 2\r\n", |f| {
+        f.event.as_deref() == Some("end")
+    });
+    let tail_frames: Vec<&SseFrame> = resumed
+        .iter()
+        .filter(|f| f.event.as_deref() == Some("journal"))
+        .collect();
+    assert_eq!(tail_frames[0].id.as_deref(), Some("3"));
+    let tail: String = tail_frames
+        .iter()
+        .map(|f| format!("{}\n", f.data))
+        .collect();
+    let skipped: usize = journal.lines().take(3).map(|l| l.len() + 1).sum();
+    assert_eq!(tail, journal[skipped..], "resume must start at line 3");
+
+    h.shutdown();
+}
+
+#[test]
+fn cluster_stream_carries_lifecycle_journal_and_metrics() {
+    let h = Harness::launch(ServerConfig::default(), 2);
+
+    // Subscribe first, submit from inside the stream (on the snapshot
+    // frame that arrives with the response head), and follow until the
+    // job's `completed` status event goes by.
+    let mut id = String::new();
+    let frames = sse_collect(h.http_addr, "/events", "", |f| {
+        if id.is_empty() {
+            assert_eq!(
+                f.event.as_deref(),
+                Some("metrics"),
+                "a fresh subscriber leads with a metrics snapshot: {f:?}"
+            );
+            let (s, b) = h.submit(r#"{"tenant":"bob","tasks":4,"records_per_task":2000,"seed":5}"#);
+            assert_eq!(s, 201, "{b}");
+            id = json_field(&b, "job");
+        }
+        f.event.as_deref() == Some("status") && f.data.contains("\"status\":\"completed\"")
+    });
+
+    // Lifecycle made it through with tenant attribution.
+    let statuses: Vec<&str> = frames
+        .iter()
+        .filter(|f| f.event.as_deref() == Some("status"))
+        .map(|f| f.data.as_str())
+        .collect();
+    assert!(
+        statuses.iter().all(|d| d.contains("\"tenant\":\"bob\"")),
+        "{statuses:?}"
+    );
+    assert!(
+        statuses
+            .last()
+            .unwrap()
+            .contains("\"status\":\"completed\""),
+        "{statuses:?}"
+    );
+
+    // Task spans streamed in during the run (the incremental trace feed).
+    let spans = frames
+        .iter()
+        .filter(|f| f.event.as_deref() == Some("span"))
+        .count();
+    assert!(
+        spans >= 8,
+        "4 tasks x 2 stages should stream spans: {spans}"
+    );
+
+    // The journal mirror: extracting `record` from every journal frame
+    // for this job reproduces the journal the server kept.
+    let prefix = format!("{{\"job\":{id},");
+    let mirrored: String = frames
+        .iter()
+        .filter(|f| f.event.as_deref() == Some("journal") && f.data.starts_with(&prefix))
+        .map(|f| {
+            let rec = f.data.find("\"record\":").expect("record field") + "\"record\":".len();
+            format!("{}\n", &f.data[rec..f.data.len() - 1])
+        })
+        .collect();
+    let (sj, journal) = http(h.http_addr, "GET", &format!("/jobs/{id}/journal"), "");
+    assert_eq!(sj, 200);
+    assert_eq!(mirrored, journal, "cluster mirror must match the journal");
+
+    // Recorder-fed frames carry its monotone sequence numbers as ids
+    // (metrics frames are synthesised server-side and carry none).
+    let ids: Vec<u64> = frames
+        .iter()
+        .filter_map(|f| f.id.as_deref())
+        .map(|id| id.parse().unwrap())
+        .collect();
+    assert!(!ids.is_empty(), "no recorder-fed frames at all");
+    assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "ids must be strictly increasing: {ids:?}"
+    );
+
+    h.shutdown();
 }
 
 #[test]

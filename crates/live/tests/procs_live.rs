@@ -112,6 +112,108 @@ fn process_fleet_runs_a_job_end_to_end() {
     }
 }
 
+/// The telemetry acceptance path: a process fleet merges into *one*
+/// causally-ordered trace while the job is still running — task spans
+/// stream off the wire with their full (job, stage, task, attempt,
+/// epoch) key as each attempt finishes, ζ intervals stream as they
+/// close — and the shutdown-time journal merge only tops up whatever
+/// never streamed, so the final timeline covers each record exactly
+/// once, never twice.
+#[test]
+fn process_fleet_merges_one_trace_during_the_run() {
+    let mut cluster = LiveCluster::launch(procs_cluster(FaultPlan::new(1))).unwrap();
+    // Subscribe before the job starts: everything in the first drain
+    // below was delivered mid-run, not reconstructed at shutdown.
+    let live = cluster.recorder().subscribe(1_000_000);
+    let journals = cluster.journals().to_vec();
+    let report = cluster.run(&terasort(24, 20_000, 7)).unwrap();
+    assert_eq!(report.stages.len(), 2);
+
+    assert_eq!(live.dropped(), 0, "the test subscription must be lossless");
+    let during: Vec<LiveEvent> = live.drain().into_iter().map(|(_, e)| e).collect();
+
+    let zeta_of = |events: &[LiveEvent]| -> Vec<(usize, usize, f64, f64)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                LiveEvent::Trace(TraceEvent::IntervalClosed {
+                    executor,
+                    threads,
+                    zeta,
+                    at,
+                }) => Some((*executor, *threads, *zeta, *at)),
+                _ => None,
+            })
+            .collect()
+    };
+
+    // Every task of both stages closed a successful span over the wire
+    // while the run was in flight, carrying its trace key.
+    let spans: Vec<(usize, usize, f64, f64, bool)> = during
+        .iter()
+        .filter_map(|e| match e {
+            LiveEvent::TaskSpan {
+                stage,
+                task,
+                start,
+                end,
+                ok,
+                ..
+            } => Some((*stage, *task, *start, *end, *ok)),
+            _ => None,
+        })
+        .collect();
+    for stage in 0..2 {
+        for task in 0..24 {
+            assert!(
+                spans.iter().any(|s| s.0 == stage && s.1 == task && s.4),
+                "no successful span streamed for stage {stage} task {task}"
+            );
+        }
+    }
+    // Causal order on the merged timeline: the stage barrier means every
+    // stage-0 span lands before any stage-1 span, and no span ends
+    // before it starts.
+    let stage_order: Vec<usize> = spans.iter().map(|s| s.0).collect();
+    assert!(
+        stage_order.windows(2).all(|w| w[0] <= w[1]),
+        "span receipt order crossed the stage barrier: {stage_order:?}"
+    );
+    assert!(
+        spans.iter().all(|s| s.2 <= s.3),
+        "span ends before it starts"
+    );
+
+    let streamed = zeta_of(&during);
+    assert!(
+        !streamed.is_empty(),
+        "no ζ interval streamed while the run was live"
+    );
+
+    cluster.shutdown().unwrap();
+
+    // The shutdown merge pushed only the unstreamed tail; streamed +
+    // tail must equal the merged child journals record for record.
+    let tail = zeta_of(&live.drain().into_iter().map(|(_, e)| e).collect::<Vec<_>>());
+    let mut merged: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new(); 3];
+    for (executor, threads, zeta, at) in streamed.iter().chain(tail.iter()) {
+        merged[*executor].push((*threads, *zeta, *at));
+    }
+    for (id, journal) in journals.iter().enumerate() {
+        let expect: Vec<(usize, f64, f64)> = journal
+            .records()
+            .iter()
+            .map(|r| (r.threads, r.zeta, r.at))
+            .collect();
+        assert!(!expect.is_empty(), "executor {id}'s journal never merged");
+        assert_eq!(
+            merged[id], expect,
+            "executor {id}: live stream + shutdown tail must cover the \
+             journal exactly once"
+        );
+    }
+}
+
 /// Chaos parity: the representative crash→reincarnation scenario, run
 /// through the nemesis proxy (a throttled link keeps the proxy honest
 /// about forwarding every frame kind), must produce the same

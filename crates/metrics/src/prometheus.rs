@@ -24,6 +24,10 @@ use std::fmt::Write as _;
 
 use crate::{MetricRegistry, RegistrySnapshot};
 
+/// The `Content-Type` an HTTP endpoint serving [`render_prometheus`]
+/// output must send: Prometheus text exposition format version 0.0.4.
+pub const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 /// Sanitizes a metric-family name: `[a-zA-Z_:][a-zA-Z0-9_:]*`, with dots
 /// and dashes folded to underscores.
 fn sanitize_name(raw: &str) -> String {
@@ -115,6 +119,15 @@ fn fmt_value(v: f64) -> String {
     }
 }
 
+/// Merges a `quantile="q"` label into a registry name's label block,
+/// appending a fresh block when the name carries none.
+fn with_quantile_label(raw: &str, q: &str) -> String {
+    match raw.strip_suffix('}') {
+        Some(prefix) if raw.contains('{') => format!("{prefix},quantile=\"{q}\"}}"),
+        _ => format!("{raw}{{quantile=\"{q}\"}}"),
+    }
+}
+
 /// One exposition family: its TYPE plus every `name{labels} value` line.
 #[derive(Default)]
 struct Family {
@@ -172,6 +185,18 @@ pub fn render_prometheus(registry: &MetricRegistry) -> String {
             "_sum",
             fmt_value(h.mean * h.count as f64),
         );
+        // Summary quantile series: the bare family name with a
+        // `quantile` label merged into any labels the series carries.
+        for q in ["0.5", "0.95", "0.99"] {
+            if let Some(v) = h.quantile(q.parse().expect("literal quantile")) {
+                push_sample(
+                    &mut summaries,
+                    &with_quantile_label(&name, q),
+                    "",
+                    fmt_value(v),
+                );
+            }
+        }
     }
     let mut out = String::new();
     render_section(&mut out, "counter", &counters);
@@ -323,6 +348,55 @@ mod tests {
                 assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
             }
         }
+    }
+
+    #[test]
+    fn exposition_content_type_is_version_0_0_4() {
+        // The scrape contract: exactly the text format's registered
+        // media type, version, and charset, in that order.
+        assert_eq!(
+            EXPOSITION_CONTENT_TYPE,
+            "text/plain; version=0.0.4; charset=utf-8"
+        );
+        let mut parts = EXPOSITION_CONTENT_TYPE.split("; ");
+        assert_eq!(parts.next(), Some("text/plain"));
+        assert_eq!(parts.next(), Some("version=0.0.4"));
+        assert_eq!(parts.next(), Some("charset=utf-8"));
+        assert_eq!(parts.next(), None);
+    }
+
+    #[test]
+    fn histograms_emit_quantile_samples() {
+        let reg = MetricRegistry::new();
+        let h = reg.histogram("lat");
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let text = render_prometheus(&reg);
+        for q in ["0.5", "0.95", "0.99"] {
+            let needle = format!("lat{{quantile=\"{q}\"}} ");
+            assert!(text.contains(&needle), "missing {needle:?} in:\n{text}");
+        }
+        // Quantile samples are monotone in q for this distribution.
+        let sample = |q: &str| -> f64 {
+            let needle = format!("lat{{quantile=\"{q}\"}} ");
+            let at = text.find(&needle).unwrap() + needle.len();
+            text[at..].lines().next().unwrap().parse().unwrap()
+        };
+        assert!(sample("0.5") <= sample("0.95"));
+        assert!(sample("0.95") <= sample("0.99"));
+    }
+
+    #[test]
+    fn quantile_label_merges_into_existing_label_blocks() {
+        let reg = MetricRegistry::new();
+        reg.histogram("task.secs{executor=\"1\"}").record(2.0);
+        let text = render_prometheus(&reg);
+        assert!(
+            text.contains("task_secs{executor=\"1\",quantile=\"0.5\"} 2"),
+            "quantile label not merged:\n{text}"
+        );
+        assert!(text.contains("task_secs_count{executor=\"1\"} 1"));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod sse;
 
 use sae_sim::{CapacityCurve, Kernel, ResourceId};
 

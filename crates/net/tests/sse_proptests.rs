@@ -1,0 +1,165 @@
+//! Property tests for the chunked-response encoder and SSE framing:
+//! arbitrary inputs never panic, truncation is never an error, and
+//! re-chunking at arbitrary split points is invisible to the decoder.
+
+use proptest::prelude::*;
+use sae_net::sse::{
+    encode_chunk, parse_chunked_response, ChunkedDecoder, SseFrame, SseParser, StreamEncoder,
+};
+
+/// Splits `wire` at the given fractional points and feeds each piece to
+/// the decoder in turn, collecting every chunk it yields.
+fn decode_split(wire: &[u8], cuts: &[usize]) -> Result<(Vec<Vec<u8>>, bool), ()> {
+    let mut dec = ChunkedDecoder::new();
+    let mut out = Vec::new();
+    let mut at = 0;
+    let feed = |dec: &mut ChunkedDecoder, bytes: &[u8], out: &mut Vec<Vec<u8>>| {
+        dec.extend(bytes);
+        loop {
+            match dec.next_chunk() {
+                Ok(Some(c)) => out.push(c),
+                Ok(None) => return Ok(()),
+                Err(_) => return Err(()),
+            }
+        }
+    };
+    for &cut in cuts {
+        let cut = cut.min(wire.len());
+        if cut > at {
+            feed(&mut dec, &wire[at..cut], &mut out)?;
+            at = cut;
+        }
+    }
+    feed(&mut dec, &wire[at..], &mut out)?;
+    Ok((out, dec.finished()))
+}
+
+/// Printable id/event field text (no newlines — those would be stripped
+/// by the sanitizer and break exact round-trip comparison).
+fn field_text(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0x20u8..0x7f, 0..max)
+        .prop_map(|cs| cs.into_iter().map(|b| b as char).collect())
+}
+
+/// Data payload text: printable ASCII plus embedded newlines, which the
+/// encoder must split across `data:` lines and the parser rejoin.
+fn data_text(max: usize) -> impl Strategy<Value = String> {
+    // Draw from a range slightly wider than printable ASCII and fold the
+    // excess onto '\n' (the vendored proptest has no oneof combinator).
+    prop::collection::vec(0x20u8..0x8c, 0..max).prop_map(|cs| {
+        cs.into_iter()
+            .map(|b| if b < 0x7f { b as char } else { '\n' })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Any sequence of payloads survives encode → split-anywhere → decode.
+    #[test]
+    fn rechunking_is_invisible(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..200), 0..8),
+        cuts in prop::collection::vec(0usize..4096, 0..6),
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            encode_chunk(p, &mut wire);
+        }
+        wire.extend_from_slice(b"0\r\n\r\n");
+        let (decoded, finished) = decode_split(&wire, &cuts).expect("well-formed stream");
+        prop_assert!(finished);
+        prop_assert_eq!(decoded, payloads);
+    }
+
+    /// Arbitrary garbage fed to the decoder must never panic; errors are
+    /// fine, panics are not.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut dec = ChunkedDecoder::new();
+        dec.extend(&bytes);
+        for _ in 0..64 {
+            match dec.next_chunk() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+        let mut parser = SseParser::new();
+        parser.extend(&bytes);
+        while parser.next_frame().is_some() {}
+    }
+
+    /// A truncated well-formed stream is "need more bytes", never an error.
+    #[test]
+    fn truncation_is_never_an_error(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..100), 1..5),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            encode_chunk(p, &mut wire);
+        }
+        wire.extend_from_slice(b"0\r\n\r\n");
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        let mut dec = ChunkedDecoder::new();
+        dec.extend(&wire[..cut]);
+        loop {
+            match dec.next_chunk() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => prop_assert!(false, "truncation errored: {e:?}"),
+            }
+        }
+    }
+
+    /// SSE frames round-trip through encode → chunking → full response
+    /// parse → SSE parse, for arbitrary ids/events/data.
+    #[test]
+    fn sse_frames_round_trip_through_response_harness(
+        frames in prop::collection::vec(
+            (
+                prop::option::of(field_text(12)),
+                prop::option::of(field_text(8)),
+                data_text(64),
+            ),
+            1..6,
+        ),
+        cuts in prop::collection::vec(0usize..4096, 0..4),
+    ) {
+        let enc = StreamEncoder::sse(200);
+        let mut wire = Vec::new();
+        enc.head(&mut wire);
+        let mut sent = Vec::new();
+        for (id, event, data) in &frames {
+            let mut f = SseFrame::new(data.clone());
+            if let Some(id) = id {
+                f = f.with_id(id.clone());
+            }
+            if let Some(event) = event {
+                f = f.with_event(event.clone());
+            }
+            enc.frame(&f, &mut wire);
+            sent.push(f);
+        }
+        enc.finish(&mut wire);
+
+        // Every strict prefix is incomplete.
+        for &cut in &cuts {
+            if cut < wire.len() {
+                prop_assert!(parse_chunked_response(&wire[..cut]).expect("prefix ok").is_none());
+            }
+        }
+
+        let (parsed, consumed) = parse_chunked_response(&wire)
+            .expect("well-formed")
+            .expect("complete");
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert_eq!(parsed.status, 200);
+
+        let mut parser = SseParser::new();
+        parser.extend(&parsed.body);
+        for f in &sent {
+            let got = parser.next_frame().expect("frame present");
+            prop_assert_eq!(&got, f);
+        }
+        prop_assert!(parser.next_frame().is_none());
+    }
+}

@@ -31,6 +31,18 @@ mod wheel;
 
 pub use wheel::{TimerId, TimerWheel};
 
+/// Caps `socket`'s kernel send buffer at roughly `bytes` (`SO_SNDBUF`;
+/// Linux doubles the requested value, and clamps to the `wmem` floor).
+///
+/// Long-lived streaming connections use this so that a consumer that
+/// stops reading exhausts a *bounded* kernel buffer: writes then return
+/// `WouldBlock` promptly and the application's own high-water
+/// backpressure takes over, rather than the kernel autotuning megabytes
+/// of invisible queue per stalled peer. Best-effort off Linux (no-op).
+pub fn set_send_buffer(socket: &impl std::os::fd::AsRawFd, bytes: usize) -> io::Result<()> {
+    sys::set_send_buffer(socket.as_raw_fd(), bytes)
+}
+
 /// What a registration wants to be woken for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interest {

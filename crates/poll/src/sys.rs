@@ -169,6 +169,51 @@ mod epoll {
     }
 }
 
+/// Caps a socket's kernel send buffer via `SO_SNDBUF` (Linux doubles the
+/// requested value for bookkeeping overhead). Streaming endpoints use
+/// this so a stalled consumer exhausts a bounded kernel buffer and the
+/// application's own backpressure engages, instead of the kernel
+/// autotuning megabytes of invisible queue in front of it.
+#[cfg(target_os = "linux")]
+pub(crate) fn set_send_buffer(fd: std::os::fd::RawFd, bytes: usize) -> io::Result<()> {
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const std::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+
+    let val = i32::try_from(bytes).unwrap_or(i32::MAX);
+    // SAFETY: optval points at a live i32 for the duration of the call,
+    // and optlen states exactly its size; no memory is retained.
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_SNDBUF,
+            (&val as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Off-Linux there is no portable `setsockopt` without a vendor crate:
+/// the cap is best-effort and the kernel default stands.
+#[cfg(not(target_os = "linux"))]
+pub(crate) fn set_send_buffer(_fd: std::os::fd::RawFd, _bytes: usize) -> io::Result<()> {
+    Ok(())
+}
+
 #[cfg(not(target_os = "linux"))]
 mod fallback {
     use super::*;
